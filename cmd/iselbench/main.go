@@ -1,0 +1,107 @@
+// Command iselbench reproduces the paper's evaluation (§VIII): it
+// synthesizes a rule library, compiles the SPEC-CPU-2017-Integer-analog
+// workload suite with every backend, simulates the generated code, and
+// prints the figures and tables:
+//
+//	-fig9 / -fig11   normalized runtimes (target-selected via -target)
+//	-table3          GlobalISel-fallback accounting
+//	-fig6            pattern / sequence length distributions
+//	-sizes           binary-size comparison (§VIII-C)
+//
+// Usage: iselbench -target aarch64|riscv [-scale N] [...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"iselgen/internal/core"
+	"iselgen/internal/harness"
+)
+
+func main() {
+	target := flag.String("target", "aarch64", "target: aarch64 or riscv")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	fig6 := flag.Bool("fig6", false, "print length distributions (Fig. 6)")
+	table3 := flag.Bool("table3", false, "print fallback table (Table III)")
+	sizes := flag.Bool("sizes", false, "print binary sizes (§VIII-C)")
+	flag.Parse()
+
+	var s *harness.Setup
+	var err error
+	switch *target {
+	case "aarch64":
+		s, err = harness.NewAArch64()
+	case "riscv":
+		s, err = harness.NewRISCV()
+	default:
+		err = fmt.Errorf("unknown target %q", *target)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("synthesizing %s rule library...\n", s.Name)
+	lib := s.Synthesize(core.DefaultConfig(), 0)
+	fmt.Printf("%d rules\n\n", lib.Len())
+
+	if *fig6 {
+		fmt.Println(harness.Fig6(s, lib))
+		return
+	}
+
+	rows, err := s.RunSuite(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+
+	if *table3 {
+		fmt.Println(harness.TableIII(rows))
+		return
+	}
+	if *sizes {
+		fmt.Println(harness.SizeTable(rows))
+		return
+	}
+
+	figName := "Fig. 9"
+	if s.Name == "riscv" {
+		figName = "Fig. 11"
+	}
+	fmt.Printf("%s analog — runtime normalized to the SelectionDAG analog (%s, scale %d)\n\n",
+		figName, s.Name, *scale)
+	norm := harness.Normalized(rows, "selectiondag")
+	var workloads []string
+	for w := range norm {
+		workloads = append(workloads, w)
+	}
+	sort.Strings(workloads)
+	backends := []string{"selectiondag", "globalisel", "fastisel", "synth"}
+	fmt.Printf("%-16s", "")
+	for _, bk := range backends {
+		if _, ok := norm[workloads[0]][bk]; ok {
+			fmt.Printf(" %12s", bk)
+		}
+	}
+	fmt.Println()
+	for _, w := range workloads {
+		fmt.Printf("%-16s", w)
+		for _, bk := range backends {
+			if v, ok := norm[w][bk]; ok {
+				fmt.Printf(" %12.4f", v)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-16s", "geomean")
+	for _, bk := range backends {
+		if g := harness.GeoMean(norm, bk); g > 0 {
+			fmt.Printf(" %12.4f", g)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,106 @@
+// Command iseldump inspects the synthesis machinery: instruction
+// semantics as derived from the spec DSL, canonical forms of terms, the
+// pattern corpus, and selected machine code for a workload.
+//
+// Usage:
+//
+//	iseldump -target aarch64 -inst ADDXrs_lsl      # effect terms
+//	iseldump -target aarch64 -canon ADDXrs_lsl     # canonical form
+//	iseldump -target riscv -corpus 30              # top corpus patterns
+//	iseldump -target aarch64 -mir x264_sad         # selected machine code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iselgen/internal/bench"
+	"iselgen/internal/canon"
+	"iselgen/internal/harness"
+	"iselgen/internal/isa"
+	"iselgen/internal/isel"
+)
+
+func main() {
+	target := flag.String("target", "aarch64", "target: aarch64 or riscv")
+	instName := flag.String("inst", "", "print the effect terms of an instruction")
+	canonName := flag.String("canon", "", "print the canonical form of an instruction's effects")
+	corpus := flag.Int("corpus", 0, "print the top N corpus patterns")
+	mirOf := flag.String("mir", "", "print the handwritten backend's machine code for a workload")
+	flag.Parse()
+
+	var s *harness.Setup
+	var err error
+	switch *target {
+	case "aarch64":
+		s, err = harness.NewAArch64()
+	case "riscv":
+		s, err = harness.NewRISCV()
+	default:
+		err = fmt.Errorf("unknown target %q", *target)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *instName != "":
+		inst := mustInst(s, *instName)
+		fmt.Printf("%s (%d operands, latency %d):\n", inst.Name, len(inst.Operands), inst.Latency)
+		for _, op := range inst.Operands {
+			fmt.Printf("  operand %s: %s%d\n", op.Name, op.Kind, op.Width)
+		}
+		for _, e := range inst.Effects {
+			fmt.Printf("  %s effect: %s\n", e.Kind, e.T)
+		}
+
+	case *canonName != "":
+		inst := mustInst(s, *canonName)
+		cx := canon.NewCtx()
+		for _, e := range inst.Effects {
+			fmt.Printf("%s %s effect:\n  raw:   %s\n  canon: %s\n",
+				inst.Name, e.Kind, e.T, cx.Canon(e.T))
+		}
+
+	case *corpus > 0:
+		for i, p := range harness.CorpusPatterns(s.Name, *corpus) {
+			if i >= *corpus {
+				break
+			}
+			fmt.Printf("%3d  %s\n", i+1, p)
+		}
+
+	case *mirOf != "":
+		for _, w := range bench.Suite(1) {
+			if w.Name != *mirOf {
+				continue
+			}
+			f := w.Build()
+			isel.Prepare(f, s.Name)
+			mf, rep := s.Handwritten.Select(f)
+			if rep.Fallback {
+				fatal(fmt.Errorf("fallback: %s", rep.FallbackReason))
+			}
+			fmt.Print(mf)
+			return
+		}
+		fatal(fmt.Errorf("unknown workload %q", *mirOf))
+
+	default:
+		flag.Usage()
+	}
+}
+
+func mustInst(s *harness.Setup, name string) *isa.Instruction {
+	inst := s.ISA.ByName(name)
+	if inst == nil {
+		fatal(fmt.Errorf("unknown instruction %q", name))
+	}
+	return inst
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iseldump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command iselgen synthesizes an instruction selection rule library for
+// a target from its formal ISA specification — the paper's main
+// pipeline. It prints the Table-II-style synthesis breakdown and can
+// emit the generated rules in the TableGen-flavoured format of Listing 1.
+//
+// Usage:
+//
+//	iselgen -target aarch64|riscv|x86 [-rules out.td] [-inputs N]
+//	        [-patterns N] [-workers N] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"iselgen/internal/core"
+	"iselgen/internal/harness"
+	"iselgen/internal/isa/x86"
+	"iselgen/internal/isel"
+	"iselgen/internal/pattern"
+	"iselgen/internal/rules"
+	"iselgen/internal/term"
+)
+
+func main() {
+	target := flag.String("target", "aarch64", "target: aarch64, riscv, or x86")
+	rulesOut := flag.String("rules", "", "write the loadable rule library to this file")
+	tdOut := flag.String("td", "", "write the TableGen-style rule listing to this file")
+	inputs := flag.Int("inputs", 0, "test inputs per sequence (0 = default)")
+	maxPatterns := flag.Int("patterns", 0, "limit considered patterns (0 = all)")
+	workers := flag.Int("workers", 0, "matcher threads (0 = default)")
+	summary := flag.Bool("summary", false, "print the library composition summary")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *inputs > 0 {
+		cfg.TestInputs = *inputs
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	var lib *rules.Library
+	var tableII string
+	t0 := time.Now()
+	switch *target {
+	case "aarch64", "riscv":
+		var s *harness.Setup
+		var err error
+		if *target == "aarch64" {
+			s, err = harness.NewAArch64()
+		} else {
+			s, err = harness.NewRISCV()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		lib = s.Synthesize(cfg, *maxPatterns)
+		tableII = s.TableII(lib)
+	case "x86":
+		b := term.NewBuilder()
+		tgt, err := x86.Load(b)
+		if err != nil {
+			fatal(err)
+		}
+		synth := core.New(b, tgt, cfg)
+		synth.BuildPool()
+		lib = rules.NewLibrary("x86")
+		pats := x86Patterns(*maxPatterns)
+		synth.Synthesize(pats, lib)
+		tableII = fmt.Sprintf("x86: %d sequences, %d rules (index %d, smt %d)\n",
+			synth.Stats.Sequences, lib.Len(), synth.Stats.IndexRules, synth.Stats.SMTRules)
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+
+	fmt.Printf("synthesized %d rules for %s in %v\n\n", lib.Len(), *target,
+		time.Since(t0).Round(time.Millisecond))
+	fmt.Println(tableII)
+
+	if *summary {
+		st := lib.Summarize()
+		fmt.Printf("by source: %v\nby sequence length: %v\nby pattern size: %v\nrules with immediate constraints: %d\n",
+			st.BySource, st.BySeqLen, st.ByPatternSize, st.RulesWithImmCs)
+	}
+	if *rulesOut != "" {
+		if err := os.WriteFile(*rulesOut, []byte(isel.SaveLibrary(lib)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote loadable rule library to %s\n", *rulesOut)
+	}
+	if *tdOut != "" {
+		if err := os.WriteFile(*tdOut, []byte(lib.Emit()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote TableGen-style listing to %s\n", *tdOut)
+	}
+}
+
+// x86Patterns builds the 32-bit pattern set for the §IX discussion
+// experiment (the comparator's simplified spec has no multiplication and
+// no 64-bit arithmetic).
+func x86Patterns(max int) []*pattern.Pattern {
+	var out []*pattern.Pattern
+	for _, p := range harness.SeedPatterns() {
+		if p.Root.Ty.Bits == 32 || (p.Root.Op != 0 && p.Root.Ty.Bits == 0) {
+			out = append(out, p)
+		}
+	}
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iselgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module iselgen
+
+go 1.22

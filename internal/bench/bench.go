@@ -1,0 +1,714 @@
+// Package bench defines the reproduction's stand-in for the SPEC CPU
+// 2017 Integer suite (paper §VIII): nine integer kernels, one per SPEC
+// benchmark, each mirroring the computational character of its
+// namesake. They are written directly in gMIR (the form LLVM's middle
+// end would hand to the instruction selector), executed for correctness
+// against the gMIR interpreter, and for "runtime" on the machine
+// simulator.
+//
+// All kernels compute over s64 values with sized loads/stores, the shape
+// RV64 and AArch64 code actually has after legalization. Every kernel
+// returns a checksum so that all backends can be validated to produce
+// identical results (DESIGN.md invariant #7).
+package bench
+
+import (
+	"iselgen/internal/bv"
+	"iselgen/internal/gmir"
+)
+
+// Workload is one benchmark.
+type Workload struct {
+	Name string
+	// Build constructs a fresh gMIR function (selection mutates blocks,
+	// so each backend gets its own copy).
+	Build func() *gmir.Function
+	// Args are the run arguments.
+	Args []bv.BV
+	// InitMem seeds memory before a run.
+	InitMem func(m *gmir.Memory)
+}
+
+// Suite returns the nine SPEC-analog workloads. scale stretches the
+// iteration counts (1 = quick test, 10+ = benchmark runs).
+func Suite(scale int) []Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	n := uint64(scale)
+	return []Workload{
+		{
+			// 600.perlbench: interpreter whose hottest loops hash strings.
+			Name:    "perlbench_hash",
+			Build:   buildPerlHash,
+			Args:    []bv.BV{bv.New(64, 0x1000), bv.New(64, 512), bv.New(64, 40*n)},
+			InitMem: seedBytes(0x1000, 512, 7),
+		},
+		{
+			// 602.gcc: bytecode/expression evaluation with heavy branching
+			// and bit manipulation.
+			Name:    "gcc_eval",
+			Build:   buildGccEval,
+			Args:    []bv.BV{bv.New(64, 0x1000), bv.New(64, 256), bv.New(64, 60*n)},
+			InitMem: seedBytes(0x1000, 256, 13),
+		},
+		{
+			// 605.mcf: network simplex — pointer-light array graph
+			// relaxation with compares and selects.
+			Name:    "mcf_relax",
+			Build:   buildMcfRelax,
+			Args:    []bv.BV{bv.New(64, 0x4000), bv.New(64, 0x8000), bv.New(64, 128), bv.New(64, 25*n)},
+			InitMem: seedGraph,
+		},
+		{
+			// 620.omnetpp: discrete-event simulation on a binary heap.
+			Name:    "omnetpp_heap",
+			Build:   buildHeapSim,
+			Args:    []bv.BV{bv.New(64, 0x4000), bv.New(64, 200*n)},
+			InitMem: nil,
+		},
+		{
+			// 623.xalancbmk: tree traversal and dispatch.
+			Name:    "xalancbmk_tree",
+			Build:   buildTreeWalk,
+			Args:    []bv.BV{bv.New(64, 0x4000), bv.New(64, 127), bv.New(64, 60*n)},
+			InitMem: seedTree,
+		},
+		{
+			// 625.x264: sum of absolute differences over pixel rows.
+			Name:    "x264_sad",
+			Build:   buildSAD,
+			Args:    []bv.BV{bv.New(64, 0x1000), bv.New(64, 0x2000), bv.New(64, 256), bv.New(64, 30*n)},
+			InitMem: seedPixels,
+		},
+		{
+			// 631.deepsjeng: bitboard move generation — shifts, masks,
+			// bit counting via twiddling.
+			Name:    "deepsjeng_bits",
+			Build:   buildBitboard,
+			Args:    []bv.BV{bv.New(64, 0x9e3779b97f4a7c15), bv.New(64, 120*n)},
+			InitMem: nil,
+		},
+		{
+			// 641.leela: MCTS scoring — the select/compare-heavy shape of
+			// the paper's Fig. 10 discussion.
+			Name:    "leela_score",
+			Build:   buildLeelaScore,
+			Args:    []bv.BV{bv.New(64, 0x4000), bv.New(64, 64), bv.New(64, 50*n)},
+			InitMem: seedScores,
+		},
+		{
+			// 657.xz: LZ match finding and accumulation.
+			Name:    "xz_match",
+			Build:   buildXzMatch,
+			Args:    []bv.BV{bv.New(64, 0x1000), bv.New(64, 768), bv.New(64, 25*n)},
+			InitMem: seedBytes(0x1000, 768, 31),
+		},
+	}
+}
+
+func seedBytes(base uint64, n int, mul uint64) func(*gmir.Memory) {
+	return func(m *gmir.Memory) {
+		x := uint64(0x243f6a8885a308d3)
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + mul
+			m.Store(base+uint64(i), bv.New(8, x>>56), 8)
+		}
+	}
+}
+
+func seedGraph(m *gmir.Memory) {
+	// dist[i] at 0x4000 (8 bytes each); edges (src,dst,w) triples of
+	// 8 bytes at 0x8000.
+	x := uint64(12345)
+	for i := 0; i < 128; i++ {
+		m.Store(0x4000+uint64(i*8), bv.New(64, 1<<30), 64)
+	}
+	m.Store(0x4000, bv.Zero(64), 64)
+	for e := 0; e < 256; e++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		src := (x >> 33) % 128
+		x = x*6364136223846793005 + 1442695040888963407
+		dst := (x >> 33) % 128
+		x = x*6364136223846793005 + 1442695040888963407
+		wgt := (x >> 50) + 1
+		m.Store(0x8000+uint64(e*24), bv.New(64, src), 64)
+		m.Store(0x8000+uint64(e*24+8), bv.New(64, dst), 64)
+		m.Store(0x8000+uint64(e*24+16), bv.New(64, wgt), 64)
+	}
+}
+
+func seedTree(m *gmir.Memory) {
+	// Implicit binary tree: node i holds a key at 0x4000+16i and a tag
+	// at +8.
+	x := uint64(777)
+	for i := 0; i < 127; i++ {
+		x = x*2862933555777941757 + 3037000493
+		m.Store(0x4000+uint64(i*16), bv.New(64, x>>16), 64)
+		m.Store(0x4000+uint64(i*16+8), bv.New(64, x%5), 64)
+	}
+}
+
+func seedPixels(m *gmir.Memory) {
+	x := uint64(99)
+	for i := 0; i < 256; i++ {
+		x = x*6364136223846793005 + 7
+		m.Store(0x1000+uint64(i), bv.New(8, x>>40), 8)
+		x = x*6364136223846793005 + 11
+		m.Store(0x2000+uint64(i), bv.New(8, x>>40), 8)
+	}
+}
+
+func seedScores(m *gmir.Memory) {
+	// visits and wins arrays of 64 entries.
+	x := uint64(31337)
+	for i := 0; i < 64; i++ {
+		x = x*6364136223846793005 + 5
+		m.Store(0x4000+uint64(i*8), bv.New(64, x>>48|1), 64)
+		x = x*6364136223846793005 + 9
+		m.Store(0x4200+uint64(i*8), bv.New(64, (x>>50)%((x>>48|1)+1)), 64)
+	}
+}
+
+// --- kernels ---
+
+// buildPerlHash: FNV-style rolling hash over a byte buffer, re-hashed
+// `iters` times with the previous hash as seed, plus a table probe.
+func buildPerlHash() *gmir.Function {
+	fb := gmir.NewFunc("perlbench_hash")
+	buf := fb.Param(gmir.P0)
+	length := fb.Param(gmir.S64)
+	iters := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	outer := fb.NewBlock()
+	inner := fb.NewBlock()
+	innerEnd := fb.NewBlock()
+	outerEnd := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	seed := fb.Const(gmir.S64, 0xcbf29ce484222325)
+	fb.Br(outer)
+
+	fb.SetBlock(outer)
+	it := fb.Phi(gmir.S64, zero, entry)
+	hash := fb.Phi(gmir.S64, seed, entry)
+	fb.Br(inner)
+
+	fb.SetBlock(inner)
+	i := fb.Phi(gmir.S64, zero, outer)
+	h := fb.Phi(gmir.S64, hash, outer)
+	p := fb.PtrAdd(buf, i)
+	c := fb.Load(gmir.S64, p, 8)
+	hx := fb.Xor(h, c)
+	prime := fb.Const(gmir.S64, 0x100000001b3)
+	h2 := fb.Mul(hx, prime)
+	// Mix: h2 ^= h2 >> 29.
+	sh := fb.LShr(h2, fb.Const(gmir.S64, 29))
+	h3 := fb.Xor(h2, sh)
+	i2 := fb.Add(i, fb.Const(gmir.S64, 1))
+	fb.AddPhiIncoming(i, i2, inner)
+	fb.AddPhiIncoming(h, h3, inner)
+	done := fb.ICmp(gmir.PredUGE, i2, length)
+	fb.BrCond(done, innerEnd, inner)
+
+	fb.SetBlock(innerEnd)
+	// Probe: fold the hash into a bucket and mix with its index.
+	bucket := fb.And(h3, fb.Const(gmir.S64, 63))
+	mixed := fb.Add(h3, fb.Shl(bucket, fb.Const(gmir.S64, 4)))
+	it2 := fb.Add(it, fb.Const(gmir.S64, 1))
+	fb.AddPhiIncoming(it, it2, innerEnd)
+	fb.AddPhiIncoming(hash, mixed, innerEnd)
+	odone := fb.ICmp(gmir.PredUGE, it2, iters)
+	fb.BrCond(odone, outerEnd, outer)
+
+	fb.SetBlock(outerEnd)
+	fb.Br(exit)
+	fb.SetBlock(exit)
+	res := fb.Phi(gmir.S64, mixed, outerEnd)
+	fb.Ret(res)
+	return fb.MustFinish()
+}
+
+// buildGccEval: interpret a buffer of opcode bytes over an accumulator —
+// branchy dispatch like a compiler's folding loops.
+func buildGccEval() *gmir.Function {
+	fb := gmir.NewFunc("gcc_eval")
+	code := fb.Param(gmir.P0)
+	length := fb.Param(gmir.S64)
+	rounds := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	outer := fb.NewBlock()
+	loop := fb.NewBlock()
+	caseAdd := fb.NewBlock()
+	caseXor := fb.NewBlock()
+	caseShift := fb.NewBlock()
+	join := fb.NewBlock()
+	loopEnd := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	one := fb.Const(gmir.S64, 1)
+	accInit := fb.Const(gmir.S64, 0x1234)
+	fb.Br(outer)
+
+	fb.SetBlock(outer)
+	r := fb.Phi(gmir.S64, zero, entry)
+	acc0 := fb.Phi(gmir.S64, accInit, entry)
+	fb.Br(loop)
+
+	fb.SetBlock(loop)
+	i := fb.Phi(gmir.S64, zero, outer)
+	acc := fb.Phi(gmir.S64, acc0, outer)
+	opb := fb.Load(gmir.S64, fb.PtrAdd(code, i), 8)
+	kind := fb.And(opb, fb.Const(gmir.S64, 3))
+	isAdd := fb.ICmp(gmir.PredEQ, kind, zero)
+	fb.BrCond(isAdd, caseAdd, caseXor)
+
+	fb.SetBlock(caseAdd)
+	aAdd := fb.Add(acc, opb)
+	fb.Br(join)
+
+	fb.SetBlock(caseXor)
+	isXor := fb.ICmp(gmir.PredEQ, kind, one)
+	fb.BrCond(isXor, caseShift, join) // fallthrough join uses acc below
+
+	fb.SetBlock(caseShift)
+	amt := fb.And(opb, fb.Const(gmir.S64, 31))
+	aShift := fb.Xor(acc, fb.Shl(acc, amt))
+	fb.Br(join)
+
+	fb.SetBlock(join)
+	av := fb.Phi(gmir.S64, aAdd, caseAdd, acc, caseXor, aShift, caseShift)
+	mixed := fb.Add(fb.Mul(av, fb.Const(gmir.S64, 0x9e37)), fb.LShr(av, fb.Const(gmir.S64, 17)))
+	i2 := fb.Add(i, one)
+	fb.AddPhiIncoming(i, i2, join)
+	fb.AddPhiIncoming(acc, mixed, join)
+	done := fb.ICmp(gmir.PredUGE, i2, length)
+	fb.BrCond(done, loopEnd, loop)
+
+	fb.SetBlock(loopEnd)
+	r2 := fb.Add(r, one)
+	fb.AddPhiIncoming(r, r2, loopEnd)
+	fb.AddPhiIncoming(acc0, mixed, loopEnd)
+	rdone := fb.ICmp(gmir.PredUGE, r2, rounds)
+	fb.BrCond(rdone, exit, outer)
+
+	fb.SetBlock(exit)
+	fb.Ret(mixed)
+	return fb.MustFinish()
+}
+
+// buildMcfRelax: Bellman-Ford-style edge relaxation over (src, dst, w)
+// triples, with a select for the min.
+func buildMcfRelax() *gmir.Function {
+	fb := gmir.NewFunc("mcf_relax")
+	dist := fb.Param(gmir.P0)
+	edges := fb.Param(gmir.P0)
+	nEdges := fb.Param(gmir.S64)
+	rounds := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	outer := fb.NewBlock()
+	loop := fb.NewBlock()
+	loopEnd := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	one := fb.Const(gmir.S64, 1)
+	fb.Br(outer)
+
+	fb.SetBlock(outer)
+	r := fb.Phi(gmir.S64, zero, entry)
+	fb.Br(loop)
+
+	fb.SetBlock(loop)
+	e := fb.Phi(gmir.S64, zero, outer)
+	base := fb.PtrAdd(edges, fb.Mul(e, fb.Const(gmir.S64, 24)))
+	src := fb.Load(gmir.S64, base, 64)
+	dst := fb.Load(gmir.S64, fb.PtrAdd(base, fb.Const(gmir.S64, 8)), 64)
+	wgt := fb.Load(gmir.S64, fb.PtrAdd(base, fb.Const(gmir.S64, 16)), 64)
+	sp := fb.PtrAdd(dist, fb.Shl(src, fb.Const(gmir.S64, 3)))
+	dp := fb.PtrAdd(dist, fb.Shl(dst, fb.Const(gmir.S64, 3)))
+	ds := fb.Load(gmir.S64, sp, 64)
+	dd := fb.Load(gmir.S64, dp, 64)
+	cand := fb.Add(ds, wgt)
+	better := fb.ICmp(gmir.PredULT, cand, dd)
+	newd := fb.Select(better, cand, dd)
+	fb.Store(newd, dp, 64)
+	e2 := fb.Add(e, one)
+	fb.AddPhiIncoming(e, e2, loop)
+	done := fb.ICmp(gmir.PredUGE, e2, nEdges)
+	fb.BrCond(done, loopEnd, loop)
+
+	fb.SetBlock(loopEnd)
+	r2 := fb.Add(r, one)
+	fb.AddPhiIncoming(r, r2, loopEnd)
+	rdone := fb.ICmp(gmir.PredUGE, r2, rounds)
+	fb.BrCond(rdone, exit, outer)
+
+	fb.SetBlock(exit)
+	// Checksum: xor of a few distances.
+	d0 := fb.Load(gmir.S64, fb.PtrAdd(dist, fb.Const(gmir.S64, 8*17)), 64)
+	d1 := fb.Load(gmir.S64, fb.PtrAdd(dist, fb.Const(gmir.S64, 8*63)), 64)
+	d2 := fb.Load(gmir.S64, fb.PtrAdd(dist, fb.Const(gmir.S64, 8*101)), 64)
+	fb.Ret(fb.Xor(fb.Xor(d0, d1), d2))
+	return fb.MustFinish()
+}
+
+// buildHeapSim: push pseudo-random events into an array binary heap and
+// pop the minimum, repeatedly (sift-down dominated).
+func buildHeapSim() *gmir.Function {
+	fb := gmir.NewFunc("omnetpp_heap")
+	heap := fb.Param(gmir.P0)
+	events := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	push := fb.NewBlock()
+	sift := fb.NewBlock()
+	siftBody := fb.NewBlock()
+	siftSwap := fb.NewBlock()
+	next := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	one := fb.Const(gmir.S64, 1)
+	rngInit := fb.Const(gmir.S64, 0x2545f4914f6cdd1d)
+	fb.Br(push)
+
+	// push: heap[n] = rng; sift up.
+	fb.SetBlock(push)
+	n := fb.Phi(gmir.S64, zero, entry)
+	rng := fb.Phi(gmir.S64, rngInit, entry)
+	chk := fb.Phi(gmir.S64, zero, entry)
+	// xorshift.
+	x1 := fb.Xor(rng, fb.Shl(rng, fb.Const(gmir.S64, 13)))
+	x2 := fb.Xor(x1, fb.LShr(x1, fb.Const(gmir.S64, 7)))
+	x3 := fb.Xor(x2, fb.Shl(x2, fb.Const(gmir.S64, 17)))
+	slot := fb.PtrAdd(heap, fb.Shl(n, fb.Const(gmir.S64, 3)))
+	key := fb.And(x3, fb.Const(gmir.S64, 0xffff))
+	fb.Store(key, slot, 64)
+	fb.Br(sift)
+
+	// sift up from position n.
+	fb.SetBlock(sift)
+	pos := fb.Phi(gmir.S64, n, push)
+	atTop := fb.ICmp(gmir.PredEQ, pos, zero)
+	fb.BrCond(atTop, next, siftBody)
+
+	fb.SetBlock(siftBody)
+	parent := fb.LShr(fb.Sub(pos, one), one)
+	pp := fb.PtrAdd(heap, fb.Shl(parent, fb.Const(gmir.S64, 3)))
+	cp := fb.PtrAdd(heap, fb.Shl(pos, fb.Const(gmir.S64, 3)))
+	pv := fb.Load(gmir.S64, pp, 64)
+	cv := fb.Load(gmir.S64, cp, 64)
+	smaller := fb.ICmp(gmir.PredULT, cv, pv)
+	fb.BrCond(smaller, siftSwap, next)
+
+	fb.SetBlock(siftSwap)
+	fb.Store(cv, pp, 64)
+	fb.Store(pv, cp, 64)
+	fb.AddPhiIncoming(pos, parent, siftSwap)
+	fb.Br(sift)
+
+	fb.SetBlock(next)
+	top := fb.Load(gmir.S64, heap, 64)
+	chk2 := fb.Add(fb.Mul(chk, fb.Const(gmir.S64, 31)), top)
+	n2 := fb.Add(n, one)
+	fb.AddPhiIncoming(n, n2, next)
+	fb.AddPhiIncoming(rng, x3, next)
+	fb.AddPhiIncoming(chk, chk2, next)
+	done := fb.ICmp(gmir.PredUGE, n2, events)
+	fb.BrCond(done, exit, push)
+
+	fb.SetBlock(exit)
+	fb.Ret(chk2)
+	return fb.MustFinish()
+}
+
+// buildTreeWalk: walk an implicit binary tree by key comparisons,
+// accumulating tag dispatch counts.
+func buildTreeWalk() *gmir.Function {
+	fb := gmir.NewFunc("xalancbmk_tree")
+	nodes := fb.Param(gmir.P0)
+	count := fb.Param(gmir.S64)
+	probes := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	outer := fb.NewBlock()
+	walk := fb.NewBlock()
+	step := fb.NewBlock()
+	walkEnd := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	one := fb.Const(gmir.S64, 1)
+	fb.Br(outer)
+
+	fb.SetBlock(outer)
+	q := fb.Phi(gmir.S64, zero, entry)
+	acc := fb.Phi(gmir.S64, zero, entry)
+	// Probe key derived from q.
+	pk := fb.Mul(q, fb.Const(gmir.S64, 0x9e3779b97f4a7c15))
+	fb.Br(walk)
+
+	fb.SetBlock(walk)
+	idx := fb.Phi(gmir.S64, zero, outer)
+	a := fb.Phi(gmir.S64, acc, outer)
+	inTree := fb.ICmp(gmir.PredULT, idx, count)
+	fb.BrCond(inTree, step, walkEnd)
+
+	fb.SetBlock(step)
+	np := fb.PtrAdd(nodes, fb.Shl(idx, fb.Const(gmir.S64, 4)))
+	key := fb.Load(gmir.S64, np, 64)
+	tag := fb.Load(gmir.S64, fb.PtrAdd(np, fb.Const(gmir.S64, 8)), 64)
+	a2 := fb.Add(a, fb.Shl(tag, fb.And(idx, fb.Const(gmir.S64, 7))))
+	goLeft := fb.ICmp(gmir.PredULT, pk, key)
+	l := fb.Add(fb.Shl(idx, one), one)
+	rr := fb.Add(fb.Shl(idx, one), fb.Const(gmir.S64, 2))
+	nxt := fb.Select(goLeft, l, rr)
+	fb.AddPhiIncoming(idx, nxt, step)
+	fb.AddPhiIncoming(a, a2, step)
+	fb.Br(walk)
+
+	fb.SetBlock(walkEnd)
+	q2 := fb.Add(q, one)
+	fb.AddPhiIncoming(q, q2, walkEnd)
+	fb.AddPhiIncoming(acc, a, walkEnd)
+	done := fb.ICmp(gmir.PredUGE, q2, probes)
+	fb.BrCond(done, exit, outer)
+
+	fb.SetBlock(exit)
+	fb.Ret(a)
+	return fb.MustFinish()
+}
+
+// buildSAD: sum of absolute differences over byte rows with clipping —
+// x264's hottest kernel shape.
+func buildSAD() *gmir.Function {
+	fb := gmir.NewFunc("x264_sad")
+	pa := fb.Param(gmir.P0)
+	pb := fb.Param(gmir.P0)
+	length := fb.Param(gmir.S64)
+	rounds := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	outer := fb.NewBlock()
+	loop := fb.NewBlock()
+	loopEnd := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	one := fb.Const(gmir.S64, 1)
+	fb.Br(outer)
+
+	fb.SetBlock(outer)
+	r := fb.Phi(gmir.S64, zero, entry)
+	total := fb.Phi(gmir.S64, zero, entry)
+	fb.Br(loop)
+
+	fb.SetBlock(loop)
+	i := fb.Phi(gmir.S64, zero, outer)
+	sad := fb.Phi(gmir.S64, zero, outer)
+	va := fb.Load(gmir.S64, fb.PtrAdd(pa, i), 8)
+	vb := fb.Load(gmir.S64, fb.PtrAdd(pb, i), 8)
+	diff := fb.Sub(va, vb)
+	ad := fb.Abs(diff)
+	sad2 := fb.Add(sad, ad)
+	i2 := fb.Add(i, one)
+	fb.AddPhiIncoming(i, i2, loop)
+	fb.AddPhiIncoming(sad, sad2, loop)
+	done := fb.ICmp(gmir.PredUGE, i2, length)
+	fb.BrCond(done, loopEnd, loop)
+
+	fb.SetBlock(loopEnd)
+	// Clip the row SAD to 16 bits and accumulate.
+	clipped := fb.UMin(sad2, fb.Const(gmir.S64, 0xffff))
+	t2 := fb.Add(fb.Mul(total, fb.Const(gmir.S64, 33)), clipped)
+	r2 := fb.Add(r, one)
+	fb.AddPhiIncoming(r, r2, loopEnd)
+	fb.AddPhiIncoming(total, t2, loopEnd)
+	rdone := fb.ICmp(gmir.PredUGE, r2, rounds)
+	fb.BrCond(rdone, exit, outer)
+
+	fb.SetBlock(exit)
+	fb.Ret(t2)
+	return fb.MustFinish()
+}
+
+// buildBitboard: bitboard sweeps — shifted masks, bit extraction, and a
+// twiddling popcount (compilers expand CTPOP on targets without it).
+func buildBitboard() *gmir.Function {
+	fb := gmir.NewFunc("deepsjeng_bits")
+	seed := fb.Param(gmir.S64)
+	iters := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	loop := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	one := fb.Const(gmir.S64, 1)
+	fb.Br(loop)
+
+	fb.SetBlock(loop)
+	i := fb.Phi(gmir.S64, zero, entry)
+	bbd := fb.Phi(gmir.S64, seed, entry)
+	acc := fb.Phi(gmir.S64, zero, entry)
+	// Knight-attack-like spread: shifted copies with file masks.
+	notA := fb.Const(gmir.S64, 0xfefefefefefefefe)
+	notH := fb.Const(gmir.S64, 0x7f7f7f7f7f7f7f7f)
+	e1 := fb.And(fb.Shl(bbd, one), notA)
+	w1 := fb.And(fb.LShr(bbd, one), notH)
+	n8 := fb.Shl(bbd, fb.Const(gmir.S64, 8))
+	s8 := fb.LShr(bbd, fb.Const(gmir.S64, 8))
+	spread := fb.Or(fb.Or(e1, w1), fb.Or(n8, s8))
+	// Twiddling popcount of the spread.
+	m1 := fb.Const(gmir.S64, 0x5555555555555555)
+	m2 := fb.Const(gmir.S64, 0x3333333333333333)
+	m4 := fb.Const(gmir.S64, 0x0f0f0f0f0f0f0f0f)
+	h01 := fb.Const(gmir.S64, 0x0101010101010101)
+	v1 := fb.Sub(spread, fb.And(fb.LShr(spread, one), m1))
+	v2 := fb.Add(fb.And(v1, m2), fb.And(fb.LShr(v1, fb.Const(gmir.S64, 2)), m2))
+	v3 := fb.And(fb.Add(v2, fb.LShr(v2, fb.Const(gmir.S64, 4))), m4)
+	pc := fb.LShr(fb.Mul(v3, h01), fb.Const(gmir.S64, 56))
+	// LSB extraction: bbd & -bbd, then clear.
+	lsb := fb.And(bbd, fb.Sub(zero, bbd))
+	cleared := fb.Xor(bbd, lsb)
+	next := fb.Add(fb.Mul(cleared, fb.Const(gmir.S64, 6364136223846793005)), fb.Const(gmir.S64, 0xb))
+	acc2 := fb.Add(fb.Xor(acc, spread), pc)
+	i2 := fb.Add(i, one)
+	fb.AddPhiIncoming(i, i2, loop)
+	fb.AddPhiIncoming(bbd, next, loop)
+	fb.AddPhiIncoming(acc, acc2, loop)
+	done := fb.ICmp(gmir.PredUGE, i2, iters)
+	fb.BrCond(done, exit, loop)
+
+	fb.SetBlock(exit)
+	fb.Ret(acc2)
+	return fb.MustFinish()
+}
+
+// buildLeelaScore: UCT-style child scoring with the zext(select(icmp))
+// pattern of the paper's Fig. 10, plus integer division.
+func buildLeelaScore() *gmir.Function {
+	fb := gmir.NewFunc("leela_score")
+	tbl := fb.Param(gmir.P0)
+	nodes := fb.Param(gmir.S64)
+	rounds := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	outer := fb.NewBlock()
+	loop := fb.NewBlock()
+	loopEnd := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	one := fb.Const(gmir.S64, 1)
+	fb.Br(outer)
+
+	fb.SetBlock(outer)
+	r := fb.Phi(gmir.S64, zero, entry)
+	bestAcc := fb.Phi(gmir.S64, zero, entry)
+	fb.Br(loop)
+
+	fb.SetBlock(loop)
+	i := fb.Phi(gmir.S64, zero, outer)
+	best := fb.Phi(gmir.S64, zero, outer)
+	besti := fb.Phi(gmir.S64, zero, outer)
+	vp := fb.PtrAdd(tbl, fb.Shl(i, fb.Const(gmir.S64, 3)))
+	visits := fb.Load(gmir.S64, vp, 64)
+	wp := fb.PtrAdd(vp, fb.Const(gmir.S64, 0x200))
+	wins := fb.Load(gmir.S64, wp, 64)
+	// score = (wins<<16)/(visits+1) + explore bonus
+	num := fb.Shl(wins, fb.Const(gmir.S64, 16))
+	den := fb.Add(visits, one)
+	q := fb.UDiv(num, den)
+	bonus := fb.LShr(fb.Const(gmir.S64, 1<<20), fb.UMin(visits, fb.Const(gmir.S64, 18)))
+	score := fb.Add(q, bonus)
+	// Fig. 10 shape: cmp + select + zext of the comparison.
+	isB := fb.ICmp(gmir.PredUGT, score, best)
+	nb := fb.Select(isB, score, best)
+	flag := fb.ZExt(gmir.S64, isB)
+	ni := fb.Select(fb.ICmp(gmir.PredNE, flag, zero), i, besti)
+	i2 := fb.Add(i, one)
+	fb.AddPhiIncoming(i, i2, loop)
+	fb.AddPhiIncoming(best, nb, loop)
+	fb.AddPhiIncoming(besti, ni, loop)
+	done := fb.ICmp(gmir.PredUGE, i2, nodes)
+	fb.BrCond(done, loopEnd, loop)
+
+	fb.SetBlock(loopEnd)
+	// Record a visit for the winner (read-modify-write).
+	bp := fb.PtrAdd(tbl, fb.Shl(ni, fb.Const(gmir.S64, 3)))
+	bvv := fb.Load(gmir.S64, bp, 64)
+	fb.Store(fb.Add(bvv, one), bp, 64)
+	acc2 := fb.Add(fb.Mul(bestAcc, fb.Const(gmir.S64, 1000003)), fb.Xor(nb, ni))
+	r2 := fb.Add(r, one)
+	fb.AddPhiIncoming(r, r2, loopEnd)
+	fb.AddPhiIncoming(bestAcc, acc2, loopEnd)
+	rdone := fb.ICmp(gmir.PredUGE, r2, rounds)
+	fb.BrCond(rdone, exit, outer)
+
+	fb.SetBlock(exit)
+	fb.Ret(acc2)
+	return fb.MustFinish()
+}
+
+// buildXzMatch: LZ77 match-length scanning between two windows of a
+// buffer plus a carry-select accumulation, like xz's match finder.
+func buildXzMatch() *gmir.Function {
+	fb := gmir.NewFunc("xz_match")
+	buf := fb.Param(gmir.P0)
+	length := fb.Param(gmir.S64)
+	rounds := fb.Param(gmir.S64)
+
+	entry := fb.Block()
+	outer := fb.NewBlock()
+	scan := fb.NewBlock()
+	scanBody := fb.NewBlock()
+	scanEnd := fb.NewBlock()
+	exit := fb.NewBlock()
+
+	zero := fb.Const(gmir.S64, 0)
+	one := fb.Const(gmir.S64, 1)
+	fb.Br(outer)
+
+	fb.SetBlock(outer)
+	r := fb.Phi(gmir.S64, zero, entry)
+	acc := fb.Phi(gmir.S64, zero, entry)
+	// Candidate distance cycles with the round.
+	distRaw := fb.And(fb.Mul(r, fb.Const(gmir.S64, 37)), fb.Const(gmir.S64, 255))
+	dist := fb.Add(distRaw, one)
+	fb.Br(scan)
+
+	fb.SetBlock(scan)
+	i := fb.Phi(gmir.S64, dist, outer)
+	mlen := fb.Phi(gmir.S64, zero, outer)
+	inRange := fb.ICmp(gmir.PredULT, i, length)
+	fb.BrCond(inRange, scanBody, scanEnd)
+
+	fb.SetBlock(scanBody)
+	cur := fb.Load(gmir.S64, fb.PtrAdd(buf, i), 8)
+	prev := fb.Load(gmir.S64, fb.PtrAdd(buf, fb.Sub(i, dist)), 8)
+	same := fb.ICmp(gmir.PredEQ, cur, prev)
+	ml2 := fb.Add(mlen, fb.ZExt(gmir.S64, same))
+	i2 := fb.Add(i, one)
+	fb.AddPhiIncoming(i, i2, scanBody)
+	fb.AddPhiIncoming(mlen, ml2, scanBody)
+	fb.Br(scan)
+
+	fb.SetBlock(scanEnd)
+	acc2 := fb.Add(fb.Mul(acc, fb.Const(gmir.S64, 131)), mlen)
+	r2 := fb.Add(r, one)
+	fb.AddPhiIncoming(r, r2, scanEnd)
+	fb.AddPhiIncoming(acc, acc2, scanEnd)
+	done := fb.ICmp(gmir.PredUGE, r2, rounds)
+	fb.BrCond(done, exit, outer)
+
+	fb.SetBlock(exit)
+	fb.Ret(acc2)
+	return fb.MustFinish()
+}

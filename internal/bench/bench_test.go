@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"testing"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/gmir"
+	"iselgen/internal/isa"
+	"iselgen/internal/isa/aarch64"
+	"iselgen/internal/isa/riscv"
+	"iselgen/internal/isel"
+	"iselgen/internal/sim"
+	"iselgen/internal/term"
+)
+
+// interpret runs a workload on the reference interpreter.
+func interpret(t *testing.T, w Workload) bv.BV {
+	t.Helper()
+	mem := gmir.NewMemory()
+	if w.InitMem != nil {
+		w.InitMem(mem)
+	}
+	ip := &gmir.Interp{Mem: mem}
+	res, err := ip.Run(w.Build(), w.Args...)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res
+}
+
+func TestWorkloadsRunAndAreDeterministic(t *testing.T) {
+	for _, w := range Suite(1) {
+		r1 := interpret(t, w)
+		r2 := interpret(t, w)
+		if r1 != r2 {
+			t.Errorf("%s: nondeterministic: %v vs %v", w.Name, r1, r2)
+		}
+		if r1.IsZero() {
+			t.Errorf("%s: zero checksum (degenerate kernel?)", w.Name)
+		}
+		t.Logf("%s checksum %v", w.Name, r1)
+	}
+}
+
+func TestWorkloadsScaleChangesWork(t *testing.T) {
+	// Higher scale must execute more instructions.
+	w1 := Suite(1)[0]
+	w3 := Suite(3)[0]
+	mem := gmir.NewMemory()
+	w1.InitMem(mem)
+	ip1 := &gmir.Interp{Mem: mem}
+	if _, err := ip1.Run(w1.Build(), w1.Args...); err != nil {
+		t.Fatal(err)
+	}
+	mem3 := gmir.NewMemory()
+	w3.InitMem(mem3)
+	ip3 := &gmir.Interp{Mem: mem3}
+	if _, err := ip3.Run(w3.Build(), w3.Args...); err != nil {
+		t.Fatal(err)
+	}
+	if ip3.Steps <= ip1.Steps {
+		t.Errorf("scaling did not increase work: %d vs %d", ip1.Steps, ip3.Steps)
+	}
+}
+
+// TestAllBackendsMatchInterpreter is DESIGN.md invariant #7: every
+// backend's generated code computes exactly the interpreter's checksum
+// on every workload.
+func TestAllBackendsMatchInterpreter(t *testing.T) {
+	ab := term.NewBuilder()
+	a64, err := aarch64.Load(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a64Set := isel.NewA64Backends(ab, a64)
+	rb := term.NewBuilder()
+	rv, err := riscv.Load(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rvSet := isel.NewRVBackends(rb, rv)
+
+	backends := []struct {
+		bk  *isel.Backend
+		tgt *isa.Target
+	}{
+		{a64Set.Handwritten, a64}, {a64Set.DAG, a64}, {a64Set.Naive, a64},
+		{rvSet.Handwritten, rv}, {rvSet.DAG, rv},
+	}
+
+	for _, w := range Suite(1) {
+		want := interpret(t, w)
+		for _, be := range backends {
+			f := w.Build()
+			isel.Prepare(f, be.tgt.Name)
+			mf, rep := be.bk.Select(f)
+			if rep.Fallback {
+				t.Errorf("%s/%s: fallback: %s", w.Name, be.bk.Name, rep.FallbackReason)
+				continue
+			}
+			mem := gmir.NewMemory()
+			if w.InitMem != nil {
+				w.InitMem(mem)
+			}
+			m := &sim.Machine{Mem: mem}
+			got, err := m.Run(mf, w.Args)
+			if err != nil {
+				t.Errorf("%s/%s/%s: %v", w.Name, be.tgt.Name, be.bk.Name, err)
+				continue
+			}
+			if sim.Adjust(got.Ret, 64) != want {
+				t.Errorf("%s/%s/%s: checksum %v, want %v",
+					w.Name, be.tgt.Name, be.bk.Name, got.Ret, want)
+			}
+		}
+	}
+}
+
+func TestBackendQualityOrdering(t *testing.T) {
+	// On AArch64 the naive backend must be slower overall than the
+	// handwritten one, and the DAG analog at least as fast as
+	// handwritten (paper Fig. 9 ordering).
+	ab := term.NewBuilder()
+	a64, err := aarch64.Load(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := isel.NewA64Backends(ab, a64)
+	var handCycles, dagCycles, naiveCycles int64
+	for _, w := range Suite(1) {
+		for _, bk := range []*isel.Backend{set.Handwritten, set.DAG, set.Naive} {
+			f := w.Build()
+			isel.Prepare(f, "aarch64")
+			mf, rep := bk.Select(f)
+			if rep.Fallback {
+				t.Fatalf("%s/%s fallback: %s", w.Name, bk.Name, rep.FallbackReason)
+			}
+			mem := gmir.NewMemory()
+			if w.InitMem != nil {
+				w.InitMem(mem)
+			}
+			m := &sim.Machine{Mem: mem}
+			res, err := m.Run(mf, w.Args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch bk {
+			case set.Handwritten:
+				handCycles += res.Cycles
+			case set.DAG:
+				dagCycles += res.Cycles
+			case set.Naive:
+				naiveCycles += res.Cycles
+			}
+		}
+	}
+	t.Logf("cycles: dag=%d handwritten=%d naive=%d", dagCycles, handCycles, naiveCycles)
+	if naiveCycles <= handCycles {
+		t.Errorf("naive (%d) not slower than handwritten (%d)", naiveCycles, handCycles)
+	}
+	if dagCycles > handCycles {
+		t.Errorf("DAG analog (%d) slower than handwritten (%d)", dagCycles, handCycles)
+	}
+}

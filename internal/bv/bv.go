@@ -1,0 +1,541 @@
+// Package bv implements fixed-width bitvector values of 1 to 128 bits
+// with the full complement of arithmetic, logic, shift, comparison, and
+// bit-counting operations used by the QF_BV fragment of SMT-LIB.
+//
+// Values are immutable; every operation returns a fresh value. All
+// operations are total: out-of-range shifts and division by zero follow
+// the SMT-LIB fixed-width bitvector semantics (shifts saturate to
+// zero/sign-fill, division by zero yields all-ones for unsigned division
+// as mandated by SMT-LIB).
+package bv
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxWidth is the largest supported bitvector width.
+const MaxWidth = 128
+
+// BV is a bitvector of Width bits. The value is stored in Lo (bits 0..63)
+// and Hi (bits 64..127); bits at and above Width are always zero.
+type BV struct {
+	Lo, Hi uint64
+	Width  uint8
+}
+
+// New returns a bitvector of the given width holding v truncated to width.
+func New(width int, v uint64) BV {
+	checkWidth(width)
+	b := BV{Lo: v, Width: uint8(width)}
+	return b.mask()
+}
+
+// New128 returns a bitvector of the given width from a 128-bit value pair.
+func New128(width int, hi, lo uint64) BV {
+	checkWidth(width)
+	b := BV{Lo: lo, Hi: hi, Width: uint8(width)}
+	return b.mask()
+}
+
+// NewBool returns a 1-bit bitvector: 1 if v, else 0.
+func NewBool(v bool) BV {
+	if v {
+		return BV{Lo: 1, Width: 1}
+	}
+	return BV{Width: 1}
+}
+
+// NewInt returns a bitvector of the given width holding the two's-complement
+// encoding of v.
+func NewInt(width int, v int64) BV {
+	checkWidth(width)
+	b := BV{Lo: uint64(v), Width: uint8(width)}
+	if v < 0 {
+		b.Hi = ^uint64(0)
+	}
+	return b.mask()
+}
+
+// Ones returns the all-ones bitvector of the given width.
+func Ones(width int) BV { return NewInt(width, -1) }
+
+// Zero returns the all-zero bitvector of the given width.
+func Zero(width int) BV {
+	checkWidth(width)
+	return BV{Width: uint8(width)}
+}
+
+func checkWidth(width int) {
+	if width < 1 || width > MaxWidth {
+		panic(fmt.Sprintf("bv: invalid width %d", width))
+	}
+}
+
+// mask clears all bits at positions >= Width.
+func (a BV) mask() BV {
+	w := int(a.Width)
+	switch {
+	case w >= 128:
+	case w > 64:
+		a.Hi &= ^uint64(0) >> (128 - w)
+	case w == 64:
+		a.Hi = 0
+	default:
+		a.Hi = 0
+		a.Lo &= ^uint64(0) >> (64 - w)
+	}
+	return a
+}
+
+// W returns the width in bits.
+func (a BV) W() int { return int(a.Width) }
+
+// Uint64 returns the low 64 bits of the value.
+func (a BV) Uint64() uint64 { return a.Lo }
+
+// Int64 returns the value sign-extended to 64 bits (meaningful for widths
+// up to 64).
+func (a BV) Int64() int64 {
+	w := int(a.Width)
+	if w >= 64 {
+		return int64(a.Lo)
+	}
+	shift := 64 - w
+	return int64(a.Lo<<shift) >> shift
+}
+
+// IsZero reports whether all bits are zero.
+func (a BV) IsZero() bool { return a.Lo == 0 && a.Hi == 0 }
+
+// IsOnes reports whether all Width bits are one.
+func (a BV) IsOnes() bool { return a == Ones(a.W()) }
+
+// Bool reports whether the value is nonzero.
+func (a BV) Bool() bool { return !a.IsZero() }
+
+// Bit returns bit i (0 = least significant).
+func (a BV) Bit(i int) uint {
+	if i < 0 || i >= a.W() {
+		return 0
+	}
+	if i < 64 {
+		return uint(a.Lo>>i) & 1
+	}
+	return uint(a.Hi>>(i-64)) & 1
+}
+
+// SignBit returns the most significant bit.
+func (a BV) SignBit() uint { return a.Bit(a.W() - 1) }
+
+// IsPow2 reports whether the value is a power of two, and returns its
+// exponent when it is.
+func (a BV) IsPow2() (int, bool) {
+	if a.IsZero() {
+		return 0, false
+	}
+	if a.Hi == 0 {
+		if a.Lo&(a.Lo-1) != 0 {
+			return 0, false
+		}
+		return bits.TrailingZeros64(a.Lo), true
+	}
+	if a.Lo != 0 || a.Hi&(a.Hi-1) != 0 {
+		return 0, false
+	}
+	return 64 + bits.TrailingZeros64(a.Hi), true
+}
+
+func sameWidth(a, b BV) {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("bv: width mismatch %d vs %d", a.Width, b.Width))
+	}
+}
+
+// Add returns a + b mod 2^Width.
+func (a BV) Add(b BV) BV {
+	sameWidth(a, b)
+	lo, carry := bits.Add64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Add64(a.Hi, b.Hi, carry)
+	return BV{Lo: lo, Hi: hi, Width: a.Width}.mask()
+}
+
+// Sub returns a - b mod 2^Width.
+func (a BV) Sub(b BV) BV {
+	sameWidth(a, b)
+	lo, borrow := bits.Sub64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Sub64(a.Hi, b.Hi, borrow)
+	return BV{Lo: lo, Hi: hi, Width: a.Width}.mask()
+}
+
+// Neg returns -a mod 2^Width.
+func (a BV) Neg() BV { return Zero(a.W()).Sub(a) }
+
+// Mul returns a * b mod 2^Width.
+func (a BV) Mul(b BV) BV {
+	sameWidth(a, b)
+	hi, lo := bits.Mul64(a.Lo, b.Lo)
+	hi += a.Lo*b.Hi + a.Hi*b.Lo
+	return BV{Lo: lo, Hi: hi, Width: a.Width}.mask()
+}
+
+// UDiv returns a / b (unsigned); all-ones if b is zero (SMT-LIB bvudiv).
+func (a BV) UDiv(b BV) BV {
+	sameWidth(a, b)
+	if b.IsZero() {
+		return Ones(a.W())
+	}
+	q, _ := udivmod128(a.Hi, a.Lo, b.Hi, b.Lo)
+	return BV{Lo: q.Lo, Hi: q.Hi, Width: a.Width}.mask()
+}
+
+// URem returns a mod b (unsigned); a if b is zero (SMT-LIB bvurem).
+func (a BV) URem(b BV) BV {
+	sameWidth(a, b)
+	if b.IsZero() {
+		return a
+	}
+	_, r := udivmod128(a.Hi, a.Lo, b.Hi, b.Lo)
+	return BV{Lo: r.Lo, Hi: r.Hi, Width: a.Width}.mask()
+}
+
+// SDiv returns a / b (signed, truncated); follows SMT-LIB bvsdiv for b = 0.
+func (a BV) SDiv(b BV) BV {
+	sameWidth(a, b)
+	if b.IsZero() {
+		if a.SignBit() == 1 {
+			return New(a.W(), 1)
+		}
+		return Ones(a.W())
+	}
+	an, bn := a, b
+	neg := false
+	if a.SignBit() == 1 {
+		an, neg = a.Neg(), !neg
+	}
+	if b.SignBit() == 1 {
+		bn, neg = b.Neg(), !neg
+	}
+	q := an.UDiv(bn)
+	if neg {
+		q = q.Neg()
+	}
+	return q
+}
+
+// SRem returns the signed remainder (sign follows dividend); a if b is zero.
+func (a BV) SRem(b BV) BV {
+	sameWidth(a, b)
+	if b.IsZero() {
+		return a
+	}
+	an, bn := a, b
+	if a.SignBit() == 1 {
+		an = a.Neg()
+	}
+	if b.SignBit() == 1 {
+		bn = b.Neg()
+	}
+	r := an.URem(bn)
+	if a.SignBit() == 1 {
+		r = r.Neg()
+	}
+	return r
+}
+
+// udivmod128 computes 128-bit unsigned division via shift-subtract.
+func udivmod128(nHi, nLo, dHi, dLo uint64) (q, r BV) {
+	if dHi == 0 && nHi == 0 {
+		return BV{Lo: nLo / dLo, Width: 128}, BV{Lo: nLo % dLo, Width: 128}
+	}
+	var qHi, qLo, rHi, rLo uint64
+	for i := 127; i >= 0; i-- {
+		// r <<= 1; r |= bit i of n
+		rHi = rHi<<1 | rLo>>63
+		rLo <<= 1
+		if i >= 64 {
+			rLo |= (nHi >> (i - 64)) & 1
+		} else {
+			rLo |= (nLo >> i) & 1
+		}
+		// if r >= d { r -= d; q |= 1 << i }
+		if rHi > dHi || (rHi == dHi && rLo >= dLo) {
+			lo, borrow := bits.Sub64(rLo, dLo, 0)
+			hi, _ := bits.Sub64(rHi, dHi, borrow)
+			rHi, rLo = hi, lo
+			if i >= 64 {
+				qHi |= 1 << (i - 64)
+			} else {
+				qLo |= 1 << i
+			}
+		}
+	}
+	return BV{Lo: qLo, Hi: qHi, Width: 128}, BV{Lo: rLo, Hi: rHi, Width: 128}
+}
+
+// And returns the bitwise AND.
+func (a BV) And(b BV) BV {
+	sameWidth(a, b)
+	return BV{Lo: a.Lo & b.Lo, Hi: a.Hi & b.Hi, Width: a.Width}
+}
+
+// Or returns the bitwise OR.
+func (a BV) Or(b BV) BV {
+	sameWidth(a, b)
+	return BV{Lo: a.Lo | b.Lo, Hi: a.Hi | b.Hi, Width: a.Width}
+}
+
+// Xor returns the bitwise XOR.
+func (a BV) Xor(b BV) BV {
+	sameWidth(a, b)
+	return BV{Lo: a.Lo ^ b.Lo, Hi: a.Hi ^ b.Hi, Width: a.Width}
+}
+
+// Not returns the bitwise complement.
+func (a BV) Not() BV {
+	return BV{Lo: ^a.Lo, Hi: ^a.Hi, Width: a.Width}.mask()
+}
+
+// shiftAmount clamps the shift distance to [0, 255] for saturation checks.
+func shiftAmount(b BV) uint {
+	if b.Hi != 0 || b.Lo > 255 {
+		return 255
+	}
+	return uint(b.Lo)
+}
+
+// Shl returns a << b; zero when b >= Width.
+func (a BV) Shl(b BV) BV {
+	sameWidth(a, b)
+	return a.ShlN(shiftAmount(b))
+}
+
+// ShlN returns a << n for a plain integer distance.
+func (a BV) ShlN(n uint) BV {
+	if n >= uint(a.W()) {
+		return Zero(a.W())
+	}
+	if n == 0 {
+		return a
+	}
+	var hi, lo uint64
+	if n >= 64 {
+		hi, lo = a.Lo<<(n-64), 0
+	} else {
+		hi = a.Hi<<n | a.Lo>>(64-n)
+		lo = a.Lo << n
+	}
+	return BV{Lo: lo, Hi: hi, Width: a.Width}.mask()
+}
+
+// LShr returns a >> b (logical); zero when b >= Width.
+func (a BV) LShr(b BV) BV {
+	sameWidth(a, b)
+	return a.LShrN(shiftAmount(b))
+}
+
+// LShrN returns a >> n (logical) for a plain integer distance.
+func (a BV) LShrN(n uint) BV {
+	if n >= uint(a.W()) {
+		return Zero(a.W())
+	}
+	if n == 0 {
+		return a
+	}
+	var hi, lo uint64
+	if n >= 64 {
+		hi, lo = 0, a.Hi>>(n-64)
+	} else {
+		lo = a.Lo>>n | a.Hi<<(64-n)
+		hi = a.Hi >> n
+	}
+	return BV{Lo: lo, Hi: hi, Width: a.Width}
+}
+
+// AShr returns a >> b (arithmetic); sign-fill when b >= Width.
+func (a BV) AShr(b BV) BV {
+	sameWidth(a, b)
+	n := shiftAmount(b)
+	if n >= uint(a.W()) {
+		if a.SignBit() == 1 {
+			return Ones(a.W())
+		}
+		return Zero(a.W())
+	}
+	if n == 0 {
+		return a
+	}
+	r := a.LShrN(n)
+	if a.SignBit() == 1 {
+		// Fill the vacated top n bits with ones.
+		fill := Ones(a.W()).ShlN(uint(a.W()) - n)
+		r = r.Or(fill)
+	}
+	return r
+}
+
+// RotL rotates left by b mod Width.
+func (a BV) RotL(b BV) BV {
+	sameWidth(a, b)
+	n := uint(b.URem(New(a.W(), uint64(a.W()))).Lo)
+	if n == 0 {
+		return a
+	}
+	return a.ShlN(n).Or(a.LShrN(uint(a.W()) - n))
+}
+
+// RotR rotates right by b mod Width.
+func (a BV) RotR(b BV) BV {
+	sameWidth(a, b)
+	n := uint(b.URem(New(a.W(), uint64(a.W()))).Lo)
+	if n == 0 {
+		return a
+	}
+	return a.LShrN(n).Or(a.ShlN(uint(a.W()) - n))
+}
+
+// Eq reports a == b.
+func (a BV) Eq(b BV) bool {
+	sameWidth(a, b)
+	return a == b
+}
+
+// Ult reports a < b (unsigned).
+func (a BV) Ult(b BV) bool {
+	sameWidth(a, b)
+	return a.Hi < b.Hi || (a.Hi == b.Hi && a.Lo < b.Lo)
+}
+
+// Ule reports a <= b (unsigned).
+func (a BV) Ule(b BV) bool { return !b.Ult(a) }
+
+// Slt reports a < b (signed).
+func (a BV) Slt(b BV) bool {
+	sameWidth(a, b)
+	sa, sb := a.SignBit(), b.SignBit()
+	if sa != sb {
+		return sa == 1
+	}
+	return a.Ult(b)
+}
+
+// Sle reports a <= b (signed).
+func (a BV) Sle(b BV) bool { return !b.Slt(a) }
+
+// ZExt zero-extends to the given width (which must be >= Width).
+func (a BV) ZExt(width int) BV {
+	checkWidth(width)
+	if width < a.W() {
+		panic(fmt.Sprintf("bv: zext %d -> %d shrinks", a.W(), width))
+	}
+	a.Width = uint8(width)
+	return a
+}
+
+// SExt sign-extends to the given width (which must be >= Width).
+func (a BV) SExt(width int) BV {
+	checkWidth(width)
+	w := a.W()
+	if width < w {
+		panic(fmt.Sprintf("bv: sext %d -> %d shrinks", w, width))
+	}
+	if a.SignBit() == 0 || width == w {
+		a.Width = uint8(width)
+		return a.mask()
+	}
+	fill := Ones(width).ShlN(uint(w))
+	a.Width = uint8(width)
+	return a.mask().Or(fill)
+}
+
+// Trunc truncates to the given width (which must be <= Width).
+func (a BV) Trunc(width int) BV {
+	checkWidth(width)
+	if width > a.W() {
+		panic(fmt.Sprintf("bv: trunc %d -> %d grows", a.W(), width))
+	}
+	a.Width = uint8(width)
+	return a.mask()
+}
+
+// Extract returns bits hi..lo inclusive as a bitvector of width hi-lo+1.
+func (a BV) Extract(hi, lo int) BV {
+	if hi < lo || lo < 0 || hi >= a.W() {
+		panic(fmt.Sprintf("bv: bad extract [%d:%d] of width %d", hi, lo, a.W()))
+	}
+	return a.LShrN(uint(lo)).Trunc(hi - lo + 1)
+}
+
+// Concat returns a ++ b (a becomes the high bits).
+func (a BV) Concat(b BV) BV {
+	w := a.W() + b.W()
+	checkWidth(w)
+	return a.ZExt(w).ShlN(uint(b.W())).Or(b.ZExt(w))
+}
+
+// Popcount returns the number of set bits, as a value of the same width.
+func (a BV) Popcount() BV {
+	return New(a.W(), uint64(bits.OnesCount64(a.Lo)+bits.OnesCount64(a.Hi)))
+}
+
+// Clz returns the count of leading zero bits, as a value of the same width.
+func (a BV) Clz() BV {
+	w := a.W()
+	n := 0
+	for i := w - 1; i >= 0 && a.Bit(i) == 0; i-- {
+		n++
+	}
+	return New(w, uint64(n))
+}
+
+// Ctz returns the count of trailing zero bits, as a value of the same width.
+func (a BV) Ctz() BV {
+	w := a.W()
+	n := 0
+	for i := 0; i < w && a.Bit(i) == 0; i++ {
+		n++
+	}
+	return New(w, uint64(n))
+}
+
+// Rev returns the value with byte order reversed (width must be a multiple
+// of 8).
+func (a BV) Rev() BV {
+	w := a.W()
+	if w%8 != 0 {
+		panic("bv: byte reverse of non-byte width")
+	}
+	r := Zero(w)
+	for i := 0; i < w/8; i++ {
+		b := a.Extract(i*8+7, i*8).ZExt(w)
+		r = r.Or(b.ShlN(uint(w - 8 - i*8)))
+	}
+	return r
+}
+
+// String renders the value as SMT-LIB-style hex (#x...) for byte-multiple
+// widths and binary (#b...) otherwise.
+func (a BV) String() string {
+	w := a.W()
+	if w%4 == 0 {
+		digits := w / 4
+		var sb strings.Builder
+		sb.WriteString("#x")
+		for i := digits - 1; i >= 0; i-- {
+			nib := a.LShrN(uint(i*4)).Lo & 0xf
+			fmt.Fprintf(&sb, "%x", nib)
+		}
+		return sb.String()
+	}
+	var sb strings.Builder
+	sb.WriteString("#b")
+	for i := w - 1; i >= 0; i-- {
+		if a.Bit(i) == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,414 @@
+package bv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMasks(t *testing.T) {
+	if got := New(8, 0x1ff); got.Lo != 0xff {
+		t.Errorf("New(8, 0x1ff) = %v, want #xff", got)
+	}
+	if got := New(64, math.MaxUint64); got.Lo != math.MaxUint64 || got.Hi != 0 {
+		t.Errorf("New(64, max) = %v", got)
+	}
+	if got := New128(72, ^uint64(0), 0); got.Hi != 0xff {
+		t.Errorf("New128(72) hi = %#x, want 0xff", got.Hi)
+	}
+}
+
+func TestNewIntSignExtends(t *testing.T) {
+	v := NewInt(16, -1)
+	if !v.IsOnes() {
+		t.Errorf("NewInt(16,-1) = %v, want all ones", v)
+	}
+	if got := NewInt(16, -2).Int64(); got != -2 {
+		t.Errorf("Int64 roundtrip = %d, want -2", got)
+	}
+	if got := NewInt(100, -5).Int64(); got != -5 {
+		t.Errorf("wide Int64 = %d, want -5", got)
+	}
+}
+
+func TestAddSubWrap(t *testing.T) {
+	a := New(8, 200)
+	b := New(8, 100)
+	if got := a.Add(b); got.Lo != 44 {
+		t.Errorf("200+100 mod 256 = %d, want 44", got.Lo)
+	}
+	if got := b.Sub(a); got.Lo != 156 {
+		t.Errorf("100-200 mod 256 = %d, want 156", got.Lo)
+	}
+	if got := Zero(8).Sub(New(8, 1)); !got.IsOnes() {
+		t.Errorf("0-1 = %v, want all ones", got)
+	}
+}
+
+func TestAdd128Carry(t *testing.T) {
+	a := New128(128, 0, ^uint64(0))
+	b := New(128, 1)
+	got := a.Add(b)
+	if got.Lo != 0 || got.Hi != 1 {
+		t.Errorf("carry add = %v", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	if got := New(16, 300).Mul(New(16, 300)); got.Lo != (300*300)%65536 {
+		t.Errorf("300*300 mod 2^16 = %d", got.Lo)
+	}
+	a := New128(128, 1, 0) // 2^64
+	b := New(128, 3)
+	if got := a.Mul(b); got.Hi != 3 || got.Lo != 0 {
+		t.Errorf("2^64*3 = %v", got)
+	}
+}
+
+func TestDivRemSMTLIB(t *testing.T) {
+	// Division by zero semantics.
+	if got := New(8, 7).UDiv(Zero(8)); !got.IsOnes() {
+		t.Errorf("bvudiv by zero = %v, want ones", got)
+	}
+	if got := New(8, 7).URem(Zero(8)); got.Lo != 7 {
+		t.Errorf("bvurem by zero = %v, want 7", got)
+	}
+	if got := NewInt(8, -7).SDiv(Zero(8)); got.Lo != 1 {
+		t.Errorf("bvsdiv neg by zero = %v, want 1", got)
+	}
+	if got := New(8, 7).SDiv(Zero(8)); !got.IsOnes() {
+		t.Errorf("bvsdiv pos by zero = %v, want -1", got)
+	}
+	// Signed division truncates toward zero.
+	if got := NewInt(8, -7).SDiv(New(8, 2)).Int64(); got != -3 {
+		t.Errorf("-7 sdiv 2 = %d, want -3", got)
+	}
+	if got := NewInt(8, -7).SRem(New(8, 2)).Int64(); got != -1 {
+		t.Errorf("-7 srem 2 = %d, want -1", got)
+	}
+	if got := New(8, 7).SRem(NewInt(8, -2)).Int64(); got != 1 {
+		t.Errorf("7 srem -2 = %d, want 1", got)
+	}
+}
+
+func TestDiv128(t *testing.T) {
+	n := New128(128, 5, 12345)
+	d := New(128, 7)
+	q := n.UDiv(d)
+	r := n.URem(d)
+	if got := q.Mul(d).Add(r); got != n {
+		t.Errorf("q*d+r = %v, want %v", got, n)
+	}
+	if !r.Ult(d) {
+		t.Errorf("r = %v not < d", r)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := New(8, 0b10010110)
+	if got := a.Shl(New(8, 2)); got.Lo != 0b01011000 {
+		t.Errorf("shl = %08b", got.Lo)
+	}
+	if got := a.LShr(New(8, 2)); got.Lo != 0b00100101 {
+		t.Errorf("lshr = %08b", got.Lo)
+	}
+	if got := a.AShr(New(8, 2)); got.Lo != 0b11100101 {
+		t.Errorf("ashr = %08b", got.Lo)
+	}
+	// Out-of-range shifts.
+	if got := a.Shl(New(8, 8)); !got.IsZero() {
+		t.Errorf("shl 8 = %v, want 0", got)
+	}
+	if got := a.AShr(New(8, 200)); !got.IsOnes() {
+		t.Errorf("ashr 200 of negative = %v, want ones", got)
+	}
+	if got := New(8, 1).AShr(New(8, 200)); !got.IsZero() {
+		t.Errorf("ashr 200 of positive = %v, want 0", got)
+	}
+}
+
+func TestShift128CrossWord(t *testing.T) {
+	a := New(128, 1)
+	if got := a.ShlN(100); got.Hi != 1<<36 || got.Lo != 0 {
+		t.Errorf("1<<100 = %v", got)
+	}
+	if got := a.ShlN(100).LShrN(100); got != a {
+		t.Errorf("shift roundtrip = %v", got)
+	}
+	b := New128(128, ^uint64(0), 0)
+	if got := b.LShrN(64); got.Lo != ^uint64(0) || got.Hi != 0 {
+		t.Errorf("hi>>64 = %v", got)
+	}
+	if got := b.AShrN(t, 68); got.Hi != ^uint64(0) || got.Lo>>60 != 0xf {
+		t.Errorf("ashr 68 = %v", got)
+	}
+}
+
+// AShrN is a test helper: arithmetic shift by a plain distance.
+func (a BV) AShrN(t *testing.T, n uint) BV {
+	t.Helper()
+	return a.AShr(New(a.W(), uint64(n)))
+}
+
+func TestRotates(t *testing.T) {
+	a := New(8, 0b10000001)
+	if got := a.RotL(New(8, 1)); got.Lo != 0b00000011 {
+		t.Errorf("rotl = %08b", got.Lo)
+	}
+	if got := a.RotR(New(8, 1)); got.Lo != 0b11000000 {
+		t.Errorf("rotr = %08b", got.Lo)
+	}
+	if got := a.RotL(New(8, 8)); got != a {
+		t.Errorf("rotl by width = %v", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a, b := NewInt(8, -1), New(8, 1)
+	if a.Ult(b) {
+		t.Error("0xff ult 1")
+	}
+	if !a.Slt(b) {
+		t.Error("-1 not slt 1")
+	}
+	if !a.Sle(a) || !a.Ule(a) {
+		t.Error("reflexive le failed")
+	}
+	c := New128(128, 1, 0)
+	d := New128(128, 0, ^uint64(0))
+	if !d.Ult(c) {
+		t.Error("2^64-1 not ult 2^64")
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	a := New(8, 0x80)
+	if got := a.ZExt(16); got.Lo != 0x80 {
+		t.Errorf("zext = %v", got)
+	}
+	if got := a.SExt(16); got.Lo != 0xff80 {
+		t.Errorf("sext = %v", got)
+	}
+	if got := a.SExt(128); got.Hi != ^uint64(0) || got.Lo != 0xffffffffffffff80 {
+		t.Errorf("sext128 = %v", got)
+	}
+	if got := New(16, 0x1234).Trunc(8); got.Lo != 0x34 {
+		t.Errorf("trunc = %v", got)
+	}
+}
+
+func TestExtractConcat(t *testing.T) {
+	a := New(16, 0xabcd)
+	if got := a.Extract(15, 8); got.Lo != 0xab || got.W() != 8 {
+		t.Errorf("extract hi = %v", got)
+	}
+	if got := a.Extract(7, 0); got.Lo != 0xcd {
+		t.Errorf("extract lo = %v", got)
+	}
+	if got := a.Extract(11, 4); got.Lo != 0xbc {
+		t.Errorf("extract mid = %v", got)
+	}
+	hi, lo := New(8, 0xab), New(8, 0xcd)
+	if got := hi.Concat(lo); got.Lo != 0xabcd || got.W() != 16 {
+		t.Errorf("concat = %v", got)
+	}
+	big := New(64, 0xdead).Concat(New(64, 0xbeef))
+	if big.Hi != 0xdead || big.Lo != 0xbeef {
+		t.Errorf("concat128 = %v", big)
+	}
+}
+
+func TestBitCounts(t *testing.T) {
+	a := New(16, 0x00f0)
+	if got := a.Popcount(); got.Lo != 4 {
+		t.Errorf("popcount = %d", got.Lo)
+	}
+	if got := a.Clz(); got.Lo != 8 {
+		t.Errorf("clz = %d", got.Lo)
+	}
+	if got := a.Ctz(); got.Lo != 4 {
+		t.Errorf("ctz = %d", got.Lo)
+	}
+	if got := Zero(16).Clz(); got.Lo != 16 {
+		t.Errorf("clz 0 = %d", got.Lo)
+	}
+	if got := Zero(16).Ctz(); got.Lo != 16 {
+		t.Errorf("ctz 0 = %d", got.Lo)
+	}
+	w := New128(128, 1, 1)
+	if got := w.Popcount(); got.Lo != 2 {
+		t.Errorf("popcount128 = %d", got.Lo)
+	}
+	if got := w.Clz(); got.Lo != 63 {
+		t.Errorf("clz128 = %d", got.Lo)
+	}
+}
+
+func TestRev(t *testing.T) {
+	if got := New(32, 0x12345678).Rev(); got.Lo != 0x78563412 {
+		t.Errorf("rev32 = %#x", got.Lo)
+	}
+	if got := New(16, 0xabcd).Rev(); got.Lo != 0xcdab {
+		t.Errorf("rev16 = %#x", got.Lo)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	if n, ok := New(32, 64).IsPow2(); !ok || n != 6 {
+		t.Errorf("IsPow2(64) = %d, %v", n, ok)
+	}
+	if _, ok := New(32, 65).IsPow2(); ok {
+		t.Error("IsPow2(65) true")
+	}
+	if _, ok := Zero(32).IsPow2(); ok {
+		t.Error("IsPow2(0) true")
+	}
+	if n, ok := New128(128, 1, 0).IsPow2(); !ok || n != 64 {
+		t.Errorf("IsPow2(2^64) = %d, %v", n, ok)
+	}
+	if _, ok := New128(128, 1, 1).IsPow2(); ok {
+		t.Error("IsPow2(2^64+1) true")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(8, 0xaf).String(); got != "#xaf" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(3, 5).String(); got != "#b101" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: 64-bit ops agree with Go's native uint64 arithmetic.
+func TestQuickAgainstUint64(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	check := func(name string, f any) {
+		t.Helper()
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	check("add", func(x, y uint64) bool { return New(64, x).Add(New(64, y)).Lo == x+y })
+	check("sub", func(x, y uint64) bool { return New(64, x).Sub(New(64, y)).Lo == x-y })
+	check("mul", func(x, y uint64) bool { return New(64, x).Mul(New(64, y)).Lo == x*y })
+	check("and", func(x, y uint64) bool { return New(64, x).And(New(64, y)).Lo == x&y })
+	check("or", func(x, y uint64) bool { return New(64, x).Or(New(64, y)).Lo == x|y })
+	check("xor", func(x, y uint64) bool { return New(64, x).Xor(New(64, y)).Lo == x^y })
+	check("udiv", func(x, y uint64) bool {
+		if y == 0 {
+			return true
+		}
+		return New(64, x).UDiv(New(64, y)).Lo == x/y
+	})
+	check("urem", func(x, y uint64) bool {
+		if y == 0 {
+			return true
+		}
+		return New(64, x).URem(New(64, y)).Lo == x%y
+	})
+	check("sdiv", func(x, y int64) bool {
+		if y == 0 || (x == math.MinInt64 && y == -1) {
+			return true
+		}
+		return NewInt(64, x).SDiv(NewInt(64, y)).Int64() == x/y
+	})
+	check("srem", func(x, y int64) bool {
+		if y == 0 || (x == math.MinInt64 && y == -1) {
+			return true
+		}
+		return NewInt(64, x).SRem(NewInt(64, y)).Int64() == x%y
+	})
+	check("shl", func(x uint64, n uint8) bool {
+		s := uint(n) % 64
+		return New(64, x).Shl(New(64, uint64(s))).Lo == x<<s
+	})
+	check("lshr", func(x uint64, n uint8) bool {
+		s := uint(n) % 64
+		return New(64, x).LShr(New(64, uint64(s))).Lo == x>>s
+	})
+	check("ashr", func(x int64, n uint8) bool {
+		s := uint(n) % 64
+		return NewInt(64, x).AShr(New(64, uint64(s))).Int64() == x>>s
+	})
+	check("ult", func(x, y uint64) bool { return New(64, x).Ult(New(64, y)) == (x < y) })
+	check("slt", func(x, y int64) bool { return NewInt(64, x).Slt(NewInt(64, y)) == (x < y) })
+}
+
+// Property: algebraic identities hold at odd widths (exercises masking).
+func TestQuickIdentitiesWidth13(t *testing.T) {
+	const w = 13
+	cfg := &quick.Config{MaxCount: 2000}
+	check := func(name string, f any) {
+		t.Helper()
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	check("neg", func(x uint64) bool {
+		a := New(w, x)
+		return a.Add(a.Neg()).IsZero()
+	})
+	check("not-plus-one", func(x uint64) bool {
+		a := New(w, x)
+		return a.Not().Add(New(w, 1)) == a.Neg()
+	})
+	check("demorgan", func(x, y uint64) bool {
+		a, b := New(w, x), New(w, y)
+		return a.And(b).Not() == a.Not().Or(b.Not())
+	})
+	check("extract-concat", func(x uint64) bool {
+		a := New(w, x)
+		return a.Extract(12, 5).Concat(a.Extract(4, 0)) == a
+	})
+	check("divmod", func(x, y uint64) bool {
+		a, b := New(w, x), New(w, y)
+		if b.IsZero() {
+			return true
+		}
+		return a.UDiv(b).Mul(b).Add(a.URem(b)) == a
+	})
+	check("rot-inverse", func(x uint64, n uint8) bool {
+		a := New(w, x)
+		d := New(w, uint64(n))
+		return a.RotL(d).RotR(d) == a
+	})
+	check("popcount-split", func(x uint64) bool {
+		a := New(w, x)
+		hi, lo := a.Extract(12, 6), a.Extract(5, 0)
+		return a.Popcount().Lo == hi.Popcount().Lo+lo.Popcount().Lo
+	})
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGBVWidth(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 200; i++ {
+		w := 1 + r.Intn(128)
+		v := r.BV(w)
+		if v.W() != w {
+			t.Fatalf("width %d got %d", w, v.W())
+		}
+		if v != v.mask() {
+			t.Fatalf("unmasked random value %v", v)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package bv
+
+// RNG is a small deterministic pseudo-random generator (xoshiro256**)
+// used for synthesizing test inputs. It is deliberately not seeded from
+// the clock so that pools, caches, and experiments are reproducible.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given value via splitmix64.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	for i := range r.s {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	res := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Intn returns a pseudo-random value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("bv: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// BV returns a pseudo-random bitvector of the given width. Interesting
+// boundary values (0, 1, -1, sign bit, small constants) are produced with
+// elevated probability because they are the values most likely to separate
+// near-miss candidate instruction sequences.
+func (r *RNG) BV(width int) BV {
+	switch r.Uint64() % 8 {
+	case 0:
+		return Zero(width)
+	case 1:
+		return New(width, 1)
+	case 2:
+		return Ones(width)
+	case 3:
+		return Ones(width).LShrN(1).Not() // sign bit only
+	case 4:
+		return New(width, r.Uint64()%64) // small value (shift distances)
+	default:
+		return New128(width, r.Uint64(), r.Uint64())
+	}
+}

@@ -1,0 +1,606 @@
+// Package canon implements the paper's canonical representation for
+// bitvector terms (§V-B1): every term is rewritten into a hierarchy of
+// modulo-2ⁿ linear combinations with explicit coefficients, over atoms
+// (symbolic variables carrying domain information) and opaque operation
+// nodes. The canonicalization rules are exactly Table I of the paper:
+//
+//	(I)    bvadd            → merged linear combination
+//	(II)   bvnot a          → -1 + (-1)·a
+//	(III)  concat a b       → 2^m·a + b - 2^m·extract(b)  (overflow fixup)
+//	(IV)   bvmul over +     → distributed products
+//	(V)    bvmul by const   → coefficient
+//	(VI)   bvshl by const   → coefficient 2^d
+//	(VII)  bvurem by 2^k    → low-bit extract
+//	(VIII) ite c 0 b        → ite (c+1) b 0
+//	(IX)   ite hoisting     → common addends pulled out of both arms
+//
+// plus constant folding, implicit zero-extension of narrower subterms
+// inside wider linear combinations, linearized sign-extension
+// (sext(x) = x + (2^w − 2^n)·signbit(x)), and low-bit extracts pushed
+// through linear combinations.
+//
+// The guaranteed property is one-sided (paper §V-B1): if two terms have
+// the same canonical form they are semantically equal; inequivalent
+// canonical forms prove nothing. Canonical terms are interned in a Ctx,
+// so equality is pointer (or ID) comparison — the basis of the term
+// index in package trie.
+package canon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/term"
+)
+
+// CKind discriminates canonical term shapes.
+type CKind uint8
+
+// Canonical term shapes.
+const (
+	Atom   CKind = iota // a symbolic variable
+	OpNode              // an uninterpreted operation over canonical operands
+	Lin                 // constant + Σ coefficient·subterm (mod 2^Width)
+)
+
+// CTerm is an interned canonical term. Width is the bit width of the
+// value; subterms of a Lin may be narrower than the Lin itself, in which
+// case they are implicitly zero-extended.
+type CTerm struct {
+	ID    int
+	Kind  CKind
+	Width int
+
+	// Atom fields.
+	Var *term.Term
+
+	// OpNode fields. For Mul produced by distribution the operands may be
+	// narrower than Width and are implicitly zero-extended.
+	Op         term.Op
+	Aux0, Aux1 int32
+	Args       []*CTerm
+
+	// Lin fields.
+	K       bv.BV    // constant part, width Width
+	Addends []Addend // sorted by (kind rank, ID), no zero coefficients
+}
+
+// Addend is one coefficient·subterm component of a linear combination.
+type Addend struct {
+	Coef bv.BV // width = enclosing Lin's width
+	T    *CTerm
+}
+
+// IsConst reports whether the canonical term is a pure constant.
+func (c *CTerm) IsConst() bool { return c.Kind == Lin && len(c.Addends) == 0 }
+
+// IsAtom reports whether the canonical term is a variable.
+func (c *CTerm) IsAtom() bool { return c.Kind == Atom }
+
+// AtomKind returns the variable kind of an atom.
+func (c *CTerm) AtomKind() term.VarKind { return c.Var.Kind }
+
+func rank(c *CTerm) int {
+	switch c.Kind {
+	case Atom:
+		return 0
+	case OpNode:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Ctx interns canonical terms and assigns dense IDs in insertion order
+// (the paper's increasing term numbering: two canonicalized terms are
+// equal iff their IDs are equal).
+type Ctx struct {
+	byKey map[string]*CTerm
+	terms []*CTerm
+	memo  map[*term.Term]*CTerm
+}
+
+// NewCtx returns an empty canonicalization context.
+func NewCtx() *Ctx {
+	return &Ctx{byKey: make(map[string]*CTerm), memo: make(map[*term.Term]*CTerm)}
+}
+
+// NumTerms returns the number of distinct canonical terms interned.
+func (cx *Ctx) NumTerms() int { return len(cx.terms) }
+
+// ByID returns the canonical term with the given ID.
+func (cx *Ctx) ByID(id int) *CTerm { return cx.terms[id] }
+
+func (cx *Ctx) intern(c *CTerm) *CTerm {
+	key := c.key()
+	if old, ok := cx.byKey[key]; ok {
+		return old
+	}
+	c.ID = len(cx.terms)
+	cx.terms = append(cx.terms, c)
+	cx.byKey[key] = c
+	return c
+}
+
+func (c *CTerm) key() string {
+	var sb strings.Builder
+	var buf [8]byte
+	wInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		sb.Write(buf[:])
+	}
+	sb.WriteByte(byte(c.Kind))
+	sb.WriteByte(byte(c.Width))
+	switch c.Kind {
+	case Atom:
+		sb.WriteString(c.Var.Name)
+	case OpNode:
+		sb.WriteByte(byte(c.Op))
+		wInt(uint64(c.Aux0))
+		wInt(uint64(c.Aux1))
+		for _, a := range c.Args {
+			wInt(uint64(a.ID))
+		}
+	case Lin:
+		wInt(c.K.Lo)
+		wInt(c.K.Hi)
+		for _, a := range c.Addends {
+			wInt(a.Coef.Lo)
+			wInt(a.Coef.Hi)
+			wInt(uint64(a.T.ID))
+		}
+	}
+	return sb.String()
+}
+
+// atom interns an atom for the given variable.
+func (cx *Ctx) atom(v *term.Term) *CTerm {
+	return cx.intern(&CTerm{Kind: Atom, Width: v.W(), Var: v})
+}
+
+// opNode interns an operation node, ordering commutative operands by ID.
+func (cx *Ctx) opNode(op term.Op, width int, aux0, aux1 int32, args ...*CTerm) *CTerm {
+	if op.IsCommutative() && len(args) == 2 && args[1].ID < args[0].ID {
+		args[0], args[1] = args[1], args[0]
+	}
+	return cx.intern(&CTerm{Kind: OpNode, Width: width, Op: op, Aux0: aux0, Aux1: aux1, Args: args})
+}
+
+// constLin interns a pure-constant linear combination.
+func (cx *Ctx) constLin(v bv.BV) *CTerm {
+	return cx.intern(&CTerm{Kind: Lin, Width: v.W(), K: v})
+}
+
+// linBuilder accumulates addends during construction, keyed by subterm,
+// implementing the ordered-map-over-term-ids step of §V-B2.
+type linBuilder struct {
+	width int
+	k     bv.BV
+	coefs map[*CTerm]bv.BV
+}
+
+func newLinBuilder(width int) *linBuilder {
+	return &linBuilder{width: width, k: bv.Zero(width), coefs: make(map[*CTerm]bv.BV)}
+}
+
+func (lb *linBuilder) addConst(v bv.BV) { lb.k = lb.k.Add(v.ZExt(lb.width)) }
+
+func (lb *linBuilder) add(coef bv.BV, t *CTerm) {
+	if t.IsConst() {
+		lb.addConst(coef.Mul(t.K.ZExt(lb.width)))
+		return
+	}
+	if old, ok := lb.coefs[t]; ok {
+		lb.coefs[t] = old.Add(coef)
+	} else {
+		lb.coefs[t] = coef
+	}
+}
+
+// addTerm folds an arbitrary canonical term into the accumulator with the
+// given coefficient, splicing same-width linear combinations (rule I) and
+// treating everything else as an opaque subterm.
+func (lb *linBuilder) addTerm(coef bv.BV, t *CTerm) {
+	if t.Kind == Lin && t.Width == lb.width {
+		lb.addConst(coef.Mul(t.K))
+		for _, a := range t.Addends {
+			lb.add(coef.Mul(a.Coef), a.T)
+		}
+		return
+	}
+	lb.add(coef, t)
+}
+
+// build finalizes the accumulator into an interned canonical term.
+func (lb *linBuilder) build(cx *Ctx) *CTerm {
+	addends := make([]Addend, 0, len(lb.coefs))
+	for t, c := range lb.coefs {
+		if c.IsZero() {
+			continue
+		}
+		addends = append(addends, Addend{Coef: c, T: t})
+	}
+	sort.Slice(addends, func(i, j int) bool {
+		ri, rj := rank(addends[i].T), rank(addends[j].T)
+		if ri != rj {
+			return ri < rj
+		}
+		return addends[i].T.ID < addends[j].T.ID
+	})
+	// Collapse the trivial wrapper 0 + 1·t (same width) to t itself.
+	if lb.k.IsZero() && len(addends) == 1 &&
+		addends[0].Coef.Lo == 1 && addends[0].Coef.Hi == 0 &&
+		addends[0].T.Width == lb.width {
+		return addends[0].T
+	}
+	return cx.intern(&CTerm{Kind: Lin, Width: lb.width, K: lb.k, Addends: addends})
+}
+
+// scale returns c·t as a canonical term at t's width (rules V/VI).
+func (cx *Ctx) scale(c bv.BV, t *CTerm) *CTerm {
+	lb := newLinBuilder(t.Width)
+	lb.addTerm(c, t)
+	return lb.build(cx)
+}
+
+// maxDistribute caps rule-IV multiplication distribution; beyond this the
+// canonical form would blow up quadratically (§V-B2), so the product is
+// kept opaque instead (still sound, only less likely to unify).
+const maxDistribute = 16
+
+// Canon returns the canonical form of t. Results are memoized per Ctx;
+// the same *term.Term always maps to the same *CTerm.
+func (cx *Ctx) Canon(t *term.Term) *CTerm {
+	if c, ok := cx.memo[t]; ok {
+		return c
+	}
+	c := cx.canon(t)
+	if c.Width != t.W() {
+		panic(fmt.Sprintf("canon: width changed %d -> %d for %s", t.W(), c.Width, t))
+	}
+	cx.memo[t] = c
+	return c
+}
+
+func (cx *Ctx) canon(t *term.Term) *CTerm {
+	w := t.W()
+	switch t.Op {
+	case term.Const:
+		return cx.constLin(t.CVal)
+
+	case term.Var:
+		return cx.atom(t)
+
+	case term.Add: // rule I
+		lb := newLinBuilder(w)
+		lb.addTerm(bv.New(w, 1), cx.Canon(t.Args[0]))
+		lb.addTerm(bv.New(w, 1), cx.Canon(t.Args[1]))
+		return lb.build(cx)
+
+	case term.Sub:
+		lb := newLinBuilder(w)
+		lb.addTerm(bv.New(w, 1), cx.Canon(t.Args[0]))
+		lb.addTerm(bv.Ones(w), cx.Canon(t.Args[1]))
+		return lb.build(cx)
+
+	case term.Neg:
+		return cx.scale(bv.Ones(w), cx.Canon(t.Args[0]))
+
+	case term.Not: // rule II: ¬a = -1 - a
+		lb := newLinBuilder(w)
+		lb.addConst(bv.Ones(w))
+		lb.addTerm(bv.Ones(w), cx.Canon(t.Args[0]))
+		return lb.build(cx)
+
+	case term.Mul:
+		return cx.canonMul(w, cx.Canon(t.Args[0]), cx.Canon(t.Args[1]))
+
+	case term.Shl: // rule VI
+		x := cx.Canon(t.Args[0])
+		d := cx.Canon(t.Args[1])
+		if d.IsConst() {
+			if d.K.Hi == 0 && d.K.Lo < uint64(w) {
+				return cx.scale(bv.New(w, 1).ShlN(uint(d.K.Lo)), x)
+			}
+			return cx.constLin(bv.Zero(w)) // out-of-range shift
+		}
+		return cx.opNode(term.Shl, w, 0, 0, x, d)
+
+	case term.URem: // rule VII
+		x := cx.Canon(t.Args[0])
+		d := cx.Canon(t.Args[1])
+		if d.IsConst() {
+			if k, ok := d.K.IsPow2(); ok && k > 0 && k < w {
+				ex := cx.extractLow(k, x)
+				lb := newLinBuilder(w)
+				lb.addTerm(bv.New(w, 1), ex)
+				return lb.build(cx)
+			}
+		}
+		return cx.opNode(term.URem, w, 0, 0, x, d)
+
+	case term.Concat: // rule III
+		return cx.canonConcat(w, t.Args[0], t.Args[1])
+
+	case term.ZExt:
+		lb := newLinBuilder(w)
+		lb.addTerm(bv.New(w, 1), cx.Canon(t.Args[0]))
+		return lb.build(cx)
+
+	case term.SExt:
+		// sext(x) = x + (2^w − 2^n)·signbit(x), linearizing the extension.
+		x := cx.Canon(t.Args[0])
+		n := x.Width
+		sign := cx.extractBits(n-1, n-1, x)
+		lb := newLinBuilder(w)
+		lb.addTerm(bv.New(w, 1), x)
+		fill := bv.Ones(w).ShlN(uint(n)) // 2^w − 2^n
+		lb.addTerm(fill, sign)
+		return lb.build(cx)
+
+	case term.Extract:
+		x := cx.Canon(t.Args[0])
+		return cx.extractBits(int(t.Aux0), int(t.Aux1), x)
+
+	case term.Ite:
+		return cx.canonIte(w, cx.Canon(t.Args[0]), cx.Canon(t.Args[1]), cx.Canon(t.Args[2]))
+
+	case term.Eq:
+		a, b := cx.Canon(t.Args[0]), cx.Canon(t.Args[1])
+		if a == b {
+			return cx.constLin(bv.New(1, 1))
+		}
+		// 1-bit equality is linear: a == b  ⟺  1 + a + b (mod 2). This is
+		// the §V-B1 "booleans as bitvectors of length 1" normalization; it
+		// lets condition-flag expressions like N == V unify linearly.
+		if a.Width == 1 && b.Width == 1 {
+			lb := newLinBuilder(1)
+			lb.addConst(bv.New(1, 1))
+			lb.addTerm(bv.New(1, 1), a)
+			lb.addTerm(bv.New(1, 1), b)
+			return lb.build(cx)
+		}
+		return cx.opNode(term.Eq, 1, 0, 0, a, b)
+
+	case term.Ult, term.Slt:
+		a, b := cx.Canon(t.Args[0]), cx.Canon(t.Args[1])
+		if a == b {
+			return cx.constLin(bv.Zero(1))
+		}
+		// x <s 0 is the sign bit.
+		if t.Op == term.Slt && b.IsConst() && b.K.IsZero() {
+			return cx.extractBits(a.Width-1, a.Width-1, a)
+		}
+		return cx.opNode(t.Op, 1, 0, 0, a, b)
+
+	case term.Load:
+		return cx.opNode(term.Load, w, t.Aux0, 0, cx.Canon(t.Args[0]))
+
+	case term.Store:
+		return cx.opNode(term.Store, w, t.Aux0, 0, cx.Canon(t.Args[0]), cx.Canon(t.Args[1]))
+
+	default:
+		args := make([]*CTerm, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = cx.Canon(a)
+		}
+		return cx.opNode(t.Op, w, t.Aux0, t.Aux1, args...)
+	}
+}
+
+// canonMul applies rules IV and V.
+func (cx *Ctx) canonMul(w int, x, y *CTerm) *CTerm {
+	// Rule V: constant factor becomes a coefficient.
+	if x.IsConst() {
+		return cx.scale(x.K, y)
+	}
+	if y.IsConst() {
+		return cx.scale(y.K, x)
+	}
+	// Rule IV: distribute over linear combinations, bounded.
+	xs := cx.factors(x)
+	ys := cx.factors(y)
+	if len(xs)*len(ys) <= maxDistribute {
+		lb := newLinBuilder(w)
+		for _, fx := range xs {
+			for _, fy := range ys {
+				coef := fx.Coef.ZExt(w).Mul(fy.Coef.ZExt(w))
+				switch {
+				case fx.T == nil && fy.T == nil:
+					lb.addConst(coef)
+				case fx.T == nil:
+					lb.add(coef, fy.T)
+				case fy.T == nil:
+					lb.add(coef, fx.T)
+				default:
+					a, b := fx.T, fy.T
+					if b.ID < a.ID {
+						a, b = b, a
+					}
+					prod := cx.intern(&CTerm{Kind: OpNode, Width: w, Op: term.Mul, Args: []*CTerm{a, b}})
+					lb.add(coef, prod)
+				}
+			}
+		}
+		return lb.build(cx)
+	}
+	return cx.opNode(term.Mul, w, 0, 0, x, y)
+}
+
+// factors decomposes a canonical term into (coef, subterm) pairs, with a
+// nil subterm denoting the constant part.
+func (cx *Ctx) factors(c *CTerm) []Addend {
+	if c.Kind == Lin {
+		out := make([]Addend, 0, len(c.Addends)+1)
+		if !c.K.IsZero() {
+			out = append(out, Addend{Coef: c.K, T: nil})
+		}
+		out = append(out, c.Addends...)
+		return out
+	}
+	return []Addend{{Coef: bv.New(c.Width, 1), T: c}}
+}
+
+// canonConcat implements rule III: concat(a_n, b_m) at width k = n+m is
+// 2^m·a + B − 2^m·extract_{k-1:m}(B), where B is b's linear combination
+// lifted to width k. When b is not a linear combination the correction
+// term vanishes (b < 2^m).
+func (cx *Ctx) canonConcat(k int, at, bt *term.Term) *CTerm {
+	m := bt.W()
+	a := cx.Canon(at)
+	b := cx.Canon(bt)
+	lb := newLinBuilder(k)
+	shift := bv.New(k, 1).ShlN(uint(m)) // 2^m
+	lb.addTerm(shift, a)
+	if b.Kind != Lin || len(b.Addends) == 0 {
+		lb.addTerm(bv.New(k, 1), b)
+		return lb.build(cx)
+	}
+	// Lift b's combination to width k.
+	blb := newLinBuilder(k)
+	blb.addConst(b.K)
+	for _, ad := range b.Addends {
+		blb.add(ad.Coef.ZExt(k), ad.T)
+	}
+	blift := blb.build(cx)
+	lb.addTerm(bv.New(k, 1), blift)
+	// Correction: −2^m · extract_{k-1:m}(blift).
+	high := cx.extractBits(k-1, m, blift)
+	lb.addTerm(shift.Neg(), high)
+	return lb.build(cx)
+}
+
+// extractLow returns the canonical form of the low `width` bits of x,
+// pushing the extract through linear combinations (low bits of a sum
+// depend only on low bits).
+func (cx *Ctx) extractLow(width int, x *CTerm) *CTerm {
+	if width == x.Width {
+		return x
+	}
+	switch x.Kind {
+	case Lin:
+		lb := newLinBuilder(width)
+		lb.addConst(x.K.Trunc(width))
+		for _, a := range x.Addends {
+			t := a.T
+			if t.Width > width {
+				t = cx.extractLow(width, t)
+			}
+			lb.addTerm(a.Coef.Trunc(width), t)
+		}
+		return lb.build(cx)
+	default:
+		return cx.intern(&CTerm{Kind: OpNode, Width: width, Op: term.Extract,
+			Aux0: int32(width - 1), Aux1: 0, Args: []*CTerm{x}})
+	}
+}
+
+// extractBits returns the canonical extract of bits hi..lo of x.
+func (cx *Ctx) extractBits(hi, lo int, x *CTerm) *CTerm {
+	if lo == 0 {
+		return cx.extractLow(hi+1, x)
+	}
+	// Constant folding.
+	if x.IsConst() {
+		return cx.constLin(x.K.Extract(hi, lo))
+	}
+	// Nested extracts compose.
+	if x.Kind == OpNode && x.Op == term.Extract {
+		return cx.extractBits(int(x.Aux1)+hi, int(x.Aux1)+lo, x.Args[0])
+	}
+	return cx.intern(&CTerm{Kind: OpNode, Width: hi - lo + 1, Op: term.Extract,
+		Aux0: int32(hi), Aux1: int32(lo), Args: []*CTerm{x}})
+}
+
+// canonIte applies rules VIII and IX.
+func (cx *Ctx) canonIte(w int, cond, thn, els *CTerm) *CTerm {
+	if cond.IsConst() {
+		if cond.K.Bool() {
+			return thn
+		}
+		return els
+	}
+	if thn == els {
+		return thn
+	}
+	// Rule IX: hoist common (coefficient, subterm) addends and, when the
+	// constants agree, the constant part.
+	tf, ef := cx.factors(thn), cx.factors(els)
+	common := newLinBuilder(w)
+	hoisted := false
+	tKeep := map[int]bool{}
+	eKeep := map[int]bool{}
+	for i := range tf {
+		tKeep[i] = true
+	}
+	for j := range ef {
+		eKeep[j] = true
+	}
+	for i, fa := range tf {
+		for j, fb := range ef {
+			if !eKeep[j] || !tKeep[i] {
+				continue
+			}
+			if fa.T == fb.T && fa.Coef.ZExt(w) == fb.Coef.ZExt(w) {
+				if fa.T == nil {
+					common.addConst(fa.Coef.ZExt(w))
+				} else {
+					common.add(fa.Coef.ZExt(w), fa.T)
+				}
+				tKeep[i], eKeep[j] = false, false
+				hoisted = true
+			}
+		}
+	}
+	if hoisted {
+		rebuild := func(fs []Addend, keep map[int]bool) *CTerm {
+			lb := newLinBuilder(w)
+			for i, f := range fs {
+				if !keep[i] {
+					continue
+				}
+				if f.T == nil {
+					lb.addConst(f.Coef.ZExt(w))
+				} else {
+					lb.add(f.Coef.ZExt(w), f.T)
+				}
+			}
+			return lb.build(cx)
+		}
+		inner := cx.canonIte(w, cond, rebuild(tf, tKeep), rebuild(ef, eKeep))
+		common.addTerm(bv.New(w, 1), inner)
+		return common.build(cx)
+	}
+
+	isZero := func(c *CTerm) bool { return c.IsConst() && c.K.IsZero() }
+	// Rule VIII: zero belongs in the else branch.
+	if isZero(thn) && !isZero(els) {
+		return cx.opNode(term.Ite, w, 0, 0, cx.notCond(cond), els, thn)
+	}
+	if !isZero(els) {
+		// Neither arm zero: strip a negated condition for a unique form.
+		if stripped, ok := cx.stripNot(cond); ok {
+			return cx.opNode(term.Ite, w, 0, 0, stripped, els, thn)
+		}
+	}
+	return cx.opNode(term.Ite, w, 0, 0, cond, thn, els)
+}
+
+// notCond returns the canonical 1-bit negation c+1 (rule VIII).
+func (cx *Ctx) notCond(c *CTerm) *CTerm {
+	lb := newLinBuilder(1)
+	lb.addConst(bv.New(1, 1))
+	lb.addTerm(bv.New(1, 1), c)
+	return lb.build(cx)
+}
+
+// stripNot undoes notCond: if c has the form 1 + x it returns x.
+func (cx *Ctx) stripNot(c *CTerm) (*CTerm, bool) {
+	if c.Kind == Lin && c.Width == 1 && c.K.Bool() && len(c.Addends) == 1 {
+		return c.Addends[0].T, true
+	}
+	return nil, false
+}

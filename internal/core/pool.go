@@ -1,0 +1,398 @@
+// Package core implements the paper's contribution: synthesis of an
+// instruction selection rule library by memoizing the most relevant IR
+// patterns and their cheapest matching instruction sequences (Fig. 1).
+//
+// Stage 1 (this file) preprocesses the ISA into a pool: instruction
+// sequences are enumerated under the composition rules of §IV-A, their
+// primary effects canonicalized (§V-B1) and inserted into the term index
+// (§V-B2), and their test-input evaluations cached (§V-C).
+//
+// Stage 2 (synth.go) queries the pool for each IR pattern: index lookup
+// with unification first, then the evaluation-probed SMT fallback.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/canon"
+	"iselgen/internal/isa"
+	"iselgen/internal/spec"
+	"iselgen/internal/term"
+	"iselgen/internal/trie"
+)
+
+// Config controls the synthesis.
+type Config struct {
+	// TestInputs is the number of cached sample evaluations per sequence
+	// (paper Fig. 8 picks ~400 at full scale; the default here is tuned
+	// to this reproduction's pool sizes).
+	TestInputs int
+	// MaxSeqLen bounds enumerated sequence length (paper §VII-A: 2, with
+	// hand-added longer special forms).
+	MaxSeqLen int
+	// SMTMaxConflicts is the per-query solver budget (the 500 ms timeout
+	// analog).
+	SMTMaxConflicts int64
+	// Workers parallelizes pattern matching (paper: 60 threads).
+	Workers int
+	// ExtraSequences contributes target-specific longer sequences (the
+	// §VII-A length-3 zero-extension chains and length-4 immediate
+	// materializations).
+	ExtraSequences func(b *term.Builder, t *isa.Target) []*isa.Sequence
+	// MaxPairBases optionally caps how many base sequences are extended
+	// to pairs (0 = no cap) — used by tuning experiments.
+	MaxPairBases int
+	// DisableIndex skips the term-index lookup so every pattern takes the
+	// SMT fallback path — the paper's "without the index" ablation.
+	DisableIndex bool
+	// DisableProbe disables the test-evaluation candidate filter so every
+	// filtered candidate goes straight to the solver — the paper's
+	// "without sample evaluation" ablation (which did not terminate at
+	// their scale).
+	DisableProbe bool
+}
+
+// DefaultConfig returns the settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		TestInputs:      128,
+		MaxSeqLen:       2,
+		SMTMaxConflicts: 60000,
+		Workers:         8,
+	}
+}
+
+// EffectClass distinguishes what a pool entry (or pattern) computes.
+type EffectClass int
+
+// Effect classes.
+const (
+	ClassValue EffectClass = iota // a register result
+	ClassStore                    // a memory store
+)
+
+// PoolEntry is one indexed instruction sequence with its primary effect.
+type PoolEntry struct {
+	Seq    *isa.Sequence
+	Effect spec.Effect
+	Class  EffectClass
+	CT     *canon.CTerm
+	// filter signature (§V-C candidate elimination).
+	NRegs, NImms int
+	LoadSig      string
+	Width        int
+	evals        []uint64 // per-test-vector digests
+	evalSkip     []bool   // vector unusable (e.g. division timeout-ish cases never occur; reserved)
+}
+
+// Stats aggregates stage timings and counters for Table II.
+type Stats struct {
+	Sequences    int
+	IndexEntries int
+	InstrGenTime time.Duration
+	CanonTime    time.Duration
+	EvalTime     time.Duration
+	InsertTime   time.Duration
+
+	Patterns       int
+	PatternGenTime time.Duration
+	LookupTime     time.Duration
+	IndexLookupT   time.Duration
+	ProbeTime      time.Duration
+	SMTTime        time.Duration
+	IndexRules     int
+	SMTRules       int
+	SMTQueries     int64
+	SMTTimeouts    int64
+}
+
+// Synthesizer holds the shared, read-only-after-build synthesis state.
+type Synthesizer struct {
+	B      *term.Builder
+	CX     *canon.Ctx
+	Target *isa.Target
+	Index  *trie.Index
+	Pool   []*PoolEntry
+	// byFilter groups entries for the SMT-fallback candidate filter.
+	byFilter map[string][]*PoolEntry
+	Cfg      Config
+	Stats    Stats
+}
+
+// New creates a synthesizer for a target. The target must have been
+// loaded into b.
+func New(b *term.Builder, target *isa.Target, cfg Config) *Synthesizer {
+	if cfg.TestInputs == 0 {
+		cfg.TestInputs = DefaultConfig().TestInputs
+	}
+	if cfg.MaxSeqLen == 0 {
+		cfg.MaxSeqLen = 2
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = DefaultConfig().Workers
+	}
+	if cfg.SMTMaxConflicts == 0 {
+		cfg.SMTMaxConflicts = DefaultConfig().SMTMaxConflicts
+	}
+	return &Synthesizer{
+		B:        b,
+		CX:       canon.NewCtx(),
+		Target:   target,
+		Index:    trie.New(),
+		byFilter: map[string][]*PoolEntry{},
+		Cfg:      cfg,
+	}
+}
+
+// BuildPool runs stage 1: sequence enumeration, canonicalization, test
+// evaluation, and index insertion.
+func (s *Synthesizer) BuildPool() {
+	t0 := time.Now()
+	seqs := s.enumerate()
+	s.Stats.InstrGenTime = time.Since(t0)
+	s.Stats.Sequences = len(seqs)
+
+	for _, seq := range seqs {
+		s.addEntry(seq)
+	}
+}
+
+// enumerate lists candidate sequences: singles, wired/flag-consuming
+// pairs, and target extras.
+func (s *Synthesizer) enumerate() []*isa.Sequence {
+	var out []*isa.Sequence
+	var bases []*isa.Sequence
+	for _, inst := range s.Target.Insts {
+		seq := isa.Single(s.B, inst)
+		out = append(out, seq)
+		bases = append(bases, seq)
+		// Flag-setting instructions with an immediate also enter the
+		// pool with the immediate bound to zero: compare-against-zero is
+		// its own idiom (cmp x, #0) whose flag terms simplify in ways
+		// structural unification cannot see with a free immediate.
+		if writesFlags(seq) {
+			zeroed := seq
+			ok := true
+			for k, op := range inst.Operands {
+				if op.Kind != spec.OpImm {
+					continue
+				}
+				z, err := isa.BindImm(s.B, zeroed, 0, op.Name, bvZero(op.Width))
+				if err != nil {
+					ok = false
+					break
+				}
+				zeroed = z
+				_ = k
+			}
+			if ok && zeroed != seq {
+				bases = append(bases, zeroed)
+			}
+		}
+	}
+	if s.Cfg.MaxSeqLen >= 2 {
+		nb := len(bases)
+		if s.Cfg.MaxPairBases > 0 && s.Cfg.MaxPairBases < nb {
+			nb = s.Cfg.MaxPairBases
+		}
+		for _, base := range bases[:nb] {
+			for _, inst := range s.Target.Insts {
+				if !base.CanAppend(inst) {
+					continue
+				}
+				// Wire each width-compatible register operand.
+				prevW := resultWidth(base)
+				for _, op := range inst.Operands {
+					if op.Kind == spec.OpImm || op.Width != prevW {
+						continue
+					}
+					if seq, err := isa.Append(s.B, base, inst, []string{op.Name}, false); err == nil {
+						out = append(out, seq)
+					}
+				}
+				// Flag-consuming composition (cmp+csel chains, §VI-A).
+				if readsFlags(inst) && writesFlags(base) {
+					if seq, err := isa.Append(s.B, base, inst, nil, true); err == nil {
+						out = append(out, seq)
+					}
+				}
+			}
+		}
+	}
+	if s.Cfg.ExtraSequences != nil {
+		out = append(out, s.Cfg.ExtraSequences(s.B, s.Target)...)
+	}
+	return out
+}
+
+// bvZero builds a zero immediate of the given width.
+func bvZero(w int) bv.BV { return bv.Zero(w) }
+
+func resultWidth(seq *isa.Sequence) int {
+	for _, e := range seq.Effects {
+		if e.Kind == spec.EffReg && e.Dest == "rd" {
+			return e.T.W()
+		}
+	}
+	return 0
+}
+
+func readsFlags(inst *isa.Instruction) bool {
+	for _, e := range inst.Effects {
+		for _, v := range e.T.Vars() {
+			if v.Kind == term.KindFlag {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func writesFlags(seq *isa.Sequence) bool {
+	for _, e := range seq.Effects {
+		if e.Kind == spec.EffFlag {
+			return true
+		}
+	}
+	return false
+}
+
+// addEntry canonicalizes, evaluates, and indexes one sequence's primary
+// effect.
+func (s *Synthesizer) addEntry(seq *isa.Sequence) {
+	eff, class, ok := primaryEffect(seq)
+	if !ok {
+		return
+	}
+	// Sequences with unconsumed flag or PC inputs cannot match IR
+	// patterns (IR has neither); they only exist as composition bases.
+	for _, in := range seq.Inputs {
+		if in.Flags || in.Var.Kind == term.KindPC {
+			return
+		}
+	}
+	for _, v := range eff.T.Vars() {
+		if v.Kind == term.KindFlag || v.Kind == term.KindPC {
+			return
+		}
+	}
+
+	e := &PoolEntry{Seq: seq, Effect: eff, Class: class, Width: eff.T.W()}
+	for _, in := range seq.Inputs {
+		if in.Op.Kind == spec.OpImm {
+			e.NImms++
+		} else {
+			e.NRegs++
+		}
+	}
+	e.LoadSig = loadSignature(eff.T)
+
+	t0 := time.Now()
+	e.CT = s.CX.Canon(eff.T)
+	s.Stats.CanonTime += time.Since(t0)
+
+	t0 = time.Now()
+	e.evals = evalDigests(eff.T, s.Cfg.TestInputs)
+	s.Stats.EvalTime += time.Since(t0)
+
+	t0 = time.Now()
+	s.Index.Insert(e.CT, e)
+	s.Stats.InsertTime += time.Since(t0)
+	s.Stats.IndexEntries++
+
+	s.Pool = append(s.Pool, e)
+	s.byFilter[e.filterKey()] = append(s.byFilter[e.filterKey()], e)
+}
+
+// primaryEffect picks the effect a rule would match: the register result
+// for value sequences, the store for store sequences. Sequences with
+// extra visible effects (write-backs, PC updates, live flag outputs are
+// fine — flags are simply clobbered, like LLVM's implicit-def NZCV) are
+// still indexed by their primary effect; write-backs and PC effects are
+// not matchable and are skipped.
+func primaryEffect(seq *isa.Sequence) (spec.Effect, EffectClass, bool) {
+	var reg, mem *spec.Effect
+	for i := range seq.Effects {
+		e := &seq.Effects[i]
+		switch e.Kind {
+		case spec.EffPC, spec.EffWB:
+			return spec.Effect{}, 0, false
+		case spec.EffReg:
+			if e.Dest == "rd" && reg == nil {
+				reg = e
+			} else {
+				return spec.Effect{}, 0, false // rd2: multi-output
+			}
+		case spec.EffMem:
+			if mem != nil {
+				return spec.Effect{}, 0, false
+			}
+			mem = e
+		}
+	}
+	switch {
+	case reg != nil && mem == nil:
+		return *reg, ClassValue, true
+	case mem != nil && reg == nil:
+		return *mem, ClassStore, true
+	}
+	return spec.Effect{}, 0, false
+}
+
+// loadSignature summarizes load widths for the candidate filter.
+func loadSignature(t *term.Term) string {
+	loads := t.Loads()
+	sig := ""
+	for _, l := range loads {
+		sig += fmt.Sprintf("l%d;", l.W())
+	}
+	return sig
+}
+
+func (e *PoolEntry) filterKey() string {
+	return fmt.Sprintf("%d|%d|%d|%d|%s", e.Class, e.Width, e.NRegs, e.NImms, e.LoadSig)
+}
+
+// --- deterministic test inputs (§V-C) ---
+
+// rawInput produces the fixed 128-bit random input for test vector j and
+// variable name. Values are keyed by name (not position) so pattern-side
+// probing can reproduce exactly the value a sequence variable received.
+func rawInput(j int, name string) (hi, lo uint64) {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	rng := bv.NewRNG(h ^ uint64(j)*0x9e3779b97f4a7c15)
+	v := rng.BV(128)
+	return v.Hi, v.Lo
+}
+
+// InputFor returns the test value for vector j, variable name, width w.
+func InputFor(j int, name string, w int) bv.BV {
+	hi, lo := rawInput(j, name)
+	return bv.New128(w, hi, lo)
+}
+
+// digest reduces an evaluation result to 64 bits for compact caching.
+func digest(v bv.BV) uint64 {
+	x := v.Lo ^ (v.Hi * 0x9e3779b97f4a7c15) ^ uint64(v.Width)<<56
+	x ^= x >> 29
+	return x
+}
+
+// evalDigests evaluates a term on the fixed test vectors.
+func evalDigests(t *term.Term, n int) []uint64 {
+	vars := t.Vars()
+	out := make([]uint64, n)
+	env := term.NewEnv()
+	for j := 0; j < n; j++ {
+		for _, v := range vars {
+			env.Bind(v.Name, InputFor(j, v.Name, v.W()))
+		}
+		out[j] = digest(t.Eval(env))
+	}
+	return out
+}

@@ -1,0 +1,677 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/canon"
+	"iselgen/internal/pattern"
+	"iselgen/internal/rules"
+	"iselgen/internal/smt"
+	"iselgen/internal/spec"
+	"iselgen/internal/term"
+	"iselgen/internal/trie"
+)
+
+// worker holds the per-goroutine state for parallel matching: a private
+// term builder, canonicalization context, and SMT checker. The shared
+// synthesizer state (pool, index, canon context) is read-only during
+// matching.
+type worker struct {
+	s       *Synthesizer
+	wb      *term.Builder
+	wcx     *canon.Ctx
+	checker *smt.Checker
+
+	lookupT time.Duration
+	probeT  time.Duration
+	smtT    time.Duration
+}
+
+func (s *Synthesizer) newWorker() *worker {
+	return &worker{
+		s:       s,
+		wb:      term.NewBuilder(),
+		wcx:     canon.NewCtx(),
+		checker: &smt.Checker{MaxConflicts: s.Cfg.SMTMaxConflicts},
+	}
+}
+
+// Synthesize runs stage 2 over the given patterns (most-frequent-first
+// ordering is the caller's choice, per §VII-B) and adds discovered rules
+// to lib. Patterns are processed in waves of increasing size so that the
+// beneficial-rule filter (§VI) can consult the smaller rules.
+func (s *Synthesizer) Synthesize(patterns []*pattern.Pattern, lib *rules.Library) {
+	s.Stats.Patterns += len(patterns)
+	bySize := map[int][]*pattern.Pattern{}
+	maxSize := 0
+	for _, p := range patterns {
+		n := p.Size()
+		bySize[n] = append(bySize[n], p)
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	t0 := time.Now()
+	for size := 1; size <= maxSize; size++ {
+		wave := bySize[size]
+		if len(wave) == 0 {
+			continue
+		}
+		s.wave(wave, lib)
+	}
+	s.Stats.LookupTime += time.Since(t0)
+}
+
+// wave matches one batch of same-size patterns in parallel.
+func (s *Synthesizer) wave(wave []*pattern.Pattern, lib *rules.Library) {
+	type result struct {
+		idx  int
+		rule *rules.Rule
+	}
+	nw := s.Cfg.Workers
+	if nw > len(wave) {
+		nw = len(wave)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	results := make([]result, len(wave))
+	var wg sync.WaitGroup
+	next := make(chan int, len(wave))
+	for i := range wave {
+		next <- i
+	}
+	close(next)
+	var mu sync.Mutex
+	for k := 0; k < nw; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := s.s_newWorkerLocked(&mu)
+			for i := range next {
+				r := w.synthesizeOne(wave[i])
+				results[i] = result{idx: i, rule: r}
+			}
+			mu.Lock()
+			s.Stats.IndexLookupT += w.lookupT
+			s.Stats.ProbeTime += w.probeT
+			s.Stats.SMTTime += w.smtT
+			s.Stats.SMTQueries += w.checker.Stats.Queries
+			s.Stats.SMTTimeouts += w.checker.Stats.TimedOut
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.rule == nil {
+			continue
+		}
+		// Beneficial-rule filter (§VI): a multi-op rule must beat the
+		// best cover by smaller rules.
+		if r.rule.Pattern.Size() > 1 {
+			if cover, ok := coverCost(r.rule.Pattern.Root, lib); ok && r.rule.Cost() >= cover {
+				continue
+			}
+		}
+		if r.rule.Source == "index" {
+			s.Stats.IndexRules++
+		} else {
+			s.Stats.SMTRules++
+		}
+		lib.Add(r.rule)
+	}
+}
+
+func (s *Synthesizer) s_newWorkerLocked(mu *sync.Mutex) *worker {
+	mu.Lock()
+	defer mu.Unlock()
+	return s.newWorker()
+}
+
+// SynthesizeOne synthesizes the best rule for a single pattern (used by
+// tests and the tuning experiments); nil when nothing matches.
+func (s *Synthesizer) SynthesizeOne(p *pattern.Pattern) *rules.Rule {
+	return s.newWorker().synthesizeOne(p)
+}
+
+// synthesizeOne implements the per-pattern flow of Fig. 1: index lookup
+// (3a/3b), then the evaluation-probed SMT fallback (3c/3d).
+func (w *worker) synthesizeOne(p *pattern.Pattern) *rules.Rule {
+	tp, err := p.Compile(w.wb)
+	if err != nil {
+		return nil
+	}
+	leaves := p.Leaves()
+
+	t0 := time.Now()
+	var matches []trie.Match
+	if !w.s.Cfg.DisableIndex {
+		query := w.wcx.Canon(tp)
+		matches = w.s.Index.Lookup(query)
+	}
+	// Cheapest sequences first.
+	sort.Slice(matches, func(i, j int) bool {
+		return seqCostOf(matches[i]) < seqCostOf(matches[j])
+	})
+	var best *rules.Rule
+	for _, m := range matches {
+		for _, payload := range m.Payloads {
+			entry := payload.(*PoolEntry)
+			if r := w.ruleFromBinding(p, tp, leaves, entry, m.Binding); r != nil {
+				if best == nil || r.Cost() < best.Cost() {
+					best = r
+				}
+			}
+		}
+		if best != nil {
+			break // matches are cost-sorted; first verified hit is cheapest
+		}
+	}
+	w.lookupT += time.Since(t0)
+	if best != nil {
+		best.Source = "index"
+		return best
+	}
+	return w.smtFallback(p, tp, leaves)
+}
+
+func seqCostOf(m trie.Match) int {
+	min := 1 << 30
+	for _, p := range m.Payloads {
+		if c := p.(*PoolEntry).Seq.Cost(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// ruleFromBinding converts a unification binding into a verified rule.
+func (w *worker) ruleFromBinding(p *pattern.Pattern, tp *term.Term,
+	leaves []*pattern.Node, entry *PoolEntry, bind *trie.Binding) *rules.Rule {
+
+	// Resolve bindings into per-sequence-input sources.
+	leafByName := map[string]int{}
+	for i, l := range leaves {
+		leafByName[pattern.LeafName(i, l)] = i
+	}
+	regTo := map[string]int{} // seq var name -> pattern leaf
+	type immInfo struct {
+		leaf  int
+		embed rules.Embed
+		cval  bv.BV
+		conly bool
+	}
+	immTo := map[string]immInfo{}
+	for isaAtom, qAtom := range bind.Regs {
+		li, ok := leafByName[qAtom.Var.Name]
+		if !ok {
+			return nil
+		}
+		regTo[isaAtom.Var.Name] = li
+	}
+	for _, ib := range bind.Imms {
+		if ib.PCRel {
+			return nil // relocation-dependent; handled by manual rules
+		}
+		if ib.ISALo != 0 {
+			return nil
+		}
+		embedW := ib.ISAHi - ib.ISALo + 1
+		shift, ok := coefShift(ib.CoefQ, ib.CoefI)
+		if !ok {
+			return nil
+		}
+		if ib.Query == nil {
+			// Constant-bound immediate: must roundtrip through the
+			// operand width.
+			v := ib.Const
+			if v.W() > embedW {
+				tr := v.Trunc(embedW)
+				if tr.ZExt(v.W()) != v {
+					return nil
+				}
+				v = tr
+			} else if v.W() < embedW {
+				v = v.ZExt(embedW)
+			}
+			immTo[ib.ISA.Var.Name] = immInfo{cval: v, conly: true}
+			continue
+		}
+		li, ok := leafByName[ib.Query.Var.Name]
+		if !ok {
+			return nil
+		}
+		immTo[ib.ISA.Var.Name] = immInfo{
+			leaf:  li,
+			embed: rules.Embed{Width: embedW, Shift: shift},
+		}
+	}
+
+	// Assemble operand sources in sequence-input order; every input must
+	// be covered.
+	var ops []rules.OperandSource
+	for _, in := range entry.Seq.Inputs {
+		if in.Op.Kind == spec.OpImm {
+			info, ok := immTo[in.Var.Name]
+			if !ok {
+				return nil
+			}
+			if info.conly {
+				ops = append(ops, rules.OperandSource{Kind: rules.SrcConst, Const: info.cval.ZExt(in.Op.Width)})
+			} else {
+				em := info.embed
+				ops = append(ops, rules.OperandSource{Kind: rules.SrcLeaf, Leaf: info.leaf, Embed: &em})
+			}
+		} else {
+			li, ok := regTo[in.Var.Name]
+			if !ok {
+				return nil
+			}
+			ops = append(ops, rules.OperandSource{Kind: rules.SrcLeaf, Leaf: li})
+		}
+	}
+
+	r := &rules.Rule{Pattern: p, Seq: entry.Seq, Operands: ops, Source: "index"}
+	if !w.verify(tp, leaves, entry, r, false) {
+		// Retry immediates as sign-extended embeddings.
+		if !retrySigned(r) || !w.verify(tp, leaves, entry, r, false) {
+			return nil
+		}
+	}
+	return r
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// coefShift interprets the coefficient pair as a power-of-two scaling.
+// The coefficients may come from linear combinations of different widths
+// (nested unification); compare at the wider width.
+func coefShift(coefQ, coefI bv.BV) (int, bool) {
+	w := coefQ.W()
+	if coefI.W() > w {
+		w = coefI.W()
+	}
+	coefQ, coefI = coefQ.ZExt(w), coefI.ZExt(w)
+	if coefQ == coefI {
+		return 0, true
+	}
+	// coefI = coefQ << k  =>  IR constant = ISA imm << k.
+	q, r := coefI, coefQ
+	if r.IsZero() {
+		return 0, false
+	}
+	div := q.UDiv(r)
+	if div.Mul(r) != q {
+		return 0, false
+	}
+	if k, ok := div.IsPow2(); ok {
+		return k, true
+	}
+	return 0, false
+}
+
+// retrySigned flips all leaf-immediate embeds to signed; reports whether
+// any embed existed.
+func retrySigned(r *rules.Rule) bool {
+	any := false
+	for i := range r.Operands {
+		if r.Operands[i].Kind == rules.SrcLeaf && r.Operands[i].Embed != nil {
+			em := *r.Operands[i].Embed
+			em.Signed = true
+			r.Operands[i].Embed = &em
+			any = true
+		}
+	}
+	return any
+}
+
+// verify checks a candidate rule: the pattern term with immediates
+// substituted by their embeddings must equal the sequence effect with
+// registers renamed to pattern leaves. Canonical-form comparison proves
+// most cases instantly; useSMT additionally consults the solver.
+func (w *worker) verify(tp *term.Term, leaves []*pattern.Node, entry *PoolEntry,
+	r *rules.Rule, useSMT bool) bool {
+
+	// Substitution for the sequence side.
+	seqSubst := map[*term.Term]*term.Term{}
+	// Substitution for the pattern side (immediate embeds).
+	patSubst := map[*term.Term]*term.Term{}
+	for k, in := range entry.Seq.Inputs {
+		src := r.Operands[k]
+		switch src.Kind {
+		case rules.SrcConst:
+			seqSubst[in.Var] = w.wb.ConstBV(src.Const)
+		case rules.SrcLeaf:
+			leaf := leaves[src.Leaf]
+			pv := pattern.LeafVar(w.wb, src.Leaf, leaf)
+			if src.Embed == nil {
+				if in.Op.Width != leaf.Ty.Bits {
+					return false
+				}
+				seqSubst[in.Var] = pv
+			} else {
+				// Fresh ISA immediate variable e_k.
+				e := w.wb.VarT("e"+itoa(k)+"w"+itoa(in.Op.Width), term.KindImm, in.Op.Width)
+				seqSubst[in.Var] = e
+				useW := src.Embed.Width
+				var ev *term.Term = e
+				if useW < in.Op.Width {
+					ev = w.wb.Trunc(useW, e)
+				} else if useW > in.Op.Width {
+					return false
+				}
+				if leaf.Ty.Bits < useW {
+					return false
+				}
+				patSubst[pv] = src.Embed.Term(w.wb, ev, leaf.Ty.Bits)
+			}
+		}
+	}
+	teW := w.wb.Rebuild(entry.Effect.T, seqSubst)
+	tpW := w.wb.Rebuild(tp, patSubst)
+	// Canonical comparison settles most verifications structurally; the
+	// no-index ablation disables it so that every proof goes through the
+	// solver, as in the paper's "without the index" measurement.
+	if !w.s.Cfg.DisableIndex {
+		if tpW == teW {
+			return true
+		}
+		if w.wcx.Canon(tpW) == w.wcx.Canon(teW) {
+			return true
+		}
+	}
+	if !useSMT {
+		return false
+	}
+	t0 := time.Now()
+	res := w.checker.Equiv(w.wb, tpW, teW)
+	w.smtT += time.Since(t0)
+	return res == smt.Equal
+}
+
+// smtFallback implements Fig. 1 steps 3c/3d: filter candidates by
+// operand/memory signature, probe the cached test evaluations per
+// operand assignment, and verify survivors with the SMT solver, stopping
+// at the first match (cheapest-first).
+func (w *worker) smtFallback(p *pattern.Pattern, tp *term.Term, leaves []*pattern.Node) *rules.Rule {
+	class := ClassValue
+	if p.IsStore() {
+		class = ClassStore
+	}
+	var regLeaves, immLeaves []int
+	for i, l := range leaves {
+		if l.LeafReg {
+			regLeaves = append(regLeaves, i)
+		} else {
+			immLeaves = append(immLeaves, i)
+		}
+	}
+	width := tp.W()
+	key := filterKeyOf(class, width, len(regLeaves), len(immLeaves), loadSignature(tp))
+	cands := w.s.byFilter[key]
+	if len(cands) == 0 {
+		return nil
+	}
+	// Cheapest sequences first; stop at the first verified match.
+	sorted := make([]*PoolEntry, len(cands))
+	copy(sorted, cands)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq.Cost() < sorted[j].Seq.Cost() })
+
+	for _, entry := range sorted {
+		var regIns, immIns []int
+		for k, in := range entry.Seq.Inputs {
+			if in.Op.Kind == spec.OpImm {
+				immIns = append(immIns, k)
+			} else {
+				regIns = append(regIns, k)
+			}
+		}
+		for _, regPerm := range permutations(len(regIns)) {
+			for _, immPerm := range permutations(len(immIns)) {
+				asg := map[int]int{} // pattern leaf -> seq input index
+				ok := true
+				for a, b := range regPerm {
+					li, ki := regLeaves[a], regIns[b]
+					if leaves[li].Ty.Bits != entry.Seq.Inputs[ki].Op.Width {
+						ok = false
+						break
+					}
+					asg[li] = ki
+				}
+				if !ok {
+					continue
+				}
+				for a, b := range immPerm {
+					li, ki := immLeaves[a], immIns[b]
+					if leaves[li].Ty.Bits < entry.Seq.Inputs[ki].Op.Width {
+						ok = false
+						break
+					}
+					asg[li] = ki
+				}
+				if !ok {
+					continue
+				}
+				if !w.probe(tp, leaves, entry, asg) {
+					continue
+				}
+				if r := w.tryAssignment(p, tp, leaves, entry, asg); r != nil {
+					r.Source = "smt"
+					return r
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func filterKeyOf(class EffectClass, width, nRegs, nImms int, loadSig string) string {
+	var sb strings.Builder
+	sb.WriteString(itoa(int(class)))
+	sb.WriteByte('|')
+	sb.WriteString(itoa(width))
+	sb.WriteByte('|')
+	sb.WriteString(itoa(nRegs))
+	sb.WriteByte('|')
+	sb.WriteString(itoa(nImms))
+	sb.WriteByte('|')
+	sb.WriteString(loadSig)
+	return sb.String()
+}
+
+// probe compares the pattern's evaluations under the assignment against
+// the entry's cached evaluations (§V-C). Vectors whose input value is
+// not representable in the bound immediate are skipped.
+func (w *worker) probe(tp *term.Term, leaves []*pattern.Node, entry *PoolEntry, asg map[int]int) bool {
+	if w.s.Cfg.DisableProbe {
+		return true
+	}
+	t0 := time.Now()
+	defer func() { w.probeT += time.Since(t0) }()
+	env := term.NewEnv()
+	checked := 0
+	for j := 0; j < len(entry.evals); j++ {
+		usable := true
+		for li, ki := range asg {
+			in := entry.Seq.Inputs[ki]
+			leafW := leaves[li].Ty.Bits
+			v := InputFor(j, in.Var.Name, leafW)
+			if leafW > in.Op.Width {
+				// The sequence only saw the low Op.Width bits. To keep
+				// the probe sound for both zero- and sign-extended
+				// embeddings, only use vectors where the two coincide
+				// (narrow value non-negative and round-tripping) —
+				// "in cases where an input value cannot be represented
+				// in an immediate binding, we ignore the test input".
+				narrow := v.Trunc(in.Op.Width)
+				if narrow.SignBit() != 0 || narrow.ZExt(leafW) != v {
+					usable = false
+					break
+				}
+			}
+			env.Bind(pattern.LeafName(li, leaves[li]), v)
+		}
+		if !usable {
+			continue
+		}
+		checked++
+		if digest(tp.Eval(env)) != entry.evals[j] {
+			return false
+		}
+	}
+	return checked > 0
+}
+
+// tryAssignment builds embed candidates for an assignment and verifies
+// them with the SMT solver.
+func (w *worker) tryAssignment(p *pattern.Pattern, tp *term.Term,
+	leaves []*pattern.Node, entry *PoolEntry, asg map[int]int) *rules.Rule {
+
+	inv := map[int]int{} // seq input index -> pattern leaf
+	for li, ki := range asg {
+		inv[ki] = li
+	}
+	var ops []rules.OperandSource
+	hasImm := false
+	for k, in := range entry.Seq.Inputs {
+		li, ok := inv[k]
+		if !ok {
+			return nil
+		}
+		src := rules.OperandSource{Kind: rules.SrcLeaf, Leaf: li}
+		if in.Op.Kind == spec.OpImm {
+			hasImm = true
+			// Sign-extension heuristic (§V-C): prefer sext when the
+			// sequence term sign-extends its immediate.
+			signed := immLooksSigned(entry.Effect.T, in.Var)
+			src.Embed = &rules.Embed{Width: in.Op.Width, Signed: signed}
+		}
+		ops = append(ops, src)
+	}
+	r := &rules.Rule{Pattern: p, Seq: entry.Seq, Operands: ops}
+	if w.verify(tp, leaves, entry, r, true) {
+		return r
+	}
+	if hasImm {
+		// Flip the extension guess and retry once.
+		for i := range r.Operands {
+			if r.Operands[i].Embed != nil {
+				em := *r.Operands[i].Embed
+				em.Signed = !em.Signed
+				r.Operands[i].Embed = &em
+			}
+		}
+		if w.verify(tp, leaves, entry, r, true) {
+			return r
+		}
+	}
+	return nil
+}
+
+// immLooksSigned applies the paper's sign heuristic: the immediate is
+// treated as sign-extended when the instruction's formula sign-extends
+// it (the DSL analog of "the sign bit is accessed more than five times").
+func immLooksSigned(t *term.Term, immVar *term.Term) bool {
+	found := false
+	seen := map[*term.Term]bool{}
+	var walk func(*term.Term)
+	walk = func(u *term.Term) {
+		if found || seen[u] {
+			return
+		}
+		seen[u] = true
+		if u.Op == term.SExt && u.Args[0] == immVar {
+			found = true
+			return
+		}
+		if u.Op == term.Extract && u.Args[0] == immVar && u.Aux0 == int32(immVar.W()-1) {
+			found = true
+			return
+		}
+		for _, a := range u.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return found
+}
+
+// permutations enumerates permutations of [0,n); n is small (operand
+// counts are below five in practice, as the paper notes).
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{nil}
+	}
+	if n > 5 {
+		n = 5 // defensive cap; no real instruction has more inputs
+	}
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// coverCost computes the cheapest cover of a pattern by existing
+// single-operation rules (§VI's beneficial-rule check).
+func coverCost(n *pattern.Node, lib *rules.Library) (int, bool) {
+	if n.IsLeaf() {
+		return 0, true
+	}
+	args := make([]*pattern.Node, len(n.Args))
+	for i, a := range n.Args {
+		if a.IsLeaf() {
+			args[i] = a
+		} else {
+			args[i] = pattern.Leaf(a.Ty)
+		}
+	}
+	single := pattern.New(&pattern.Node{Op: n.Op, Ty: n.Ty, Pred: n.Pred,
+		MemBits: n.MemBits, Args: args})
+	r := lib.Lookup(single.Key())
+	if r == nil {
+		return 0, false
+	}
+	total := r.Cost()
+	for _, a := range n.Args {
+		if a.IsLeaf() {
+			continue
+		}
+		c, ok := coverCost(a, lib)
+		if !ok {
+			return 0, false
+		}
+		total += c
+	}
+	return total, true
+}

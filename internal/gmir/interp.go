@@ -1,0 +1,265 @@
+package gmir
+
+import (
+	"fmt"
+
+	"iselgen/internal/bv"
+)
+
+// Memory is a sparse little-endian byte-addressed memory.
+type Memory struct {
+	bytes map[uint64]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{bytes: map[uint64]byte{}} }
+
+// Load reads `bits` (a multiple of 8) from addr.
+func (m *Memory) Load(addr uint64, bits int) bv.BV {
+	var lo, hi uint64
+	for i := 0; i < bits/8; i++ {
+		b := uint64(m.bytes[addr+uint64(i)])
+		if i < 8 {
+			lo |= b << (8 * i)
+		} else {
+			hi |= b << (8 * (i - 8))
+		}
+	}
+	return bv.New128(bits, hi, lo)
+}
+
+// Store writes the low `bits` of v to addr.
+func (m *Memory) Store(addr uint64, v bv.BV, bits int) {
+	for i := 0; i < bits/8; i++ {
+		var b byte
+		if i < 8 {
+			b = byte(v.Lo >> (8 * i))
+		} else {
+			b = byte(v.Hi >> (8 * (i - 8)))
+		}
+		m.bytes[addr+uint64(i)] = b
+	}
+}
+
+// Interp executes gMIR functions directly — the reference semantics used
+// to validate every backend's generated code end-to-end.
+type Interp struct {
+	Mem *Memory
+	// MaxSteps bounds execution (0 = default 100M instructions).
+	MaxSteps int64
+	Steps    int64
+}
+
+// Run executes f with the given arguments and returns its result value.
+func (ip *Interp) Run(f *Function, args ...bv.BV) (bv.BV, error) {
+	if ip.Mem == nil {
+		ip.Mem = NewMemory()
+	}
+	maxSteps := ip.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 100_000_000
+	}
+	if len(args) != len(f.Params) {
+		return bv.BV{}, fmt.Errorf("gmir: %s takes %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	vals := make([]bv.BV, f.NumValues)
+	for i, p := range f.Params {
+		if args[i].W() != p.Ty.Bits {
+			return bv.BV{}, fmt.Errorf("gmir: arg %d width %d, want %d", i, args[i].W(), p.Ty.Bits)
+		}
+		vals[p.Val] = args[i]
+	}
+	cur := f.Blocks[0]
+	prevID := -1
+	for {
+		// Phis evaluate in parallel from the edge's values.
+		var phiVals []bv.BV
+		var phiDsts []Value
+		for _, in := range cur.Insts {
+			if in.Op != GPhi {
+				break
+			}
+			found := false
+			for i, from := range in.PhiBlocks {
+				if from == prevID {
+					phiVals = append(phiVals, vals[in.Args[i]])
+					phiDsts = append(phiDsts, in.Dst)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return bv.BV{}, fmt.Errorf("gmir: %s: phi in bb%d has no edge from bb%d",
+					f.Name, cur.ID, prevID)
+			}
+		}
+		for i, d := range phiDsts {
+			vals[d] = phiVals[i]
+		}
+
+		for _, in := range cur.Insts {
+			if in.Op == GPhi {
+				continue
+			}
+			if ip.Steps++; ip.Steps > maxSteps {
+				return bv.BV{}, fmt.Errorf("gmir: %s: step limit exceeded", f.Name)
+			}
+			switch in.Op {
+			case GBr:
+				prevID = cur.ID
+				cur = f.BlockByID(in.Succs[0])
+				goto nextBlock
+			case GBrCond:
+				prevID = cur.ID
+				if vals[in.Args[0]].Bool() {
+					cur = f.BlockByID(in.Succs[0])
+				} else {
+					cur = f.BlockByID(in.Succs[1])
+				}
+				goto nextBlock
+			case GRet:
+				if len(in.Args) == 1 {
+					return vals[in.Args[0]], nil
+				}
+				return bv.BV{}, nil
+			default:
+				v, err := evalInst(in, vals, ip.Mem)
+				if err != nil {
+					return bv.BV{}, fmt.Errorf("gmir: %s: %s: %w", f.Name, in, err)
+				}
+				if in.Dst >= 0 {
+					vals[in.Dst] = v
+				}
+			}
+		}
+		return bv.BV{}, fmt.Errorf("gmir: %s: bb%d fell through", f.Name, cur.ID)
+	nextBlock:
+	}
+}
+
+// evalInst evaluates one non-control instruction.
+func evalInst(in *Inst, vals []bv.BV, mem *Memory) (bv.BV, error) {
+	a := func(i int) bv.BV { return vals[in.Args[i]] }
+	switch in.Op {
+	case GConstant:
+		return in.Imm, nil
+	case GAdd:
+		return a(0).Add(a(1)), nil
+	case GSub:
+		return a(0).Sub(a(1)), nil
+	case GMul:
+		return a(0).Mul(a(1)), nil
+	case GUDiv:
+		return a(0).UDiv(a(1)), nil
+	case GSDiv:
+		return a(0).SDiv(a(1)), nil
+	case GURem:
+		return a(0).URem(a(1)), nil
+	case GSRem:
+		return a(0).SRem(a(1)), nil
+	case GAnd:
+		return a(0).And(a(1)), nil
+	case GOr:
+		return a(0).Or(a(1)), nil
+	case GXor:
+		return a(0).Xor(a(1)), nil
+	case GShl:
+		return a(0).Shl(shiftAmt(a(1), in.Ty.Bits)), nil
+	case GLShr:
+		return a(0).LShr(shiftAmt(a(1), in.Ty.Bits)), nil
+	case GAShr:
+		return a(0).AShr(shiftAmt(a(1), in.Ty.Bits)), nil
+	case GICmp:
+		return bv.NewBool(evalPred(in.Pred, a(0), a(1))), nil
+	case GSelect:
+		if a(0).Bool() {
+			return a(1), nil
+		}
+		return a(2), nil
+	case GZExt:
+		return a(0).ZExt(in.Ty.Bits), nil
+	case GSExt:
+		return a(0).SExt(in.Ty.Bits), nil
+	case GTrunc:
+		return a(0).Trunc(in.Ty.Bits), nil
+	case GCtpop:
+		return a(0).Popcount(), nil
+	case GCtlz:
+		return a(0).Clz(), nil
+	case GCttz:
+		return a(0).Ctz(), nil
+	case GBSwap:
+		return a(0).Rev(), nil
+	case GAbs:
+		if a(0).SignBit() == 1 {
+			return a(0).Neg(), nil
+		}
+		return a(0), nil
+	case GSMin:
+		if a(0).Slt(a(1)) {
+			return a(0), nil
+		}
+		return a(1), nil
+	case GSMax:
+		if a(1).Slt(a(0)) {
+			return a(0), nil
+		}
+		return a(1), nil
+	case GUMin:
+		if a(0).Ult(a(1)) {
+			return a(0), nil
+		}
+		return a(1), nil
+	case GUMax:
+		if a(1).Ult(a(0)) {
+			return a(0), nil
+		}
+		return a(1), nil
+	case GPtrAdd:
+		return a(0).Add(a(1)), nil
+	case GLoad:
+		return mem.Load(a(0).Uint64(), in.MemBits).ZExt(in.Ty.Bits), nil
+	case GSLoad:
+		return mem.Load(a(0).Uint64(), in.MemBits).SExt(in.Ty.Bits), nil
+	case GStore:
+		mem.Store(a(1).Uint64(), a(0).Trunc(in.MemBits), in.MemBits)
+		return bv.BV{}, nil
+	case GCopy:
+		return a(0), nil
+	}
+	return bv.BV{}, fmt.Errorf("unimplemented opcode %v", in.Op)
+}
+
+// shiftAmt reduces a shift distance modulo the value width: gMIR shifts
+// have the hardware's modulo semantics (out-of-range shifts are undefined
+// in LLVM IR, and the paper's strict-equivalence matching requires the IR
+// specification to pick the semantics the ISA implements — §V-D2).
+func shiftAmt(d bv.BV, width int) bv.BV {
+	return d.URem(bv.New(d.W(), uint64(width)))
+}
+
+// evalPred evaluates a comparison predicate.
+func evalPred(p Pred, x, y bv.BV) bool {
+	switch p {
+	case PredEQ:
+		return x.Eq(y)
+	case PredNE:
+		return !x.Eq(y)
+	case PredULT:
+		return x.Ult(y)
+	case PredULE:
+		return x.Ule(y)
+	case PredUGT:
+		return y.Ult(x)
+	case PredUGE:
+		return y.Ule(x)
+	case PredSLT:
+		return x.Slt(y)
+	case PredSLE:
+		return x.Sle(y)
+	case PredSGT:
+		return y.Slt(x)
+	default:
+		return y.Sle(x)
+	}
+}

@@ -1,0 +1,318 @@
+package gmir
+
+import (
+	"fmt"
+
+	"iselgen/internal/bv"
+)
+
+// bvNewMask returns width-1 as a wide constant (shift-amount mask).
+func bvNewMask(wide, width int) bv.BV { return bv.New(wide, uint64(width-1)) }
+
+// Legalize widens narrow scalar arithmetic (1 < width < minWidth) to
+// minWidth, the way a GlobalISel legalizer rewrites illegal types into
+// target-legal equivalents (paper §II-B: "8-bit arithmetic on AArch64 is
+// rewritten by inserting extension and truncation instructions").
+//
+// The rewrite is instruction-local: operands are extended (signedness
+// chosen per opcode), the operation runs at minWidth, and the result is
+// truncated back, so surrounding types are unchanged. s1 (comparison
+// results, select conditions) is always legal.
+func Legalize(f *Function, minWidth int) error {
+	alloc := func(ty Type) Value {
+		v := Value(f.NumValues)
+		f.NumValues++
+		f.types[v] = ty
+		return v
+	}
+	wide := Type{minWidth}
+	for _, b := range f.Blocks {
+		var out []*Inst
+		for _, in := range b.Insts {
+			narrow := in.Ty.Bits > 1 && in.Ty.Bits < minWidth
+			if !narrow || !needsLegalization(in.Op) {
+				// Comparisons over narrow operands also need widening even
+				// though their result (s1) is legal.
+				if in.Op == GICmp && f.types[in.Args[0]].Bits > 1 && f.types[in.Args[0]].Bits < minWidth {
+					ext := extKindCmp(in.Pred)
+					a0 := alloc(wide)
+					a1 := alloc(wide)
+					out = append(out,
+						&Inst{Op: ext, Ty: wide, Dst: a0, Args: []Value{in.Args[0]}},
+						&Inst{Op: ext, Ty: wide, Dst: a1, Args: []Value{in.Args[1]}},
+						&Inst{Op: GICmp, Ty: S1, Dst: in.Dst, Pred: in.Pred, Args: []Value{a0, a1}})
+					continue
+				}
+				out = append(out, in)
+				continue
+			}
+			switch in.Op {
+			case GConstant:
+				// Narrow constants widen and truncate back.
+				wideDst := alloc(wide)
+				out = append(out,
+					&Inst{Op: GConstant, Ty: wide, Dst: wideDst, Imm: in.Imm.ZExt(minWidth)},
+					&Inst{Op: GTrunc, Ty: in.Ty, Dst: in.Dst, Args: []Value{wideDst}})
+			case GLoad, GSLoad:
+				wideDst := alloc(wide)
+				out = append(out,
+					&Inst{Op: in.Op, Ty: wide, Dst: wideDst, Args: in.Args, MemBits: in.MemBits},
+					&Inst{Op: GTrunc, Ty: in.Ty, Dst: in.Dst, Args: []Value{wideDst}})
+			case GSelect:
+				a1 := alloc(wide)
+				a2 := alloc(wide)
+				wideDst := alloc(wide)
+				out = append(out,
+					&Inst{Op: GZExt, Ty: wide, Dst: a1, Args: []Value{in.Args[1]}},
+					&Inst{Op: GZExt, Ty: wide, Dst: a2, Args: []Value{in.Args[2]}},
+					&Inst{Op: GSelect, Ty: wide, Dst: wideDst, Args: []Value{in.Args[0], a1, a2}},
+					&Inst{Op: GTrunc, Ty: in.Ty, Dst: in.Dst, Args: []Value{wideDst}})
+			default:
+				ext := extKind(in.Op)
+				isShift := in.Op == GShl || in.Op == GLShr || in.Op == GAShr
+				var wargs []Value
+				for ai, a := range in.Args {
+					wa := alloc(wide)
+					out = append(out, &Inst{Op: ext, Ty: wide, Dst: wa, Args: []Value{a}})
+					if isShift && ai == 1 {
+						// Shift amounts are modulo the ORIGINAL width;
+						// re-impose it with a mask (narrow widths are
+						// powers of two).
+						mask := alloc(wide)
+						masked := alloc(wide)
+						out = append(out,
+							&Inst{Op: GConstant, Ty: wide, Dst: mask, Imm: bvNewMask(minWidth, in.Ty.Bits)},
+							&Inst{Op: GAnd, Ty: wide, Dst: masked, Args: []Value{wa, mask}})
+						wa = masked
+					}
+					wargs = append(wargs, wa)
+				}
+				wideDst := alloc(wide)
+				out = append(out,
+					&Inst{Op: in.Op, Ty: wide, Dst: wideDst, Pred: in.Pred, Args: wargs},
+					&Inst{Op: GTrunc, Ty: in.Ty, Dst: in.Dst, Args: []Value{wideDst}})
+			}
+		}
+		b.Insts = out
+	}
+	if err := Verify(f); err != nil {
+		return fmt.Errorf("gmir: legalization broke %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+func needsLegalization(op Opcode) bool {
+	switch op {
+	case GAdd, GSub, GMul, GUDiv, GSDiv, GURem, GSRem, GAnd, GOr, GXor,
+		GShl, GLShr, GAShr, GSelect, GConstant, GCtpop, GAbs,
+		GSMin, GSMax, GUMin, GUMax, GLoad, GSLoad:
+		// GBSwap/GCtlz/GCttz are deliberately absent: widening with a
+		// plain extension changes their semantics.
+		return true
+	}
+	return false
+}
+
+// extKind picks the operand extension preserving the op's semantics.
+func extKind(op Opcode) Opcode {
+	switch op {
+	case GSDiv, GSRem, GAShr, GAbs, GSMin, GSMax:
+		return GSExt
+	}
+	return GZExt
+}
+
+func extKindCmp(p Pred) Opcode {
+	switch p {
+	case PredSLT, PredSLE, PredSGT, PredSGE:
+		return GSExt
+	}
+	return GZExt
+}
+
+// SplitCriticalEdges breaks edges from multi-successor blocks into
+// multi-predecessor blocks by inserting empty forwarding blocks, so that
+// phi copies can always be placed at the end of the predecessor during
+// instruction selection.
+func SplitCriticalEdges(f *Function) {
+	preds := map[int]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			for _, s := range in.Succs {
+				preds[s]++
+			}
+		}
+	}
+	var added []*Block
+	nextID := 0
+	for _, b := range f.Blocks {
+		if b.ID >= nextID {
+			nextID = b.ID + 1
+		}
+	}
+	for _, b := range f.Blocks {
+		term := b.Insts[len(b.Insts)-1]
+		if len(term.Succs) < 2 {
+			continue
+		}
+		for i, s := range term.Succs {
+			if preds[s] < 2 {
+				continue
+			}
+			// Insert a forwarding block on this edge.
+			nb := &Block{ID: nextID}
+			nextID++
+			nb.Insts = append(nb.Insts, &Inst{Op: GBr, Dst: -1, Succs: []int{s}})
+			term.Succs[i] = nb.ID
+			// Retarget phi incoming edges in s.
+			target := f.BlockByID(s)
+			for _, in := range target.Insts {
+				if in.Op != GPhi {
+					break
+				}
+				for k, from := range in.PhiBlocks {
+					if from == b.ID {
+						in.PhiBlocks[k] = nb.ID
+					}
+				}
+			}
+			added = append(added, nb)
+		}
+	}
+	f.Blocks = append(f.Blocks, added...)
+}
+
+// LowerRem rewrites G_UREM/G_SREM into div-mul-sub for targets without a
+// remainder instruction (AArch64). The expansion matches the SMT-LIB
+// division-by-zero semantics exactly: for b = 0 the quotient's q·b term
+// vanishes and the remainder is the dividend.
+func LowerRem(f *Function) {
+	alloc := func(ty Type) Value {
+		v := Value(f.NumValues)
+		f.NumValues++
+		f.types[v] = ty
+		return v
+	}
+	for _, b := range f.Blocks {
+		var out []*Inst
+		for _, in := range b.Insts {
+			if in.Op != GURem && in.Op != GSRem {
+				out = append(out, in)
+				continue
+			}
+			divOp := GUDiv
+			if in.Op == GSRem {
+				divOp = GSDiv
+			}
+			q := alloc(in.Ty)
+			m := alloc(in.Ty)
+			out = append(out,
+				&Inst{Op: divOp, Ty: in.Ty, Dst: q, Args: []Value{in.Args[0], in.Args[1]}},
+				&Inst{Op: GMul, Ty: in.Ty, Dst: m, Args: []Value{q, in.Args[1]}},
+				&Inst{Op: GSub, Ty: in.Ty, Dst: in.Dst, Args: []Value{in.Args[0], m}})
+		}
+		b.Insts = out
+	}
+}
+
+// CSEConstants deduplicates G_CONSTANT instructions function-wide,
+// hoisting one instance per distinct value into the entry block (after
+// any leading phis — the entry has none in practice). This mirrors the
+// constant CSE the LLVM middle end performs before selection.
+func CSEConstants(f *Function) {
+	type key struct {
+		lo, hi uint64
+		w      uint8
+	}
+	canon := map[key]Value{}
+	remap := map[Value]Value{}
+	var hoisted []*Inst
+	for _, b := range f.Blocks {
+		kept := b.Insts[:0]
+		for _, in := range b.Insts {
+			if in.Op == GConstant {
+				k := key{in.Imm.Lo, in.Imm.Hi, in.Imm.Width}
+				if first, ok := canon[k]; ok {
+					remap[in.Dst] = first
+					continue
+				}
+				canon[k] = in.Dst
+				hoisted = append(hoisted, in)
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Insts = kept
+	}
+	entry := f.Blocks[0]
+	entry.Insts = append(append([]*Inst(nil), hoisted...), entry.Insts...)
+	if len(remap) == 0 {
+		return
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			for i, a := range in.Args {
+				if r, ok := remap[a]; ok {
+					in.Args[i] = r
+				}
+			}
+		}
+	}
+}
+
+// LowerAbs expands G_ABS into the shift-xor-subtract idiom for targets
+// without an ABS-capable instruction (RISC-V base):
+// abs(x) = (x ^ (x >>s w-1)) - (x >>s w-1).
+func LowerAbs(f *Function) {
+	alloc := func(ty Type) Value {
+		v := Value(f.NumValues)
+		f.NumValues++
+		f.types[v] = ty
+		return v
+	}
+	for _, b := range f.Blocks {
+		var out []*Inst
+		for _, in := range b.Insts {
+			if in.Op != GAbs {
+				out = append(out, in)
+				continue
+			}
+			w := in.Ty.Bits
+			sh := alloc(in.Ty)
+			sign := alloc(in.Ty)
+			x := alloc(in.Ty)
+			out = append(out,
+				&Inst{Op: GConstant, Ty: in.Ty, Dst: sh, Imm: bv.New(w, uint64(w-1))},
+				&Inst{Op: GAShr, Ty: in.Ty, Dst: sign, Args: []Value{in.Args[0], sh}},
+				&Inst{Op: GXor, Ty: in.Ty, Dst: x, Args: []Value{in.Args[0], sign}},
+				&Inst{Op: GSub, Ty: in.Ty, Dst: in.Dst, Args: []Value{x, sign}})
+		}
+		b.Insts = out
+	}
+}
+
+// InvertPred returns the logical negation of a predicate.
+func InvertPred(p Pred) Pred {
+	switch p {
+	case PredEQ:
+		return PredNE
+	case PredNE:
+		return PredEQ
+	case PredULT:
+		return PredUGE
+	case PredULE:
+		return PredUGT
+	case PredUGT:
+		return PredULE
+	case PredUGE:
+		return PredULT
+	case PredSLT:
+		return PredSGE
+	case PredSLE:
+		return PredSGT
+	case PredSGT:
+		return PredSLE
+	default:
+		return PredSLT
+	}
+}

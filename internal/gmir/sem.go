@@ -1,0 +1,117 @@
+package gmir
+
+import (
+	"fmt"
+
+	"iselgen/internal/term"
+)
+
+// InstTerm builds the bitvector-term semantics of one selectable gMIR
+// instruction from already-built argument terms — the manually defined
+// symbolic specification of the IR (paper §IV-B). Loads produce term.Load
+// wrapped in the appropriate extension; stores produce a term.Store root.
+func InstTerm(b *term.Builder, in *Inst, args []*term.Term) (*term.Term, error) {
+	w := in.Ty.Bits
+	switch in.Op {
+	case GConstant:
+		return b.ConstBV(in.Imm), nil
+	case GAdd:
+		return b.Add(args[0], args[1]), nil
+	case GSub:
+		return b.Sub(args[0], args[1]), nil
+	case GMul:
+		return b.Mul(args[0], args[1]), nil
+	case GUDiv:
+		return b.UDiv(args[0], args[1]), nil
+	case GSDiv:
+		return b.SDiv(args[0], args[1]), nil
+	case GURem:
+		return b.URem(args[0], args[1]), nil
+	case GSRem:
+		return b.SRem(args[0], args[1]), nil
+	case GAnd:
+		return b.And(args[0], args[1]), nil
+	case GOr:
+		return b.Or(args[0], args[1]), nil
+	case GXor:
+		return b.Xor(args[0], args[1]), nil
+	case GShl:
+		return b.Shl(args[0], modAmt(b, args[1], w)), nil
+	case GLShr:
+		return b.LShr(args[0], modAmt(b, args[1], w)), nil
+	case GAShr:
+		return b.AShr(args[0], modAmt(b, args[1], w)), nil
+	case GICmp:
+		return predTerm(b, in.Pred, args[0], args[1]), nil
+	case GSelect:
+		return b.Ite(b.Bool(args[0]), args[1], args[2]), nil
+	case GZExt:
+		return b.ZExt(w, args[0]), nil
+	case GSExt:
+		return b.SExt(w, args[0]), nil
+	case GTrunc:
+		return b.Trunc(w, args[0]), nil
+	case GCtpop:
+		return b.Popcount(args[0]), nil
+	case GCtlz:
+		return b.Clz(args[0]), nil
+	case GCttz:
+		return b.Ctz(args[0]), nil
+	case GBSwap:
+		return b.Rev(args[0]), nil
+	case GAbs:
+		neg := b.Slt(args[0], b.Const(args[0].W(), 0))
+		return b.Ite(neg, b.Neg(args[0]), args[0]), nil
+	case GSMin:
+		return b.Ite(b.Slt(args[0], args[1]), args[0], args[1]), nil
+	case GSMax:
+		return b.Ite(b.Slt(args[1], args[0]), args[0], args[1]), nil
+	case GUMin:
+		return b.Ite(b.Ult(args[0], args[1]), args[0], args[1]), nil
+	case GUMax:
+		return b.Ite(b.Ult(args[1], args[0]), args[0], args[1]), nil
+	case GPtrAdd:
+		return b.Add(args[0], args[1]), nil
+	case GLoad:
+		return b.ZExt(w, b.Load(in.MemBits, args[0])), nil
+	case GSLoad:
+		return b.SExt(w, b.Load(in.MemBits, args[0])), nil
+	case GStore:
+		return b.Store(args[1], b.Trunc(in.MemBits, args[0])), nil
+	case GCopy:
+		return args[0], nil
+	}
+	return nil, fmt.Errorf("gmir: no term semantics for %v", in.Op)
+}
+
+// modAmt reduces a shift distance modulo the width (see interp.go's
+// shiftAmt for the rationale).
+func modAmt(b *term.Builder, d *term.Term, width int) *term.Term {
+	return b.URem(d, b.Const(d.W(), uint64(width)))
+}
+
+// predTerm builds the 1-bit comparison term for a predicate.
+func predTerm(b *term.Builder, p Pred, x, y *term.Term) *term.Term {
+	switch p {
+	case PredEQ:
+		return b.Eq(x, y)
+	case PredNE:
+		return b.Ne(x, y)
+	case PredULT:
+		return b.Ult(x, y)
+	case PredULE:
+		return b.Ule(x, y)
+	case PredUGT:
+		return b.Ugt(x, y)
+	case PredUGE:
+		return b.Ule(y, x)
+	case PredSLT:
+		return b.Slt(x, y)
+	case PredSLE:
+		return b.Sle(x, y)
+	case PredSGT:
+		return b.Sgt(x, y)
+	default:
+		return b.Sle(y, x)
+	}
+}

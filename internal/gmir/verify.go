@@ -1,0 +1,60 @@
+package gmir
+
+import "fmt"
+
+// Verify checks SSA and structural invariants: every value defined once,
+// every use dominated-ish (defined before use within the linear block
+// order, or a parameter, or via phi), blocks terminated exactly once,
+// and branch targets valid.
+func Verify(f *Function) error {
+	defined := map[Value]bool{}
+	for _, p := range f.Params {
+		defined[p.Val] = true
+	}
+	// First pass: definitions unique; record them all (phis may use
+	// values defined later in a loop).
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if in.Dst >= 0 {
+				if defined[in.Dst] {
+					return fmt.Errorf("gmir: %s: %%%d defined twice", f.Name, in.Dst)
+				}
+				defined[in.Dst] = true
+			}
+		}
+	}
+	blockIDs := map[int]bool{}
+	for _, b := range f.Blocks {
+		blockIDs[b.ID] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Insts) == 0 {
+			return fmt.Errorf("gmir: %s: bb%d empty", f.Name, b.ID)
+		}
+		for i, in := range b.Insts {
+			isTerm := in.Op == GBr || in.Op == GBrCond || in.Op == GRet
+			if isTerm != (i == len(b.Insts)-1) {
+				return fmt.Errorf("gmir: %s: bb%d: terminator placement at %d (%s)",
+					f.Name, b.ID, i, in)
+			}
+			if in.Op == GPhi && i != 0 && b.Insts[i-1].Op != GPhi {
+				return fmt.Errorf("gmir: %s: bb%d: phi not at block head", f.Name, b.ID)
+			}
+			for _, a := range in.Args {
+				if !defined[a] {
+					return fmt.Errorf("gmir: %s: bb%d: use of undefined %%%d in %s",
+						f.Name, b.ID, a, in)
+				}
+			}
+			for _, s := range in.Succs {
+				if !blockIDs[s] {
+					return fmt.Errorf("gmir: %s: branch to missing bb%d", f.Name, s)
+				}
+			}
+			if in.Op == GPhi && len(in.Args) != len(in.PhiBlocks) {
+				return fmt.Errorf("gmir: %s: malformed phi", f.Name)
+			}
+		}
+	}
+	return nil
+}

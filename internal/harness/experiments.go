@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iselgen/internal/rules"
+)
+
+// Fig6 renders the pattern-size and instruction-sequence-length
+// distributions of the handwritten baseline library versus the
+// synthesized library — the paper's Fig. 6, which motivates the search
+// bounds (sequences ≤ 2 instructions, patterns ≤ 6 operations).
+func Fig6(s *Setup, synth *rules.Library) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 6 analog — %s rule length distributions\n\n", s.Name)
+	hand := s.Handwritten.Lib
+	dist := func(lib *rules.Library) (seqLen, patSize map[int]int) {
+		st := lib.Summarize()
+		return st.BySeqLen, st.ByPatternSize
+	}
+	hs, hp := dist(hand)
+	ss, sp := dist(synth)
+	writeDist := func(title string, hw, gen map[int]int) {
+		fmt.Fprintf(&sb, "%s\n", title)
+		maxK := 0
+		for k := range hw {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		for k := range gen {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		hTot, gTot := 0, 0
+		for _, v := range hw {
+			hTot += v
+		}
+		for _, v := range gen {
+			gTot += v
+		}
+		fmt.Fprintf(&sb, "  %-6s %18s %18s\n", "len", "handwritten", "generated")
+		for k := 0; k <= maxK; k++ {
+			if hw[k] == 0 && gen[k] == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %-6d %9d (%4.1f%%) %9d (%4.1f%%)\n", k,
+				hw[k], pct(hw[k], hTot), gen[k], pct(gen[k], gTot))
+		}
+	}
+	writeDist("instruction sequence length:", hs, ss)
+	sb.WriteByte('\n')
+	writeDist("pattern size (gMIR operations):", hp, sp)
+	return sb.String()
+}
+
+func pct(n, tot int) float64 {
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(tot)
+}
+
+// TableIII renders the GlobalISel-fallback accounting: which workload
+// functions each backend could not select declaratively (paper Table III
+// counts functions falling back to SelectionDAG).
+func TableIII(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table III analog — selection fallbacks per workload function\n\n")
+	byWorkload := map[string]map[string]Row{}
+	backends := map[string]bool{}
+	var names []string
+	for _, r := range rows {
+		if byWorkload[r.Workload] == nil {
+			byWorkload[r.Workload] = map[string]Row{}
+			names = append(names, r.Workload)
+		}
+		byWorkload[r.Workload][r.Backend] = r
+		backends[r.Backend] = true
+	}
+	sort.Strings(names)
+	var bks []string
+	for bk := range backends {
+		bks = append(bks, bk)
+	}
+	sort.Strings(bks)
+	fmt.Fprintf(&sb, "%-18s", "workload")
+	for _, bk := range bks {
+		fmt.Fprintf(&sb, " %12s", bk)
+	}
+	sb.WriteByte('\n')
+	totals := map[string]int{}
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-18s", n)
+		for _, bk := range bks {
+			mark := "0"
+			if byWorkload[n][bk].Fallback {
+				mark = "1"
+				totals[bk]++
+			}
+			fmt.Fprintf(&sb, " %12s", mark)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-18s", "total")
+	for _, bk := range bks {
+		fmt.Fprintf(&sb, " %12d", totals[bk])
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// SizeTable renders static code size per backend (§VIII-C's binary-size
+// comparison).
+func SizeTable(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("§VIII-C analog — binary size (bytes of code)\n\n")
+	byWorkload := map[string]map[string]int{}
+	backends := map[string]bool{}
+	var names []string
+	for _, r := range rows {
+		if byWorkload[r.Workload] == nil {
+			byWorkload[r.Workload] = map[string]int{}
+			names = append(names, r.Workload)
+		}
+		byWorkload[r.Workload][r.Backend] = r.Size
+		backends[r.Backend] = true
+	}
+	sort.Strings(names)
+	var bks []string
+	for bk := range backends {
+		bks = append(bks, bk)
+	}
+	sort.Strings(bks)
+	fmt.Fprintf(&sb, "%-18s", "workload")
+	for _, bk := range bks {
+		fmt.Fprintf(&sb, " %12s", bk)
+	}
+	sb.WriteString("  synth/gisel\n")
+	var sumS, sumG int
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-18s", n)
+		for _, bk := range bks {
+			fmt.Fprintf(&sb, " %12d", byWorkload[n][bk])
+		}
+		g, ok1 := byWorkload[n]["globalisel"]
+		syn, ok2 := byWorkload[n]["synth"]
+		if ok1 && ok2 && g > 0 {
+			fmt.Fprintf(&sb, "  %10.3f", float64(syn)/float64(g))
+			sumS += syn
+			sumG += g
+		}
+		sb.WriteByte('\n')
+	}
+	if sumG > 0 {
+		fmt.Fprintf(&sb, "overall synth/globalisel size ratio: %.3f\n", float64(sumS)/float64(sumG))
+	}
+	return sb.String()
+}

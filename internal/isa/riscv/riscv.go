@@ -1,0 +1,142 @@
+// Package riscv defines the RV64IM instruction set (the integer portion
+// of the paper's rv64imafd profile — floating point is out of scope for
+// the synthesis, as in the paper) in the spec DSL.
+//
+// The W-form instructions operate on the low 32 bits and sign-extend the
+// result, exactly as the SAIL model specifies. Branch variants expand per
+// comparison, mirroring the paper's attribute expansion.
+package riscv
+
+import (
+	"fmt"
+	"strings"
+
+	"iselgen/internal/isa"
+	"iselgen/internal/term"
+)
+
+// Spec returns the RV64IM specification source.
+func Spec() string {
+	var sb strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&sb, format+"\n", args...) }
+
+	// Register-register ALU ops.
+	w("inst ADD(rs1: reg64, rs2: reg64) { rd = rs1 + rs2; }")
+	w("inst SUB(rs1: reg64, rs2: reg64) { rd = rs1 - rs2; }")
+	w("inst AND(rs1: reg64, rs2: reg64) { rd = rs1 & rs2; }")
+	w("inst OR(rs1: reg64, rs2: reg64) { rd = rs1 | rs2; }")
+	w("inst XOR(rs1: reg64, rs2: reg64) { rd = rs1 ^ rs2; }")
+	w("inst SLL(rs1: reg64, rs2: reg64) { rd = rs1 << (rs2 %% 64:64); }")
+	w("inst SRL(rs1: reg64, rs2: reg64) { rd = rs1 >> (rs2 %% 64:64); }")
+	w("inst SRA(rs1: reg64, rs2: reg64) { rd = ashr(rs1, rs2 %% 64:64); }")
+	w("inst SLT(rs1: reg64, rs2: reg64) { rd = zext(slt(rs1, rs2), 64); }")
+	w("inst SLTU(rs1: reg64, rs2: reg64) { rd = zext(ult(rs1, rs2), 64); }")
+
+	// Immediate ALU ops (12-bit sign-extended immediates).
+	w("inst ADDI(rs1: reg64, imm: imm12) { rd = rs1 + sext(imm, 64); }")
+	w("inst ANDI(rs1: reg64, imm: imm12) { rd = rs1 & sext(imm, 64); }")
+	w("inst ORI(rs1: reg64, imm: imm12) { rd = rs1 | sext(imm, 64); }")
+	w("inst XORI(rs1: reg64, imm: imm12) { rd = rs1 ^ sext(imm, 64); }")
+	w("inst SLTI(rs1: reg64, imm: imm12) { rd = zext(slt(rs1, sext(imm, 64)), 64); }")
+	w("inst SLTIU(rs1: reg64, imm: imm12) { rd = zext(ult(rs1, sext(imm, 64)), 64); }")
+	w("inst SLLI(rs1: reg64, sh: imm6) { rd = rs1 << zext(sh, 64); }")
+	w("inst SRLI(rs1: reg64, sh: imm6) { rd = rs1 >> zext(sh, 64); }")
+	w("inst SRAI(rs1: reg64, sh: imm6) { rd = ashr(rs1, zext(sh, 64)); }")
+
+	// Upper-immediate materialization.
+	w("inst LUI(imm: imm20) { rd = sext(concat(imm, 0:12), 64); }")
+	w("inst AUIPC(imm: imm20) { rd = pc + sext(concat(imm, 0:12), 64); }")
+	// Constant zero and register move (x0-based idioms).
+	w("inst MVZERO() { rd = 0:64; }")
+	w("inst MV(rs1: reg64) { rd = rs1; }")
+	w("inst NEG(rs2: reg64) { rd = -rs2; }")
+	w("inst NOT(rs1: reg64) { rd = ~rs1; }")
+	w("inst SEQZ(rs1: reg64) { rd = zext(rs1 == 0, 64); }")
+	w("inst SNEZ(rs2: reg64) { rd = zext(ult(0:64, rs2), 64); }")
+
+	// W forms: operate on low 32 bits, sign-extend the 32-bit result.
+	w("inst ADDW(rs1: reg64, rs2: reg64) { rd = sext(trunc(rs1, 32) + trunc(rs2, 32), 64); }")
+	w("inst SUBW(rs1: reg64, rs2: reg64) { rd = sext(trunc(rs1, 32) - trunc(rs2, 32), 64); }")
+	w("inst ADDIW(rs1: reg64, imm: imm12) { rd = sext(trunc(rs1, 32) + sext(imm, 32), 64); }")
+	w("inst SLLIW(rs1: reg64, sh: imm5) { rd = sext(trunc(rs1, 32) << zext(sh, 32), 64); }")
+	w("inst SRLIW(rs1: reg64, sh: imm5) { rd = sext(trunc(rs1, 32) >> zext(sh, 32), 64); }")
+	w("inst SRAIW(rs1: reg64, sh: imm5) { rd = sext(ashr(trunc(rs1, 32), zext(sh, 32)), 64); }")
+	w("inst SLLW(rs1: reg64, rs2: reg64) { rd = sext(trunc(rs1, 32) << (trunc(rs2, 32) %% 32:32), 64); }")
+	w("inst SRLW(rs1: reg64, rs2: reg64) { rd = sext(trunc(rs1, 32) >> (trunc(rs2, 32) %% 32:32), 64); }")
+	w("inst SRAW(rs1: reg64, rs2: reg64) { rd = sext(ashr(trunc(rs1, 32), trunc(rs2, 32) %% 32:32), 64); }")
+
+	// M extension.
+	w("inst MUL(rs1: reg64, rs2: reg64) { rd = rs1 * rs2; }")
+	w("inst MULW(rs1: reg64, rs2: reg64) { rd = sext(trunc(rs1, 32) * trunc(rs2, 32), 64); }")
+	w("inst MULH(rs1: reg64, rs2: reg64) { rd = trunc(ashr(sext(rs1, 128) * sext(rs2, 128), 64:128), 64); }")
+	w("inst MULHU(rs1: reg64, rs2: reg64) { rd = trunc((zext(rs1, 128) * zext(rs2, 128)) >> 64:128, 64); }")
+	w("inst MULHSU(rs1: reg64, rs2: reg64) { rd = trunc(ashr(sext(rs1, 128) * zext(rs2, 128), 64:128), 64); }")
+	w("inst DIV(rs1: reg64, rs2: reg64) { rd = sdiv(rs1, rs2); }")
+	w("inst DIVU(rs1: reg64, rs2: reg64) { rd = udiv(rs1, rs2); }")
+	w("inst REM(rs1: reg64, rs2: reg64) { rd = srem(rs1, rs2); }")
+	w("inst REMU(rs1: reg64, rs2: reg64) { rd = urem(rs1, rs2); }")
+	w("inst DIVW(rs1: reg64, rs2: reg64) { rd = sext(sdiv(trunc(rs1, 32), trunc(rs2, 32)), 64); }")
+	w("inst DIVUW(rs1: reg64, rs2: reg64) { rd = sext(udiv(trunc(rs1, 32), trunc(rs2, 32)), 64); }")
+	w("inst REMW(rs1: reg64, rs2: reg64) { rd = sext(srem(trunc(rs1, 32), trunc(rs2, 32)), 64); }")
+	w("inst REMUW(rs1: reg64, rs2: reg64) { rd = sext(urem(trunc(rs1, 32), trunc(rs2, 32)), 64); }")
+
+	// Loads (base + sign-extended 12-bit offset).
+	for _, l := range []struct {
+		name string
+		bits int
+		ext  string
+	}{
+		{"LB", 8, "sext"}, {"LH", 16, "sext"}, {"LW", 32, "sext"},
+		{"LD", 64, ""}, {"LBU", 8, "zext"}, {"LHU", 16, "zext"}, {"LWU", 32, "zext"},
+	} {
+		val := fmt.Sprintf("load(rs1 + sext(imm, 64), %d)", l.bits)
+		if l.ext != "" {
+			val = fmt.Sprintf("%s(%s, 64)", l.ext, val)
+		}
+		w("inst %s(rs1: reg64, imm: imm12) { rd = %s; }", l.name, val)
+	}
+	// Stores.
+	for _, s := range []struct {
+		name string
+		bits int
+	}{{"SB", 8}, {"SH", 16}, {"SW", 32}, {"SD", 64}} {
+		val := "rs2"
+		if s.bits < 64 {
+			val = fmt.Sprintf("trunc(rs2, %d)", s.bits)
+		}
+		w("inst %s(rs2: reg64, rs1: reg64, imm: imm12) { mem[rs1 + sext(imm, 64), %d] = %s; }",
+			s.name, s.bits, val)
+	}
+
+	// Branches (13-bit offsets, low bit implicit zero).
+	for _, br := range []struct{ name, cond string }{
+		{"BEQ", "rs1 == rs2"}, {"BNE", "rs1 != rs2"},
+		{"BLT", "slt(rs1, rs2)"}, {"BGE", "sge(rs1, rs2)"},
+		{"BLTU", "ult(rs1, rs2)"}, {"BGEU", "uge(rs1, rs2)"},
+	} {
+		w("inst %s(rs1: reg64, rs2: reg64, imm: imm12) { if (%s) { pc = pc + sext(concat(imm, 0:1), 64); } }",
+			br.name, br.cond)
+	}
+	w("inst JAL(imm: imm20) { rd = pc + 4; pc = pc + sext(concat(imm, 0:1), 64); }")
+	w("inst J(imm: imm20) { pc = pc + sext(concat(imm, 0:1), 64); }")
+	w("inst JALR(rs1: reg64, imm: imm12) { rd = pc + 4; pc = (rs1 + sext(imm, 64)) & ~1:64; }")
+
+	return sb.String()
+}
+
+func latencies() map[string]int {
+	lat := map[string]int{
+		"MUL": 3, "MULW": 3, "MULH": 6, "MULHU": 6, "MULHSU": 6,
+		"DIV": 20, "DIVU": 20, "REM": 20, "REMU": 20,
+		"DIVW": 20, "DIVUW": 20, "REMW": 20, "REMUW": 20,
+	}
+	for _, n := range []string{"LB", "LH", "LW", "LD", "LBU", "LHU", "LWU"} {
+		lat[n] = 3
+	}
+	return lat
+}
+
+// Load builds the RISC-V target in the given term builder.
+func Load(b *term.Builder) (*isa.Target, error) {
+	return isa.LoadTarget(b, "riscv", Spec(), latencies(), 4)
+}

@@ -1,0 +1,156 @@
+package riscv
+
+import (
+	"testing"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/isa"
+	"iselgen/internal/spec"
+	"iselgen/internal/term"
+)
+
+func load(t *testing.T) (*term.Builder, *isa.Target) {
+	t.Helper()
+	b := term.NewBuilder()
+	tgt, err := Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, tgt
+}
+
+func evalRd(t *testing.T, tgt *isa.Target, name string, binds map[string]bv.BV) bv.BV {
+	t.Helper()
+	inst := tgt.ByName(name)
+	if inst == nil {
+		t.Fatalf("no instruction %s", name)
+	}
+	env := term.NewEnv()
+	for k, v := range binds {
+		env.Bind(name+"."+k, v)
+	}
+	for _, e := range inst.Effects {
+		if e.Kind == spec.EffReg && e.Dest == "rd" {
+			return e.T.Eval(env)
+		}
+	}
+	t.Fatalf("%s has no rd effect", name)
+	return bv.BV{}
+}
+
+func TestCount(t *testing.T) {
+	_, tgt := load(t)
+	if len(tgt.Insts) < 60 {
+		t.Errorf("only %d instructions", len(tgt.Insts))
+	}
+}
+
+func TestWFormsSignExtend(t *testing.T) {
+	_, tgt := load(t)
+	// ADDW of values whose 32-bit sum has the sign bit set must
+	// sign-extend: 0x7fffffff + 1 = 0x80000000 -> 0xffffffff80000000.
+	got := evalRd(t, tgt, "ADDW", map[string]bv.BV{
+		"rs1": bv.New(64, 0x7fffffff), "rs2": bv.New(64, 1)})
+	if got.Lo != 0xffffffff80000000 {
+		t.Errorf("ADDW = %#x", got.Lo)
+	}
+	// High input bits are ignored.
+	got = evalRd(t, tgt, "ADDW", map[string]bv.BV{
+		"rs1": bv.New(64, 0xdeadbeef_00000002), "rs2": bv.New(64, 3)})
+	if got.Lo != 5 {
+		t.Errorf("ADDW high-bits = %#x", got.Lo)
+	}
+	// SRAIW shifts the low word arithmetically.
+	got = evalRd(t, tgt, "SRAIW", map[string]bv.BV{
+		"rs1": bv.New(64, 0x80000000), "sh": bv.New(5, 4)})
+	if got.Lo != 0xfffffffff8000000 {
+		t.Errorf("SRAIW = %#x", got.Lo)
+	}
+}
+
+func TestImmediatesSignExtend(t *testing.T) {
+	_, tgt := load(t)
+	got := evalRd(t, tgt, "ADDI", map[string]bv.BV{
+		"rs1": bv.New(64, 10), "imm": bv.NewInt(12, -3)})
+	if got.Lo != 7 {
+		t.Errorf("ADDI -3 = %d", got.Lo)
+	}
+	got = evalRd(t, tgt, "LUI", map[string]bv.BV{"imm": bv.New(20, 0x80000)})
+	if got.Lo != 0xffffffff80000000 {
+		t.Errorf("LUI = %#x", got.Lo)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	_, tgt := load(t)
+	got := evalRd(t, tgt, "SLT", map[string]bv.BV{
+		"rs1": bv.NewInt(64, -1), "rs2": bv.New(64, 0)})
+	if got.Lo != 1 {
+		t.Errorf("SLT(-1,0) = %d", got.Lo)
+	}
+	got = evalRd(t, tgt, "SLTU", map[string]bv.BV{
+		"rs1": bv.NewInt(64, -1), "rs2": bv.New(64, 0)})
+	if got.Lo != 0 {
+		t.Errorf("SLTU(max,0) = %d", got.Lo)
+	}
+}
+
+func TestMulDivSemantics(t *testing.T) {
+	_, tgt := load(t)
+	got := evalRd(t, tgt, "MULHU", map[string]bv.BV{
+		"rs1": bv.New(64, 1<<32), "rs2": bv.New(64, 1<<33)})
+	if got.Lo != 2 {
+		t.Errorf("MULHU = %d, want 2", got.Lo)
+	}
+	got = evalRd(t, tgt, "MULH", map[string]bv.BV{
+		"rs1": bv.NewInt(64, -1), "rs2": bv.New(64, 5)})
+	if got.Int64() != -1 {
+		t.Errorf("MULH(-1,5) = %d, want -1", got.Int64())
+	}
+	// RISC-V division by zero: quotient all ones, remainder = dividend.
+	got = evalRd(t, tgt, "DIVU", map[string]bv.BV{
+		"rs1": bv.New(64, 42), "rs2": bv.Zero(64)})
+	if !got.IsOnes() {
+		t.Errorf("DIVU/0 = %v", got)
+	}
+	got = evalRd(t, tgt, "REMU", map[string]bv.BV{
+		"rs1": bv.New(64, 42), "rs2": bv.Zero(64)})
+	if got.Lo != 42 {
+		t.Errorf("REMU/0 = %v", got)
+	}
+}
+
+func TestLoadsExtend(t *testing.T) {
+	_, tgt := load(t)
+	lb := tgt.ByName("LB")
+	if lb.Effects[0].T.Op != term.SExt {
+		t.Errorf("LB is not sign-extending: %s", lb.Effects[0].T)
+	}
+	lbu := tgt.ByName("LBU")
+	if lbu.Effects[0].T.Op != term.ZExt {
+		t.Errorf("LBU is not zero-extending: %s", lbu.Effects[0].T)
+	}
+	if tgt.ByName("LD").Latency != 3 {
+		t.Error("LD latency")
+	}
+}
+
+func TestBranchAndJAL(t *testing.T) {
+	_, tgt := load(t)
+	beq := tgt.ByName("BEQ")
+	env := term.NewEnv()
+	env.Bind("BEQ.rs1", bv.New(64, 4))
+	env.Bind("BEQ.rs2", bv.New(64, 4))
+	env.Bind("BEQ.imm", bv.New(12, 8))
+	env.Bind("BEQ.pc", bv.New(64, 0x100))
+	if got := beq.Effects[0].T.Eval(env); got.Lo != 0x110 {
+		t.Errorf("BEQ taken = %#x", got.Lo)
+	}
+	jal := tgt.ByName("JAL")
+	if len(jal.Effects) != 2 {
+		t.Fatalf("JAL effects = %d", len(jal.Effects))
+	}
+	if !jal.HasPCEffect() {
+		t.Error("JAL has no PC effect")
+	}
+}

@@ -1,0 +1,56 @@
+// Package x86 defines the ~20-instruction x86-32 subset matching the
+// simplified handwritten specification of Buchwald et al. (the paper's
+// §IX discussion experiment: their four-day synthesis covers basic
+// arithmetic, mov, and control flow only — notably no multiplication and
+// no 64-bit arithmetic).
+package x86
+
+import (
+	"iselgen/internal/isa"
+	"iselgen/internal/term"
+)
+
+// Spec returns the x86-32 subset specification.
+func Spec() string {
+	return `
+inst ADDrr(a: reg32, b: reg32) { rd = a + b; }
+inst ADDri(a: reg32, imm: imm32) { rd = a + imm; }
+inst SUBrr(a: reg32, b: reg32) { rd = a - b; }
+inst SUBri(a: reg32, imm: imm32) { rd = a - imm; }
+inst ANDrr(a: reg32, b: reg32) { rd = a & b; }
+inst ANDri(a: reg32, imm: imm32) { rd = a & imm; }
+inst ORrr(a: reg32, b: reg32) { rd = a | b; }
+inst ORri(a: reg32, imm: imm32) { rd = a | imm; }
+inst XORrr(a: reg32, b: reg32) { rd = a ^ b; }
+inst XORri(a: reg32, imm: imm32) { rd = a ^ imm; }
+inst NOTr(a: reg32) { rd = ~a; }
+inst NEGr(a: reg32) { rd = -a; }
+inst INCr(a: reg32) { rd = a + 1; }
+inst DECr(a: reg32) { rd = a - 1; }
+inst MOVri(imm: imm32) { rd = imm; }
+inst MOVrr(a: reg32) { rd = a; }
+inst SHLri(a: reg32, sh: imm5) { rd = a << zext(sh, 32); }
+inst SHRri(a: reg32, sh: imm5) { rd = a >> zext(sh, 32); }
+inst SARri(a: reg32, sh: imm5) { rd = ashr(a, zext(sh, 32)); }
+inst LEA_bi(base: reg32, idx: reg32) { rd = base + idx; }
+inst LEA_bis4(base: reg32, idx: reg32) { rd = base + (idx << 2:32); }
+inst LEA_bd(base: reg32, disp: imm32) { rd = base + disp; }
+inst CMPrr(a: reg32, b: reg32) {
+  let res = a - b;
+  flags.Z = res == 0;
+  flags.N = extract(res, 31, 31);
+  flags.C = uge(a, b);
+  flags.V = extract((a ^ b) & (a ^ res), 31, 31);
+}
+inst SETEr() { rd = zext(flags.Z, 32); }
+inst SETNEr() { rd = zext(!flags.Z, 32); }
+inst JMP(imm: imm32) { pc = pc + sext(imm, 64); }
+inst JE(imm: imm32) { if (flags.Z) { pc = pc + sext(imm, 64); } }
+inst JNE(imm: imm32) { if (!flags.Z) { pc = pc + sext(imm, 64); } }
+`
+}
+
+// Load builds the x86-32 target in the given term builder.
+func Load(b *term.Builder) (*isa.Target, error) {
+	return isa.LoadTarget(b, "x86", Spec(), nil, 3)
+}

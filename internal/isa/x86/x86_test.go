@@ -1,0 +1,40 @@
+package x86
+
+import (
+	"testing"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/spec"
+	"iselgen/internal/term"
+)
+
+func TestLoadAndSemantics(t *testing.T) {
+	b := term.NewBuilder()
+	tgt, err := Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tgt.Insts) < 25 {
+		t.Errorf("only %d instructions", len(tgt.Insts))
+	}
+	lea := tgt.ByName("LEA_bis4")
+	env := term.NewEnv()
+	env.Bind("LEA_bis4.base", bv.New(32, 0x100))
+	env.Bind("LEA_bis4.idx", bv.New(32, 3))
+	if got := lea.Effects[0].T.Eval(env); got.Lo != 0x10c {
+		t.Errorf("LEA base+idx*4 = %#x", got.Lo)
+	}
+	cmp := tgt.ByName("CMPrr")
+	flagCount := 0
+	for _, e := range cmp.Effects {
+		if e.Kind == spec.EffFlag {
+			flagCount++
+		}
+	}
+	if flagCount != 4 {
+		t.Errorf("CMPrr flags = %d", flagCount)
+	}
+	if tgt.ByName("CMPrr").Size != 3 {
+		t.Errorf("x86 size = %d", tgt.ByName("CMPrr").Size)
+	}
+}

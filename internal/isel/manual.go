@@ -1,0 +1,252 @@
+package isel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/isa"
+	"iselgen/internal/pattern"
+	"iselgen/internal/rules"
+	"iselgen/internal/term"
+)
+
+// This file implements the compact specification language used to write
+// the handwritten baseline rule libraries (the analog of LLVM's manually
+// maintained TableGen files) and the manual imports the synthesized
+// backend uses for operations outside the synthesis scope (§VI-A,
+// §VIII-A). Every manual rule is verified against random inputs at
+// construction time — handwritten baselines must be as trustworthy as
+// the correct-by-construction synthesized rules they are compared with.
+
+// MustSeq builds an instruction sequence from a spec like
+//
+//	"SUBSXrr ; CSETXeq[flags]"      — flag-consuming chain
+//	"LSLXri ; ADDXrr[rm]"           — result wired into operand rm
+//	"UDIVX ; MSUBX[rn]"             — result wired into operand rn
+//
+// It panics on malformed specs (these are compile-time fixtures).
+func MustSeq(b *term.Builder, tgt *isa.Target, specStr string) *isa.Sequence {
+	parts := strings.Split(specStr, ";")
+	var seq *isa.Sequence
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		name := part
+		var wires []string
+		flags := false
+		if k := strings.IndexByte(part, '['); k >= 0 {
+			name = part[:k]
+			spec := strings.TrimSuffix(part[k+1:], "]")
+			for _, tok := range strings.Split(spec, ",") {
+				tok = strings.TrimSpace(tok)
+				if tok == "flags" {
+					flags = true
+				} else if tok != "" {
+					wires = append(wires, tok)
+				}
+			}
+		}
+		inst := tgt.ByName(name)
+		if inst == nil {
+			panic("isel: unknown instruction " + name + " in " + specStr)
+		}
+		if i == 0 {
+			if len(wires) > 0 || flags {
+				panic("isel: first instruction cannot wire: " + specStr)
+			}
+			seq = isa.Single(b, inst)
+			continue
+		}
+		next, err := isa.Append(b, seq, inst, wires, flags)
+		if err != nil {
+			panic(fmt.Sprintf("isel: %s: %v", specStr, err))
+		}
+		seq = next
+	}
+	return seq
+}
+
+// MustRule builds and verifies a manual rule.
+//
+// opSpec has one token per sequence input, in order:
+//
+//	p0              — pattern leaf 0, direct
+//	p2:zext6        — leaf 2 through a zero-extending width-6 embed
+//	p1:sext9        — sign-extending embed
+//	p1:zext12<<3    — scaled embed
+//	=0 / =0x1f      — fixed constant operand
+//
+// leafConsts like "3=-1" constrain leaf 3 to an exact constant.
+func MustRule(b *term.Builder, tgt *isa.Target, pat *pattern.Pattern,
+	seqSpec, opSpec string, leafConsts ...string) *rules.Rule {
+
+	seq := MustSeq(b, tgt, seqSpec)
+	toks := strings.Fields(opSpec)
+	if len(toks) != len(seq.Inputs) {
+		panic(fmt.Sprintf("isel: %s: %d operand tokens for %d inputs",
+			seqSpec, len(toks), len(seq.Inputs)))
+	}
+	r := &rules.Rule{Pattern: pat, Seq: seq, Source: "manual"}
+	leaves := pat.Leaves()
+	for k, tok := range toks {
+		in := seq.Inputs[k]
+		switch {
+		case strings.HasPrefix(tok, "="):
+			v, err := strconv.ParseInt(strings.TrimPrefix(tok, "="), 0, 64)
+			if err != nil {
+				panic("isel: bad const token " + tok)
+			}
+			r.Operands = append(r.Operands, rules.OperandSource{
+				Kind: rules.SrcConst, Const: bv.NewInt(in.Op.Width, v)})
+		case strings.HasPrefix(tok, "p"):
+			body := strings.TrimPrefix(tok, "p")
+			leafStr, embedStr, hasEmbed := strings.Cut(body, ":")
+			leaf, err := strconv.Atoi(leafStr)
+			if err != nil || leaf >= len(leaves) {
+				panic("isel: bad leaf token " + tok)
+			}
+			src := rules.OperandSource{Kind: rules.SrcLeaf, Leaf: leaf}
+			if hasEmbed {
+				src.Embed = parseEmbed(embedStr)
+			}
+			r.Operands = append(r.Operands, src)
+		default:
+			panic("isel: bad operand token " + tok)
+		}
+	}
+	for _, lc := range leafConsts {
+		idxStr, valStr, ok := strings.Cut(lc, "=")
+		if !ok {
+			panic("isel: bad leaf const " + lc)
+		}
+		idx, err1 := strconv.Atoi(idxStr)
+		val, err2 := strconv.ParseInt(valStr, 0, 64)
+		if err1 != nil || err2 != nil || idx >= len(leaves) {
+			panic("isel: bad leaf const " + lc)
+		}
+		if r.LeafConsts == nil {
+			r.LeafConsts = map[int]bv.BV{}
+		}
+		r.LeafConsts[idx] = bv.NewInt(leaves[idx].Ty.Bits, val)
+	}
+	if err := VerifyRule(b, r); err != nil {
+		panic(fmt.Sprintf("isel: manual rule %s is wrong: %v", seqSpec, err))
+	}
+	return r
+}
+
+func parseEmbed(s string) *rules.Embed {
+	em := &rules.Embed{}
+	if rest, ok := strings.CutPrefix(s, "zext"); ok {
+		s = rest
+	} else if rest, ok := strings.CutPrefix(s, "sext"); ok {
+		em.Signed = true
+		s = rest
+	} else {
+		panic("isel: bad embed " + s)
+	}
+	wStr, shStr, hasShift := strings.Cut(s, "<<")
+	w, err := strconv.Atoi(wStr)
+	if err != nil {
+		panic("isel: bad embed width " + s)
+	}
+	em.Width = w
+	if hasShift {
+		sh, err := strconv.Atoi(shStr)
+		if err != nil {
+			panic("isel: bad embed shift " + s)
+		}
+		em.Shift = sh
+	}
+	return em
+}
+
+// VerifyRule checks a rule by random evaluation: on inputs satisfying the
+// rule's constraints, the pattern and the sequence's primary effect must
+// agree. Also used by the test suites as invariant #6.
+func VerifyRule(b *term.Builder, r *rules.Rule) error {
+	tp, err := r.Pattern.Compile(b)
+	if err != nil {
+		return err
+	}
+	leaves := r.Pattern.Leaves()
+	primary := -1
+	for i, e := range r.Seq.Effects {
+		if e.Dest == "rd" || e.T.Op == term.Store {
+			primary = i
+			break
+		}
+	}
+	if primary < 0 {
+		return fmt.Errorf("sequence %s has no primary effect", r.Seq)
+	}
+	rng := bv.NewRNG(0xc0ffee)
+	trials := 0
+	for attempt := 0; attempt < 400 && trials < 50; attempt++ {
+		env := term.NewEnv()
+		leafVals := make([]bv.BV, len(leaves))
+		for i, l := range leaves {
+			leafVals[i] = rng.BV(l.Ty.Bits)
+			if v, ok := r.LeafConsts[i]; ok {
+				leafVals[i] = v
+			}
+		}
+		ok := true
+		for k, in := range r.Seq.Inputs {
+			src := r.Operands[k]
+			var v bv.BV
+			switch src.Kind {
+			case rules.SrcConst:
+				v = src.Const
+			case rules.SrcLeaf:
+				v = leafVals[src.Leaf]
+				if src.Embed != nil {
+					// Force representable values for constrained leaves.
+					e, repr := src.Embed.Decode(v)
+					if !repr {
+						forced := rng.BV(src.Embed.Width)
+						var back bv.BV
+						if src.Embed.Signed {
+							back = forced.SExt(leaves[src.Leaf].Ty.Bits)
+						} else {
+							back = forced.ZExt(leaves[src.Leaf].Ty.Bits)
+						}
+						back = back.ShlN(uint(src.Embed.Shift))
+						leafVals[src.Leaf] = back
+						e, repr = src.Embed.Decode(back)
+						if !repr {
+							ok = false
+							break
+						}
+						v = back
+					}
+					v = e
+					if v.W() < in.Op.Width {
+						v = v.ZExt(in.Op.Width)
+					}
+				}
+			}
+			if !ok {
+				break
+			}
+			env.Bind(in.Var.Name, v)
+		}
+		if !ok {
+			continue
+		}
+		for i, l := range leaves {
+			env.Bind(pattern.LeafName(i, l), leafVals[i])
+		}
+		trials++
+		pv := tp.Eval(env)
+		sv := r.Seq.Effects[primary].T.Eval(env)
+		if pv != sv {
+			return fmt.Errorf("mismatch on %v: pattern %v, sequence %v", env.Vals, pv, sv)
+		}
+	}
+	if trials == 0 {
+		return fmt.Errorf("no valid trials for rule %s", r.Seq)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package sim executes machine IR by evaluating each instruction's
+// formal effect terms — the same terms the synthesis consumed — against
+// a concrete register file, flag state, and memory. It is the
+// reproduction's stand-in for the paper's hardware evaluation platforms
+// (Apple M2, Milk-V SG2042): simulated cycle counts (per-instruction
+// latencies from the ISA metadata) play the role of measured runtime,
+// and static code bytes the role of binary size (§VIII-C).
+package sim
+
+import (
+	"fmt"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/gmir"
+	"iselgen/internal/mir"
+	"iselgen/internal/spec"
+	"iselgen/internal/term"
+)
+
+// Result reports one execution.
+type Result struct {
+	Ret    bv.BV
+	HasRet bool
+	Cycles int64
+	Insts  int64
+}
+
+// Machine executes machine functions.
+type Machine struct {
+	Mem *gmir.Memory
+	// MaxSteps bounds execution (default 200M instructions).
+	MaxSteps int64
+}
+
+type memAdapter struct{ m *gmir.Memory }
+
+func (a memAdapter) Load(addr uint64, bits int) bv.BV { return a.m.Load(addr, bits) }
+
+// Adjust converts a register-file value to an operand width: the file
+// behaves like physical 64-bit registers, so narrower reads truncate and
+// wider reads zero-extend.
+func Adjust(v bv.BV, w int) bv.BV {
+	switch {
+	case v.Width == 0:
+		return bv.Zero(w) // never-written register
+	case v.W() == w:
+		return v
+	case v.W() < w:
+		return v.ZExt(w)
+	default:
+		return v.Trunc(w)
+	}
+}
+
+// Run executes f with the given arguments.
+func (m *Machine) Run(f *mir.Func, args []bv.BV) (Result, error) {
+	if m.Mem == nil {
+		m.Mem = gmir.NewMemory()
+	}
+	maxSteps := m.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 200_000_000
+	}
+	if len(args) != len(f.Params) {
+		return Result{}, fmt.Errorf("sim: %s takes %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	regs := make([]bv.BV, f.NumRegs)
+	for i, p := range f.Params {
+		regs[p] = args[i]
+	}
+	flags := map[string]bv.BV{"N": bv.Zero(1), "Z": bv.Zero(1), "C": bv.Zero(1), "V": bv.Zero(1)}
+
+	layout := map[int]int{} // block ID -> layout index
+	for i, b := range f.Blocks {
+		layout[b.ID] = i
+	}
+
+	res := Result{}
+	bi := 0
+	for bi < len(f.Blocks) {
+		blk := f.Blocks[bi]
+		taken := -1
+		for _, in := range blk.Insts {
+			if res.Insts++; res.Insts > maxSteps {
+				return res, fmt.Errorf("sim: %s: step limit exceeded", f.Name)
+			}
+			res.Cycles += int64(in.Latency())
+			switch {
+			case in.Pseudo == mir.PCopy:
+				regs[in.Dsts[0]] = regs[in.Args[0].Reg]
+				continue
+			case in.Pseudo == mir.PRet:
+				if len(in.Args) == 1 {
+					res.Ret = regs[in.Args[0].Reg]
+					res.HasRet = true
+				}
+				return res, nil
+			}
+			t, err := m.step(in, regs, flags)
+			if err != nil {
+				return res, fmt.Errorf("sim: %s: %s: %w", f.Name, in, err)
+			}
+			if t {
+				taken = in.Succs[0]
+				break
+			}
+		}
+		if taken >= 0 {
+			ni, ok := layout[taken]
+			if !ok {
+				return res, fmt.Errorf("sim: %s: branch to unknown bb%d", f.Name, taken)
+			}
+			bi = ni
+		} else {
+			bi++
+		}
+	}
+	return res, fmt.Errorf("sim: %s: fell off the end", f.Name)
+}
+
+// step executes one ISA instruction; reports whether a branch was taken.
+func (m *Machine) step(in *mir.Inst, regs []bv.BV, flags map[string]bv.BV) (bool, error) {
+	meta := in.Meta
+	if meta == nil {
+		return false, fmt.Errorf("unexpected pseudo")
+	}
+	if len(in.Args) != len(meta.Operands) {
+		return false, fmt.Errorf("operand count %d, want %d", len(in.Args), len(meta.Operands))
+	}
+	env := term.NewEnv()
+	env.Mem = memAdapter{m.Mem}
+	labelImm := -1
+	for i, op := range meta.Operands {
+		name := meta.Name + "." + op.Name
+		a := in.Args[i]
+		if a.IsImm {
+			env.Bind(name, Adjust(a.Imm, op.Width))
+			if len(in.Succs) > 0 && op.Kind == spec.OpImm && labelImm < 0 {
+				labelImm = i
+			}
+		} else {
+			env.Bind(name, Adjust(regs[a.Reg], op.Width))
+		}
+	}
+	for _, fn := range spec.FlagNames {
+		env.Bind(meta.Name+"."+fn, flags[fn])
+	}
+	const pcBase = 0x100000
+	env.Bind(meta.Name+".pc", bv.New(64, pcBase))
+
+	branchTaken := false
+	dstIdx := 0
+	for _, e := range meta.Effects {
+		switch e.Kind {
+		case spec.EffReg, spec.EffWB:
+			if dstIdx >= len(in.Dsts) {
+				return false, fmt.Errorf("missing destination register for %s effect", e.Kind)
+			}
+			regs[in.Dsts[dstIdx]] = e.T.Eval(env)
+			dstIdx++
+		case spec.EffFlag:
+			flags[e.Dest] = e.T.Eval(env)
+		case spec.EffMem:
+			addr := e.T.Args[0].Eval(env)
+			val := e.T.Args[1].Eval(env)
+			m.Mem.Store(addr.Uint64(), val, int(e.T.Aux0))
+		case spec.EffPC:
+			// Decide taken-ness by displacement sensitivity: evaluate the
+			// PC effect under two label values; if the results differ the
+			// target depends on the displacement (branch taken); if both
+			// equal fall-through (pc+4), the branch is not taken.
+			if len(in.Succs) == 0 {
+				return false, fmt.Errorf("PC effect without successor")
+			}
+			if labelImm < 0 {
+				return false, fmt.Errorf("branch without label immediate")
+			}
+			labelName := meta.Name + "." + meta.Operands[labelImm].Name
+			labelW := meta.Operands[labelImm].Width
+			env.Bind(labelName, bv.New(labelW, 2))
+			r1 := e.T.Eval(env)
+			env.Bind(labelName, bv.New(labelW, 3))
+			r2 := e.T.Eval(env)
+			if r1 != r2 {
+				branchTaken = true
+			} else if r1.Lo != pcBase+4 {
+				branchTaken = true // displacement-independent jump (e.g. JALR)
+			}
+		}
+	}
+	return branchTaken, nil
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/gmir"
+	"iselgen/internal/isa"
+	"iselgen/internal/mir"
+	"iselgen/internal/term"
+)
+
+const simSpec = `
+inst ADD(rn: reg64, rm: reg64) { rd = rn + rm; }
+inst ADDI(rn: reg64, imm: imm12) { rd = rn + zext(imm, 64); }
+inst SUBS(rn: reg64, rm: reg64) {
+  let res = rn - rm;
+  rd = res;
+  flags.N = extract(res, 63, 63);
+  flags.Z = res == 0;
+  flags.C = uge(rn, rm);
+  flags.V = extract((rn ^ rm) & (rn ^ res), 63, 63);
+}
+inst Beq(imm: imm19) { if (flags.Z) { pc = pc + sext(concat(imm, 0:2), 64); } }
+inst B(imm: imm26) { pc = pc + sext(concat(imm, 0:2), 64); }
+inst LDR(rn: reg64, imm: imm12) { rd = load(rn + zext(imm, 64), 64); }
+inst STR(rt: reg64, rn: reg64, imm: imm12) { mem[rn + zext(imm, 64), 64] = rt; }
+inst LDP(rn: reg64, simm: imm9) {
+  rd = load(rn, 64);
+  rn = rn + sext(simm, 64);
+}
+`
+
+func target(t *testing.T) (*term.Builder, *isa.Target) {
+	t.Helper()
+	b := term.NewBuilder()
+	tgt, err := isa.LoadTarget(b, "simtest", simSpec, map[string]int{"LDR": 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, tgt
+}
+
+func TestStraightLine(t *testing.T) {
+	_, tgt := target(t)
+	f := &mir.Func{Name: "f", NumRegs: 4, Params: []mir.Reg{0, 1}}
+	f.Blocks = []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+		{Meta: tgt.ByName("ADD"), Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(0), mir.R(1)}},
+		{Meta: tgt.ByName("ADDI"), Dsts: []mir.Reg{3}, Args: []mir.Operand{mir.R(2), mir.I(bv.New(12, 5))}},
+		{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(3)}},
+	}}}
+	m := &Machine{}
+	res, err := m.Run(f, []bv.BV{bv.New(64, 10), bv.New(64, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret.Lo != 35 {
+		t.Errorf("result = %d", res.Ret.Lo)
+	}
+	if res.Insts != 3 {
+		t.Errorf("insts = %d", res.Insts)
+	}
+	// Latency model: 1 + 1 + 1 = 3 cycles (ret counts 1).
+	if res.Cycles != 3 {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+}
+
+func TestConditionalBranchAndFlags(t *testing.T) {
+	_, tgt := target(t)
+	// if (a == b) return 1 else return 2, via SUBS + Beq.
+	f := &mir.Func{Name: "f", NumRegs: 5, Params: []mir.Reg{0, 1}}
+	dummy := mir.I(bv.Zero(19))
+	f.Blocks = []*mir.Block{
+		{ID: 0, Insts: []*mir.Inst{
+			{Meta: tgt.ByName("SUBS"), Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(0), mir.R(1)}},
+			{Meta: tgt.ByName("Beq"), Args: []mir.Operand{dummy}, Succs: []int{2}},
+		}},
+		{ID: 1, Insts: []*mir.Inst{
+			{Meta: tgt.ByName("ADDI"), Dsts: []mir.Reg{3}, Args: []mir.Operand{mir.R(4), mir.I(bv.New(12, 2))}},
+			{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(3)}},
+		}},
+		{ID: 2, Insts: []*mir.Inst{
+			{Meta: tgt.ByName("ADDI"), Dsts: []mir.Reg{3}, Args: []mir.Operand{mir.R(4), mir.I(bv.New(12, 1))}},
+			{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(3)}},
+		}},
+	}
+	m := &Machine{}
+	res, err := m.Run(f, []bv.BV{bv.New(64, 7), bv.New(64, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret.Lo != 1 {
+		t.Errorf("equal args: result = %d, want 1 (taken)", res.Ret.Lo)
+	}
+	res, err = m.Run(f, []bv.BV{bv.New(64, 7), bv.New(64, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret.Lo != 2 {
+		t.Errorf("unequal args: result = %d, want 2 (fallthrough)", res.Ret.Lo)
+	}
+}
+
+func TestUnconditionalBranch(t *testing.T) {
+	_, tgt := target(t)
+	f := &mir.Func{Name: "f", NumRegs: 3, Params: []mir.Reg{0}}
+	f.Blocks = []*mir.Block{
+		{ID: 0, Insts: []*mir.Inst{
+			{Meta: tgt.ByName("B"), Args: []mir.Operand{mir.I(bv.Zero(26))}, Succs: []int{2}},
+		}},
+		{ID: 1, Insts: []*mir.Inst{ // skipped
+			{Meta: tgt.ByName("ADDI"), Dsts: []mir.Reg{0}, Args: []mir.Operand{mir.R(0), mir.I(bv.New(12, 99))}},
+			{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(0)}},
+		}},
+		{ID: 2, Insts: []*mir.Inst{
+			{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(0)}},
+		}},
+	}
+	m := &Machine{}
+	res, err := m.Run(f, []bv.BV{bv.New(64, 42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret.Lo != 42 {
+		t.Errorf("result = %d (block 1 executed?)", res.Ret.Lo)
+	}
+}
+
+func TestMemoryAndLatency(t *testing.T) {
+	_, tgt := target(t)
+	f := &mir.Func{Name: "f", NumRegs: 3, Params: []mir.Reg{0, 1}}
+	f.Blocks = []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+		{Meta: tgt.ByName("STR"), Args: []mir.Operand{mir.R(1), mir.R(0), mir.I(bv.New(12, 8))}},
+		{Meta: tgt.ByName("LDR"), Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(0), mir.I(bv.New(12, 8))}},
+		{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(2)}},
+	}}}
+	m := &Machine{Mem: gmir.NewMemory()}
+	res, err := m.Run(f, []bv.BV{bv.New(64, 0x100), bv.New(64, 0xabcd)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret.Lo != 0xabcd {
+		t.Errorf("load-after-store = %#x", res.Ret.Lo)
+	}
+	// STR 1 + LDR 3 + RET 1.
+	if res.Cycles != 5 {
+		t.Errorf("cycles = %d, want 5", res.Cycles)
+	}
+}
+
+func TestWritebackDualDest(t *testing.T) {
+	_, tgt := target(t)
+	// Post-index load: rd and write-back both land in Dsts.
+	f := &mir.Func{Name: "f", NumRegs: 4, Params: []mir.Reg{0}}
+	f.Blocks = []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+		{Meta: tgt.ByName("LDP"), Dsts: []mir.Reg{1, 2},
+			Args: []mir.Operand{mir.R(0), mir.I(bv.NewInt(9, 16))}},
+		{Meta: tgt.ByName("ADD"), Dsts: []mir.Reg{3}, Args: []mir.Operand{mir.R(1), mir.R(2)}},
+		{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(3)}},
+	}}}
+	m := &Machine{Mem: gmir.NewMemory()}
+	m.Mem.Store(0x200, bv.New(64, 5), 64)
+	res, err := m.Run(f, []bv.BV{bv.New(64, 0x200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// loaded 5, rn' = 0x210: 5 + 0x210 = 0x215.
+	if res.Ret.Lo != 0x215 {
+		t.Errorf("result = %#x, want 0x215", res.Ret.Lo)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	_, tgt := target(t)
+	f := &mir.Func{Name: "spin", NumRegs: 1, Params: []mir.Reg{0}}
+	f.Blocks = []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+		{Meta: tgt.ByName("B"), Args: []mir.Operand{mir.I(bv.Zero(26))}, Succs: []int{0}},
+	}}}
+	m := &Machine{MaxSteps: 100}
+	_, err := m.Run(f, []bv.BV{bv.Zero(64)})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("err = %v, want step limit", err)
+	}
+}
+
+func TestAdjust(t *testing.T) {
+	if got := Adjust(bv.New(64, 0x1ff), 8); got.Lo != 0xff {
+		t.Errorf("truncating read = %v", got)
+	}
+	if got := Adjust(bv.New(8, 0xff), 64); got.Lo != 0xff || got.W() != 64 {
+		t.Errorf("widening read = %v", got)
+	}
+	if got := Adjust(bv.BV{}, 32); !got.IsZero() || got.W() != 32 {
+		t.Errorf("unwritten register = %v", got)
+	}
+}

@@ -1,0 +1,5 @@
+package smt
+
+import "iselgen/internal/bv"
+
+func bvNew(width int, hi, lo uint64) bv.BV { return bv.New128(width, hi, lo) }

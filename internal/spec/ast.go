@@ -1,0 +1,144 @@
+package spec
+
+// AST for the specification language.
+
+// File is a parsed specification file: a list of instruction definitions.
+type File struct {
+	Insts []*InstDef
+}
+
+// OperandKind classifies instruction operands.
+type OperandKind int
+
+// Operand kinds.
+const (
+	OpReg OperandKind = iota
+	OpVec
+	OpImm
+)
+
+func (k OperandKind) String() string {
+	switch k {
+	case OpReg:
+		return "reg"
+	case OpVec:
+		return "vec"
+	default:
+		return "imm"
+	}
+}
+
+// Operand is a declared instruction operand.
+type Operand struct {
+	Name  string
+	Kind  OperandKind
+	Width int
+}
+
+// InstDef is one instruction definition.
+type InstDef struct {
+	Name     string
+	Operands []Operand
+	Body     []Stmt
+	Line     int
+}
+
+// Stmt is a specification statement.
+type Stmt interface{ stmt() }
+
+// LetStmt binds a local name.
+type LetStmt struct {
+	Name string
+	X    Expr
+	Line int
+}
+
+// AssignStmt writes an effect target: "rd", "rd2", a declared register
+// operand (write-back), or "pc".
+type AssignStmt struct {
+	Target string
+	X      Expr
+	Line   int
+}
+
+// FlagStmt writes one condition flag (N, Z, C, or V).
+type FlagStmt struct {
+	Flag string
+	X    Expr
+	Line int
+}
+
+// MemStmt is a store: mem[addr, width] = value.
+type MemStmt struct {
+	Addr  Expr
+	Width int
+	X     Expr
+	Line  int
+}
+
+// IfStmt executes branches symbolically and joins their writes.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+func (*LetStmt) stmt()    {}
+func (*AssignStmt) stmt() {}
+func (*FlagStmt) stmt()   {}
+func (*MemStmt) stmt()    {}
+func (*IfStmt) stmt()     {}
+
+// Expr is a specification expression.
+type Expr interface{ expr() }
+
+// Ident references an operand, a let-binding, "pc", or a flag via
+// flags.N etc. (the latter parses as a FlagRef).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Num is an integer literal, optionally width-annotated (N:w).
+type Num struct {
+	Val   uint64
+	Width int // 0 when inferred from context
+	Line  int
+}
+
+// Unary is -x, ~x, or !x.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Call is a builtin function application.
+type Call struct {
+	Fn   string
+	Args []Expr
+	// Width arguments (zext/sext/trunc/load widths, extract bounds) are
+	// parsed into Nums inside Args.
+	Line int
+}
+
+// FlagRef reads a condition flag: flags.N etc.
+type FlagRef struct {
+	Flag string
+	Line int
+}
+
+func (*Ident) expr()   {}
+func (*Num) expr()     {}
+func (*Unary) expr()   {}
+func (*Binary) expr()  {}
+func (*Call) expr()    {}
+func (*FlagRef) expr() {}

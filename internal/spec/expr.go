@@ -1,0 +1,269 @@
+package spec
+
+import (
+	"fmt"
+
+	"iselgen/internal/term"
+)
+
+// eval evaluates an expression to a term. expect is a width hint used to
+// size bare integer literals (0 when no context is available; literals
+// then require an explicit :width annotation unless the sibling operand
+// fixes the width).
+func (ex *executor) eval(st *state, e Expr, expect int) (*term.Term, error) {
+	switch e := e.(type) {
+	case *Num:
+		w := e.Width
+		if w == 0 {
+			w = expect
+		}
+		if w == 0 {
+			return nil, ex.errf(e.Line, "cannot infer width of literal %d; annotate as %d:w", e.Val, e.Val)
+		}
+		return ex.b.Const(w, e.Val), nil
+
+	case *Ident:
+		if e.Name == "pc" {
+			return ex.pcVar(), nil
+		}
+		if t, ok := st.vals[e.Name]; ok {
+			return t, nil
+		}
+		return nil, ex.errf(e.Line, "unknown identifier %q", e.Name)
+
+	case *FlagRef:
+		return ex.flagVar(e.Flag), nil
+
+	case *Unary:
+		x, err := ex.eval(st, e.X, expect)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			return ex.b.Neg(x), nil
+		case "~":
+			return ex.b.Not(x), nil
+		case "!":
+			return ex.b.Not(ex.b.Bool(x)), nil
+		}
+		return nil, ex.errf(e.Line, "unknown unary %q", e.Op)
+
+	case *Binary:
+		return ex.evalBinary(st, e, expect)
+
+	case *Call:
+		return ex.evalCall(st, e, expect)
+	}
+	return nil, fmt.Errorf("spec: unknown expression %T", e)
+}
+
+// evalBinary evaluates both operands with mutual width inference: a bare
+// literal on one side takes the width of the other side.
+func (ex *executor) evalBinary(st *state, e *Binary, expect int) (*term.Term, error) {
+	_, xLit := e.X.(*Num)
+	_, yLit := e.Y.(*Num)
+	var x, y *term.Term
+	var err error
+	switch {
+	case xLit && !yLit:
+		if y, err = ex.eval(st, e.Y, expect); err != nil {
+			return nil, err
+		}
+		if x, err = ex.eval(st, e.X, y.W()); err != nil {
+			return nil, err
+		}
+	default:
+		if x, err = ex.eval(st, e.X, expect); err != nil {
+			return nil, err
+		}
+		if y, err = ex.eval(st, e.Y, x.W()); err != nil {
+			return nil, err
+		}
+	}
+	if x.W() != y.W() {
+		return nil, ex.errf(e.Line, "operator %q width mismatch: %d vs %d", e.Op, x.W(), y.W())
+	}
+	b := ex.b
+	switch e.Op {
+	case "+":
+		return b.Add(x, y), nil
+	case "-":
+		return b.Sub(x, y), nil
+	case "*":
+		return b.Mul(x, y), nil
+	case "/":
+		return b.UDiv(x, y), nil
+	case "%":
+		return b.URem(x, y), nil
+	case "&", "&&":
+		return b.And(x, y), nil
+	case "|", "||":
+		return b.Or(x, y), nil
+	case "^":
+		return b.Xor(x, y), nil
+	case "<<":
+		return b.Shl(x, y), nil
+	case ">>":
+		return b.LShr(x, y), nil
+	case "==":
+		return b.Eq(x, y), nil
+	case "!=":
+		return b.Ne(x, y), nil
+	}
+	return nil, ex.errf(e.Line, "unknown operator %q", e.Op)
+}
+
+// widthArg extracts a literal width/bound argument.
+func (ex *executor) widthArg(e Expr, what string) (int, error) {
+	n, ok := e.(*Num)
+	if !ok {
+		return 0, fmt.Errorf("spec: %s: %s must be an integer literal", ex.inst.Name, what)
+	}
+	return int(n.Val), nil
+}
+
+func (ex *executor) evalCall(st *state, e *Call, expect int) (*term.Term, error) {
+	b := ex.b
+	argc := func(n int) error {
+		if len(e.Args) != n {
+			return ex.errf(e.Line, "%s expects %d arguments, got %d", e.Fn, n, len(e.Args))
+		}
+		return nil
+	}
+	// Width-conversion builtins: fn(x, width).
+	switch e.Fn {
+	case "zext", "sext", "trunc", "load":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		w, err := ex.widthArg(e.Args[1], e.Fn+" width")
+		if err != nil {
+			return nil, err
+		}
+		hint := 0
+		if e.Fn == "load" {
+			hint = 64
+		}
+		x, err := ex.eval(st, e.Args[0], hint)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Fn {
+		case "zext":
+			return b.ZExt(w, x), nil
+		case "sext":
+			return b.SExt(w, x), nil
+		case "trunc":
+			return b.Trunc(w, x), nil
+		default:
+			if x.W() != 64 {
+				return nil, ex.errf(e.Line, "load address must be 64 bits, got %d", x.W())
+			}
+			return b.Load(w, x), nil
+		}
+	case "extract":
+		if err := argc(3); err != nil {
+			return nil, err
+		}
+		hi, err := ex.widthArg(e.Args[1], "extract hi")
+		if err != nil {
+			return nil, err
+		}
+		lo, err := ex.widthArg(e.Args[2], "extract lo")
+		if err != nil {
+			return nil, err
+		}
+		x, err := ex.eval(st, e.Args[0], 0)
+		if err != nil {
+			return nil, err
+		}
+		return b.Extract(hi, lo, x), nil
+	case "concat":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		x, err := ex.eval(st, e.Args[0], 0)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ex.eval(st, e.Args[1], 0)
+		if err != nil {
+			return nil, err
+		}
+		return b.Concat(x, y), nil
+	case "select":
+		if err := argc(3); err != nil {
+			return nil, err
+		}
+		c, err := ex.eval(st, e.Args[0], 1)
+		if err != nil {
+			return nil, err
+		}
+		x, err := ex.eval(st, e.Args[1], expect)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ex.eval(st, e.Args[2], x.W())
+		if err != nil {
+			return nil, err
+		}
+		return b.Ite(b.Bool(c), x, y), nil
+	}
+
+	// Unary builtins.
+	if fn1, ok := map[string]func(*term.Term) *term.Term{
+		"popcount": b.Popcount, "clz": b.Clz, "ctz": b.Ctz, "rev": b.Rev,
+		"bool": b.Bool,
+	}[e.Fn]; ok {
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		x, err := ex.eval(st, e.Args[0], expect)
+		if err != nil {
+			return nil, err
+		}
+		return fn1(x), nil
+	}
+
+	// Binary builtins with mutual inference.
+	fn2, ok := map[string]func(x, y *term.Term) *term.Term{
+		"ashr": b.AShr, "lshr": b.LShr, "shl": b.Shl,
+		"rotl": b.RotL, "rotr": b.RotR,
+		"udiv": b.UDiv, "sdiv": b.SDiv, "urem": b.URem, "srem": b.SRem,
+		"eq": b.Eq, "ne": b.Ne,
+		"ult": b.Ult, "ule": b.Ule, "ugt": b.Ugt, "uge": func(x, y *term.Term) *term.Term { return b.Ule(y, x) },
+		"slt": b.Slt, "sle": b.Sle, "sgt": b.Sgt, "sge": func(x, y *term.Term) *term.Term { return b.Sle(y, x) },
+	}[e.Fn]
+	if !ok {
+		return nil, ex.errf(e.Line, "unknown function %q", e.Fn)
+	}
+	if err := argc(2); err != nil {
+		return nil, err
+	}
+	be := &Binary{Op: "", X: e.Args[0], Y: e.Args[1], Line: e.Line}
+	// Reuse binary mutual-inference by evaluating operands the same way.
+	_, xLit := be.X.(*Num)
+	_, yLit := be.Y.(*Num)
+	var x, y *term.Term
+	var err error
+	if xLit && !yLit {
+		if y, err = ex.eval(st, be.Y, expect); err != nil {
+			return nil, err
+		}
+		if x, err = ex.eval(st, be.X, y.W()); err != nil {
+			return nil, err
+		}
+	} else {
+		if x, err = ex.eval(st, be.X, expect); err != nil {
+			return nil, err
+		}
+		if y, err = ex.eval(st, be.Y, x.W()); err != nil {
+			return nil, err
+		}
+	}
+	if x.W() != y.W() {
+		return nil, ex.errf(e.Line, "%s width mismatch: %d vs %d", e.Fn, x.W(), y.W())
+	}
+	return fn2(x, y), nil
+}

@@ -1,0 +1,591 @@
+// Package trie implements the paper's term index (§V-B2): canonicalized
+// instruction-sequence terms are stored in a trie whose paths are the
+// sorted addend lists of modulo-2ⁿ linear combinations. Each edge is one
+// (coefficient, operand) pair keyed by the operand's canonical ID, so
+// insertion is O(len) with hash-map steps, and terms that share a prefix
+// of addends share trie nodes.
+//
+// Non-linear terms (atoms, operation nodes) are stored as single-addend
+// paths of depth one, exactly as the paper stores them "as a leaf on
+// depth one: seen as a linear combination with a single operand".
+//
+// Lookup performs unification with backtracking (§V-B3): a query pattern
+// with free IR variables is matched against indexed terms with free ISA
+// operand variables. Register atoms unify with register atoms of equal
+// kind, width, and coefficient; immediates unify with immediates even
+// across different coefficients, widths, and extract windows (recorded as
+// constraints for rule generation); excess query constants bind to ISA
+// immediates; excess ISA immediates bind to zero; and PC+imm linear
+// combinations unify with a lone immediate (PC-relative addressing).
+package trie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/canon"
+	"iselgen/internal/term"
+)
+
+// Index is the term index. It is not safe for concurrent mutation;
+// concurrent Lookup is safe once building has finished.
+type Index struct {
+	roots    map[int]*node // by linear-combination width
+	payloads map[*canon.CTerm][]any
+	inserted int
+}
+
+type edgeKey struct {
+	coefLo, coefHi uint64
+	id             int32
+}
+
+type bvKey struct{ lo, hi uint64 }
+
+type edge struct {
+	sub  *canon.CTerm // the operand labelling this edge
+	next *node
+}
+
+type node struct {
+	edges map[edgeKey]edge
+	// terminal canonical terms ending at this node, by constant part.
+	terms map[bvKey]*canon.CTerm
+}
+
+func newNode() *node { return &node{} }
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{roots: make(map[int]*node), payloads: make(map[*canon.CTerm][]any)}
+}
+
+// Len returns the number of Insert calls that stored a payload.
+func (ix *Index) Len() int { return ix.inserted }
+
+// linView presents any canonical term as (K, addends): linear combinations
+// verbatim, everything else as a single unit-coefficient addend.
+func linView(ct *canon.CTerm) (bv.BV, []canon.Addend) {
+	if ct.Kind == canon.Lin {
+		return ct.K, ct.Addends
+	}
+	return bv.Zero(ct.Width), []canon.Addend{{Coef: bv.New(ct.Width, 1), T: ct}}
+}
+
+// Insert stores the canonical term with an associated payload (typically
+// the instruction sequence whose effect the term denotes).
+func (ix *Index) Insert(ct *canon.CTerm, payload any) {
+	k, addends := linView(ct)
+	root := ix.roots[ct.Width]
+	if root == nil {
+		root = newNode()
+		ix.roots[ct.Width] = root
+	}
+	n := root
+	for _, a := range addends {
+		ek := edgeKey{coefLo: a.Coef.Lo, coefHi: a.Coef.Hi, id: int32(a.T.ID)}
+		if n.edges == nil {
+			n.edges = make(map[edgeKey]edge)
+		}
+		e, ok := n.edges[ek]
+		if !ok {
+			e = edge{sub: a.T, next: newNode()}
+			n.edges[ek] = e
+		}
+		n = e.next
+	}
+	if n.terms == nil {
+		n.terms = make(map[bvKey]*canon.CTerm)
+	}
+	n.terms[bvKey{k.Lo, k.Hi}] = ct
+	ix.payloads[ct] = append(ix.payloads[ct], payload)
+	ix.inserted++
+}
+
+// Payloads returns the payloads stored for a canonical term.
+func (ix *Index) Payloads(ct *canon.CTerm) []any { return ix.payloads[ct] }
+
+// ImmBind records how an ISA immediate operand was bound during
+// unification, including the extract windows and coefficients on both
+// sides; rule generation turns these into immediate constraints
+// (alignment, scaling, sub-width encodings — §V-B3).
+type ImmBind struct {
+	ISA          *canon.CTerm // the ISA immediate atom
+	ISAHi, ISALo int          // extract window applied on the ISA side
+	Query        *canon.CTerm // query immediate atom; nil when bound to a constant
+	QHi, QLo     int          // extract window applied on the query side
+	Const        bv.BV        // value when Query == nil (includes zero-bindings)
+	CoefQ, CoefI bv.BV        // coefficients of the respective addends
+	PCRel        bool         // bound through a PC+imm combination
+}
+
+func (ib ImmBind) same(other ImmBind) bool {
+	return ib.ISA == other.ISA && ib.ISAHi == other.ISAHi && ib.ISALo == other.ISALo &&
+		ib.Query == other.Query && ib.QHi == other.QHi && ib.QLo == other.QLo &&
+		ib.Const == other.Const && ib.CoefQ == other.CoefQ && ib.CoefI == other.CoefI &&
+		ib.PCRel == other.PCRel
+}
+
+// Binding is the variable correspondence produced by unification.
+type Binding struct {
+	// Regs maps each ISA register/vector/flag/PC atom to the query atom
+	// it was unified with.
+	Regs map[*canon.CTerm]*canon.CTerm
+	// Imms lists immediate bindings in discovery order.
+	Imms []ImmBind
+}
+
+func (b *Binding) clone() *Binding {
+	nb := &Binding{Regs: make(map[*canon.CTerm]*canon.CTerm, len(b.Regs))}
+	for k, v := range b.Regs {
+		nb.Regs[k] = v
+	}
+	nb.Imms = append([]ImmBind(nil), b.Imms...)
+	return nb
+}
+
+// bindReg records isa→query; fails on conflicting rebinding.
+func (b *Binding) bindReg(isa, query *canon.CTerm) bool {
+	if old, ok := b.Regs[isa]; ok {
+		return old == query
+	}
+	b.Regs[isa] = query
+	return true
+}
+
+// bindImm records an immediate binding; fails on conflict. Bindings of
+// the same ISA immediate merge in two benign cases that arise from the
+// linearized sign-extension of immediates (sext(imm) decomposes into the
+// immediate plus a sign-bit extract term):
+//
+//  1. both bind constants zero (different windows of a zero immediate);
+//  2. a value binding plus a zero constant on the sign-bit window — the
+//     extension choice is settled by rule verification.
+func (b *Binding) bindImm(ib ImmBind) bool {
+	for i, old := range b.Imms {
+		if old.ISA != ib.ISA {
+			continue
+		}
+		if old.same(ib) {
+			return true
+		}
+		zeroConst := func(x ImmBind) bool { return x.Query == nil && x.Const.IsZero() }
+		signWindow := func(x ImmBind) bool { return x.ISAHi == x.ISALo }
+		switch {
+		case zeroConst(old) && zeroConst(ib):
+			// Keep the wider window.
+			if ib.ISAHi-ib.ISALo > old.ISAHi-old.ISALo {
+				b.Imms[i] = ib
+			}
+			return true
+		case zeroConst(ib) && signWindow(ib):
+			// Sign-bit window of an already-bound immediate. If the
+			// earlier binding fixed a constant whose sign bit is set,
+			// the zero claim contradicts it.
+			if old.Query == nil && old.Const.ZExt(64).Bit(ib.ISAHi) != 0 {
+				return false
+			}
+			return true
+		case zeroConst(old) && signWindow(old):
+			if ib.Query == nil && ib.Const.ZExt(64).Bit(old.ISAHi) != 0 {
+				return false
+			}
+			b.Imms[i] = ib // promote to the value binding
+			return true
+		case old.Query != nil && old.Query == ib.Query &&
+			old.ISAHi == ib.ISAHi && old.ISALo == ib.ISALo &&
+			old.QHi == ib.QHi && old.QLo == ib.QLo &&
+			old.PCRel == ib.PCRel:
+			// The immediate occurs several times with different
+			// coefficients (e.g. i and 8·i as separate addends); the
+			// bindings are compatible when both imply the same embedding
+			// relation between the query and ISA values.
+			s1, ok1 := embedShift(old.CoefQ, old.CoefI)
+			s2, ok2 := embedShift(ib.CoefQ, ib.CoefI)
+			if ok1 && ok2 && s1 == s2 {
+				return true
+			}
+			return false
+		}
+		return false
+	}
+	b.Imms = append(b.Imms, ib)
+	return true
+}
+
+// embedShift reduces a coefficient pair to the power-of-two scaling it
+// implies (coefI = coefQ << k), mirroring the rule layer's coefShift.
+func embedShift(coefQ, coefI bv.BV) (int, bool) {
+	w := coefQ.W()
+	if coefI.W() > w {
+		w = coefI.W()
+	}
+	cq, ci := coefQ.ZExt(w), coefI.ZExt(w)
+	if cq == ci {
+		return 0, true
+	}
+	if cq.IsZero() {
+		return 0, false
+	}
+	div := ci.UDiv(cq)
+	if div.Mul(cq) != ci {
+		return 0, false
+	}
+	if k, ok := div.IsPow2(); ok {
+		return k, true
+	}
+	return 0, false
+}
+
+// signature serializes a binding for match deduplication.
+func (b *Binding) signature() string {
+	var keys []int
+	ids := map[int]int{}
+	for k, v := range b.Regs {
+		keys = append(keys, k.ID)
+		ids[k.ID] = v.ID
+	}
+	sort.Ints(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "r%d=%d;", k, ids[k])
+	}
+	im := append([]ImmBind(nil), b.Imms...)
+	sort.Slice(im, func(i, j int) bool { return im[i].ISA.ID < im[j].ISA.ID })
+	for _, ib := range im {
+		q := -1
+		if ib.Query != nil {
+			q = ib.Query.ID
+		}
+		fmt.Fprintf(&sb, "i%d[%d:%d]=%d[%d:%d]c%v/%v/%v%v;",
+			ib.ISA.ID, ib.ISAHi, ib.ISALo, q, ib.QHi, ib.QLo, ib.Const, ib.CoefQ, ib.CoefI, ib.PCRel)
+	}
+	return sb.String()
+}
+
+// Match is one unification result.
+type Match struct {
+	Term     *canon.CTerm // the indexed canonical term
+	Payloads []any
+	Binding  *Binding
+}
+
+// Limits bounding the backtracking search.
+const (
+	maxSearchSteps = 200000
+	maxMatches     = 128
+)
+
+type searcher struct {
+	ix      *Index
+	steps   int
+	matches []Match
+	seen    map[string]bool
+}
+
+// Lookup unifies the query pattern against the index and returns all
+// matches (bounded). The query's free variables are IR operands; matches
+// carry the ISA-operand binding.
+func (ix *Index) Lookup(query *canon.CTerm) []Match {
+	root := ix.roots[query.Width]
+	if root == nil {
+		return nil
+	}
+	s := &searcher{ix: ix, seen: map[string]bool{}}
+	qK, qAddends := linView(query)
+	used := make([]bool, len(qAddends))
+	s.walk(root, qK, qAddends, used, &Binding{Regs: map[*canon.CTerm]*canon.CTerm{}}, false)
+	return s.matches
+}
+
+// walk explores the trie from n, with remaining query constant qK and
+// unused query addends. pcDebt is set after crossing an unmatched PC
+// edge; the next immediate edge that pairs with a query immediate absorbs
+// it as a PC-relative binding (§V-B3), and matches with outstanding debt
+// are rejected.
+func (s *searcher) walk(n *node, qK bv.BV, qAddends []canon.Addend, used []bool, bind *Binding, pcDebt bool) {
+	if s.steps++; s.steps > maxSearchSteps || len(s.matches) >= maxMatches {
+		return
+	}
+	// Terminal check: all query addends consumed and constants agree.
+	if n.terms != nil && allUsed(used) && !pcDebt {
+		if ct, ok := n.terms[bvKey{qK.Lo, qK.Hi}]; ok {
+			s.emit(ct, bind)
+		}
+	}
+	for ek, e := range n.edges {
+		coefI := bv.New128(qK.W(), ek.coefHi, ek.coefLo)
+		sub, next := e.sub, e.next
+		imm, hi, lo, isImm := immWrapper(sub)
+		// Option A: pair with an unused query addend.
+		for qi := range qAddends {
+			if used[qi] {
+				continue
+			}
+			if pcDebt && isImm {
+				// Option A': absorb the PC debt into a PC-relative
+				// immediate binding.
+				if qimm, qhi, qlo, qok := immWrapper(qAddends[qi].T); qok {
+					nb := bind.clone()
+					if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
+						Query: qimm, QHi: qhi, QLo: qlo,
+						CoefQ: qAddends[qi].Coef, CoefI: coefI, PCRel: true}) {
+						used[qi] = true
+						s.walk(next, qK, qAddends, used, nb, false)
+						used[qi] = false
+					}
+				}
+			}
+			nb := bind.clone()
+			if unify(nb, qAddends[qi].Coef, qAddends[qi].T, coefI, sub) {
+				used[qi] = true
+				s.walk(next, qK, qAddends, used, nb, pcDebt)
+				used[qi] = false
+			}
+		}
+		// Options B and C need an ISA immediate operand on the edge.
+		if isImm {
+			// Option B: bind the excess query constant to the immediate.
+			if !qK.IsZero() {
+				if v, ok := solveScaled(qK, coefI); ok {
+					nb := bind.clone()
+					if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
+						Const: v, CoefQ: bv.New(qK.W(), 1), CoefI: coefI, PCRel: pcDebt}) {
+						s.walk(next, bv.Zero(qK.W()), qAddends, used, nb, false)
+					}
+				}
+			}
+			// Option C: excess ISA immediate binds to zero.
+			nb := bind.clone()
+			if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
+				Const: bv.Zero(imm.Width), CoefQ: bv.New(qK.W(), 1), CoefI: coefI}) {
+				s.walk(next, qK, qAddends, used, nb, pcDebt)
+			}
+		}
+		// Option D: an unmatched PC edge incurs a debt to be absorbed by
+		// a following immediate edge (PC-relative addressing).
+		if !pcDebt && sub.IsAtom() && sub.AtomKind() == term.KindPC &&
+			coefI.Lo == 1 && coefI.Hi == 0 {
+			s.walk(next, qK, qAddends, used, bind.clone(), true)
+		}
+	}
+}
+
+func allUsed(used []bool) bool {
+	for _, u := range used {
+		if !u {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *searcher) emit(ct *canon.CTerm, bind *Binding) {
+	sig := fmt.Sprintf("%d|%s", ct.ID, bind.signature())
+	if s.seen[sig] {
+		return
+	}
+	s.seen[sig] = true
+	s.matches = append(s.matches, Match{Term: ct, Payloads: s.ix.payloads[ct], Binding: bind.clone()})
+}
+
+// solveScaled finds v with coef·v == k (unsigned exact), if any.
+func solveScaled(k, coef bv.BV) (bv.BV, bool) {
+	if coef.IsZero() {
+		return bv.BV{}, false
+	}
+	v := k.UDiv(coef)
+	if v.Mul(coef) != k {
+		return bv.BV{}, false
+	}
+	return v, true
+}
+
+// immWrapper recognizes an ISA immediate operand possibly wrapped in an
+// extract window: either a bare immediate atom or extract[hi:lo](imm).
+func immWrapper(t *canon.CTerm) (imm *canon.CTerm, hi, lo int, ok bool) {
+	if t.IsAtom() && t.AtomKind() == term.KindImm {
+		return t, t.Width - 1, 0, true
+	}
+	if t.Kind == canon.OpNode && t.Op == term.Extract {
+		inner := t.Args[0]
+		if inner.IsAtom() && inner.AtomKind() == term.KindImm {
+			return inner, int(t.Aux0), int(t.Aux1), true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// pcPlusImm recognizes the ISA-side linear combination pc + c·imm used for
+// PC-relative addressing.
+func pcPlusImm(t *canon.CTerm) (imm *canon.CTerm, hi, lo int, coef bv.BV, ok bool) {
+	if t.Kind != canon.Lin || !t.K.IsZero() || len(t.Addends) != 2 {
+		return nil, 0, 0, bv.BV{}, false
+	}
+	var pcSeen bool
+	for _, a := range t.Addends {
+		if a.T.IsAtom() && a.T.AtomKind() == term.KindPC {
+			if a.Coef.Lo != 1 || a.Coef.Hi != 0 {
+				return nil, 0, 0, bv.BV{}, false
+			}
+			pcSeen = true
+			continue
+		}
+		if im, h, l, k := immWrapper(a.T); k {
+			imm, hi, lo, coef = im, h, l, a.Coef
+		}
+	}
+	if pcSeen && imm != nil {
+		return imm, hi, lo, coef, true
+	}
+	return nil, 0, 0, bv.BV{}, false
+}
+
+// unify attempts to unify one query addend (coefQ·tQ) with one index
+// addend (coefI·tI), extending bind. tI comes from the ISA side.
+func unify(bind *Binding, coefQ bv.BV, tQ *canon.CTerm, coefI bv.BV, tI *canon.CTerm) bool {
+	// ISA immediates unify with query immediates even across differing
+	// coefficients, widths, and extract windows (§V-B3).
+	if imm, ihi, ilo, ok := immWrapper(tI); ok {
+		if qimm, qhi, qlo, qok := immWrapper(tQ); qok && qimm.AtomKind() == term.KindImm {
+			return bind.bindImm(ImmBind{ISA: imm, ISAHi: ihi, ISALo: ilo,
+				Query: qimm, QHi: qhi, QLo: qlo, CoefQ: coefQ, CoefI: coefI})
+		}
+		return false
+	}
+
+	// PC-relative: ISA-side pc+imm against a lone query immediate.
+	if imm, ihi, ilo, coef, ok := pcPlusImm(tI); ok {
+		if qimm, qhi, qlo, qok := immWrapper(tQ); qok {
+			return bind.bindImm(ImmBind{ISA: imm, ISAHi: ihi, ISALo: ilo,
+				Query: qimm, QHi: qhi, QLo: qlo,
+				CoefQ: coefQ, CoefI: coef.ZExt(coefI.W()).Mul(coefI), PCRel: true})
+		}
+		return false
+	}
+
+	switch tI.Kind {
+	case canon.Atom:
+		if coefQ != coefI {
+			return false
+		}
+		if !tQ.IsAtom() || tQ.Width != tI.Width {
+			return false
+		}
+		ki, kq := tI.AtomKind(), tQ.AtomKind()
+		switch ki {
+		case term.KindReg, term.KindVecReg:
+			// Registers unify with registers and vector registers with
+			// vector registers.
+			if kq != ki {
+				return false
+			}
+		case term.KindPC, term.KindFlag:
+			if kq != ki {
+				return false
+			}
+		default:
+			return false
+		}
+		return bind.bindReg(tI, tQ)
+
+	case canon.OpNode:
+		if coefQ != coefI {
+			return false
+		}
+		if tQ.Kind != canon.OpNode || tQ.Op != tI.Op || tQ.Width != tI.Width ||
+			tQ.Aux0 != tI.Aux0 || tQ.Aux1 != tI.Aux1 || len(tQ.Args) != len(tI.Args) {
+			return false
+		}
+		one := func(w int) bv.BV { return bv.New(w, 1) }
+		tryArgs := func(b *Binding, qa, ia []*canon.CTerm) bool {
+			for i := range qa {
+				if !unify(b, one(qa[i].Width), qa[i], one(ia[i].Width), ia[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		nb := bind.clone()
+		if tryArgs(nb, tQ.Args, tI.Args) {
+			*bind = *nb
+			return true
+		}
+		// Commutative operands may be ordered differently across contexts.
+		if tI.Op.IsCommutative() && len(tI.Args) == 2 {
+			nb := bind.clone()
+			if tryArgs(nb, tQ.Args, []*canon.CTerm{tI.Args[1], tI.Args[0]}) {
+				*bind = *nb
+				return true
+			}
+		}
+		return false
+
+	case canon.Lin:
+		if coefQ != coefI {
+			return false
+		}
+		if tQ.Width != tI.Width {
+			return false
+		}
+		// tQ need not itself be a linear combination: a bare register can
+		// unify with a+imm through a zero immediate binding.
+		return unifyLin(bind, tQ, tI)
+	}
+	return false
+}
+
+// unifyLin unifies two nested linear combinations by backtracking over
+// addend pairings, applying the same immediate rules as the trie walk.
+func unifyLin(bind *Binding, q, i *canon.CTerm) bool {
+	qK, qAdd := linView(q)
+	iK, iAdd := linView(i)
+	used := make([]bool, len(qAdd))
+	var rec func(ii int, k bv.BV, b *Binding) bool
+	rec = func(ii int, k bv.BV, b *Binding) bool {
+		if ii == len(iAdd) {
+			if !allUsed(used) {
+				return false
+			}
+			if k != iK {
+				return false
+			}
+			*bind = *b
+			return true
+		}
+		a := iAdd[ii]
+		for qi := range qAdd {
+			if used[qi] {
+				continue
+			}
+			nb := b.clone()
+			if unify(nb, qAdd[qi].Coef, qAdd[qi].T, a.Coef, a.T) {
+				used[qi] = true
+				if rec(ii+1, k, nb) {
+					return true
+				}
+				used[qi] = false
+			}
+		}
+		if imm, hi, lo, ok := immWrapper(a.T); ok {
+			if !k.IsZero() {
+				if v, vok := solveScaled(k, a.Coef); vok {
+					nb := b.clone()
+					if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo, Const: v,
+						CoefQ: bv.New(k.W(), 1), CoefI: a.Coef}) && rec(ii+1, bv.Zero(k.W()), nb) {
+						return true
+					}
+				}
+			}
+			nb := b.clone()
+			if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo, Const: bv.Zero(imm.Width),
+				CoefQ: bv.New(k.W(), 1), CoefI: a.Coef}) && rec(ii+1, k, nb) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, qK, bind.clone())
+}
