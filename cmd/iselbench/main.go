@@ -7,15 +7,18 @@
 //	-table3          GlobalISel-fallback accounting
 //	-fig6            pattern / sequence length distributions
 //	-sizes           binary-size comparison (§VIII-C)
+//	-json            machine-readable results (rows + normalized + geomeans)
 //
-// Usage: iselbench -target aarch64|riscv [-scale N] [...]
+// Usage: iselbench -target aarch64|riscv [-scale N] [-workers N] [-json] [...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"iselgen/internal/core"
 	"iselgen/internal/harness"
@@ -24,6 +27,8 @@ import (
 func main() {
 	target := flag.String("target", "aarch64", "target: aarch64 or riscv")
 	scale := flag.Int("scale", 1, "workload scale factor")
+	workers := flag.Int("workers", 0, "synthesis matcher threads (0 = default)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	fig6 := flag.Bool("fig6", false, "print length distributions (Fig. 6)")
 	table3 := flag.Bool("table3", false, "print fallback table (Table III)")
 	sizes := flag.Bool("sizes", false, "print binary sizes (§VIII-C)")
@@ -44,9 +49,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("synthesizing %s rule library...\n", s.Name)
-	lib := s.Synthesize(core.DefaultConfig(), 0)
-	fmt.Printf("%d rules\n\n", lib.Len())
+	cfg := core.DefaultConfig()
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	if !*jsonOut {
+		fmt.Printf("synthesizing %s rule library...\n", s.Name)
+	}
+	t0 := time.Now()
+	lib := s.Synthesize(cfg, 0)
+	synthElapsed := time.Since(t0)
+	if !*jsonOut {
+		fmt.Printf("%d rules\n\n", lib.Len())
+	}
 
 	if *fig6 {
 		fmt.Println(harness.Fig6(s, lib))
@@ -57,6 +73,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		emitJSON(s, lib.Len(), synthElapsed, *scale, rows)
+		return
 	}
 
 	if *table3 {
@@ -104,4 +125,63 @@ func main() {
 		}
 	}
 	fmt.Println()
+}
+
+// benchReport is the -json output: everything the tables print, in a
+// shape a perf-trajectory tracker can diff across commits.
+type benchReport struct {
+	Target     string                        `json:"target"`
+	Scale      int                           `json:"scale"`
+	Rules      int                           `json:"rules"`
+	SynthMS    float64                       `json:"synth_ms"`
+	Stages     core.StageStats               `json:"synth_stages"`
+	Rows       []benchRow                    `json:"rows"`
+	Normalized map[string]map[string]float64 `json:"normalized"`
+	Geomean    map[string]float64            `json:"geomean"`
+}
+
+type benchRow struct {
+	Workload string  `json:"workload"`
+	Backend  string  `json:"backend"`
+	Cycles   int64   `json:"cycles"`
+	Insts    int64   `json:"insts"`
+	Size     int     `json:"size"`
+	Fallback bool    `json:"fallback,omitempty"`
+	HookPct  float64 `json:"hook_pct,omitempty"`
+}
+
+func emitJSON(s *harness.Setup, rules int, synthElapsed time.Duration, scale int, rows []harness.Row) {
+	rep := benchReport{
+		Target:  s.Name,
+		Scale:   scale,
+		Rules:   rules,
+		SynthMS: float64(synthElapsed.Nanoseconds()) / 1e6,
+		Geomean: map[string]float64{},
+	}
+	if s.Synther != nil {
+		rep.Stages = s.Synther.Stats.Snapshot()
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, benchRow{
+			Workload: r.Workload, Backend: r.Backend,
+			Cycles: r.Cycles, Insts: r.Insts, Size: r.Size,
+			Fallback: r.Fallback, HookPct: r.HookPct,
+		})
+	}
+	rep.Normalized = harness.Normalized(rows, "selectiondag")
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Backend] {
+			seen[r.Backend] = true
+			if g := harness.GeoMean(rep.Normalized, r.Backend); g > 0 {
+				rep.Geomean[r.Backend] = g
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,86 @@
+// Command iseld is the selection-as-a-service daemon: it synthesizes
+// rule libraries on demand (once per spec + config fingerprint), caches
+// them in memory and on disk, and serves selection and metrics over
+// HTTP/JSON.
+//
+// Endpoints:
+//
+//	POST /v1/synthesize   synthesize (or fetch) a library for a builtin
+//	                      target or an inline DSL spec
+//	POST /v1/select       lower a benchmark gMIR program with a target's
+//	                      synthesized backend and simulate it
+//	GET  /v1/metrics      cache/queue counters and per-stage timings
+//	GET  /healthz         liveness
+//
+// Usage: iseld [-addr :8791] [-cache-dir DIR] [-workers N] [-queue N]
+//
+//	[-patterns N] [-timeout D]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iselgen/internal/core"
+	"iselgen/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8791", "listen address")
+	cacheDir := flag.String("cache-dir", "", "disk artifact cache directory (empty = memory only)")
+	workers := flag.Int("workers", 2, "synthesis jobs running at once")
+	queue := flag.Int("queue", 8, "waiting-job queue depth (full queue answers 429)")
+	patterns := flag.Int("patterns", 0, "limit corpus patterns per synthesis (0 = all)")
+	timeout := flag.Duration("timeout", 0, "default per-job synthesis deadline (0 = none)")
+	inputs := flag.Int("inputs", 0, "test inputs per sequence (0 = default)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *inputs > 0 {
+		cfg.TestInputs = *inputs
+	}
+	sv, err := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheDir:       *cacheDir,
+		Synth:          cfg,
+		MaxPatterns:    *patterns,
+		DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iseld:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: sv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("iseld listening on %s (workers=%d queue=%d cache=%q)",
+		*addr, *workers, *queue, *cacheDir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("iseld: %v, shutting down", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "iseld:", err)
+		os.Exit(1)
+	}
+
+	// Stop accepting connections, then drain queued and in-flight
+	// synthesis jobs so every accepted request gets its answer.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("iseld: shutdown: %v", err)
+	}
+	sv.Close()
+}

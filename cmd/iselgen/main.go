@@ -7,25 +7,31 @@
 //
 //	iselgen -target aarch64|riscv|x86 [-rules out.td] [-inputs N]
 //	        [-patterns N] [-workers N] [-summary]
+//	iselgen -spec newisa.spec [...]        (inline DSL spec retargeting)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"iselgen/internal/core"
 	"iselgen/internal/harness"
+	"iselgen/internal/isa"
 	"iselgen/internal/isa/x86"
 	"iselgen/internal/isel"
 	"iselgen/internal/pattern"
 	"iselgen/internal/rules"
+	"iselgen/internal/spec"
 	"iselgen/internal/term"
 )
 
 func main() {
 	target := flag.String("target", "aarch64", "target: aarch64, riscv, or x86")
+	specFile := flag.String("spec", "", "synthesize for an inline DSL spec file instead of a builtin target")
 	rulesOut := flag.String("rules", "", "write the loadable rule library to this file")
 	tdOut := flag.String("td", "", "write the TableGen-style rule listing to this file")
 	inputs := flag.Int("inputs", 0, "test inputs per sequence (0 = default)")
@@ -45,6 +51,16 @@ func main() {
 	var lib *rules.Library
 	var tableII string
 	t0 := time.Now()
+	if *specFile != "" {
+		name := strings.TrimSuffix(filepath.Base(*specFile), filepath.Ext(*specFile))
+		var err error
+		lib, tableII, err = synthInline(name, *specFile, cfg, *maxPatterns)
+		if err != nil {
+			fatal(err)
+		}
+		printResults(lib, name, t0, tableII, *summary, *rulesOut, *tdOut)
+		return
+	}
 	switch *target {
 	case "aarch64", "riscv":
 		var s *harness.Setup
@@ -76,26 +92,59 @@ func main() {
 		fatal(fmt.Errorf("unknown target %q", *target))
 	}
 
-	fmt.Printf("synthesized %d rules for %s in %v\n\n", lib.Len(), *target,
+	printResults(lib, *target, t0, tableII, *summary, *rulesOut, *tdOut)
+}
+
+// synthInline runs the pipeline for a DSL spec file — the retargeting
+// flow of examples/newisa, from the CLI. The spec is validated up front
+// (spec.Check is the same entry point the iseld daemon's inline path
+// uses), then synthesized against the shared benchmark pattern corpus.
+func synthInline(name, path string, cfg core.Config, maxPatterns int) (*rules.Library, string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	insts, err := spec.Check(string(src))
+	if err != nil {
+		return nil, "", err
+	}
+	b := term.NewBuilder()
+	tgt, err := isa.LoadTarget(b, name, string(src), nil, 4)
+	if err != nil {
+		return nil, "", err
+	}
+	synth := core.New(b, tgt, cfg)
+	synth.BuildPool()
+	lib := rules.NewLibrary(name)
+	pats := harness.CorpusPatterns(name, maxPatterns)
+	synth.Synthesize(pats, lib)
+	tableII := fmt.Sprintf("%s: %d instructions, %d sequences, %d rules (index %d, smt %d)\n",
+		name, len(insts), synth.Stats.Sequences, lib.Len(),
+		synth.Stats.IndexRules, synth.Stats.SMTRules)
+	return lib, tableII, nil
+}
+
+func printResults(lib *rules.Library, target string, t0 time.Time, tableII string, summary bool, rulesOut, tdOut string) {
+	fmt.Printf("synthesized %d rules for %s in %v\n\n", lib.Len(), target,
 		time.Since(t0).Round(time.Millisecond))
 	fmt.Println(tableII)
 
-	if *summary {
+	if summary {
 		st := lib.Summarize()
 		fmt.Printf("by source: %v\nby sequence length: %v\nby pattern size: %v\nrules with immediate constraints: %d\n",
 			st.BySource, st.BySeqLen, st.ByPatternSize, st.RulesWithImmCs)
 	}
-	if *rulesOut != "" {
-		if err := os.WriteFile(*rulesOut, []byte(isel.SaveLibrary(lib)), 0o644); err != nil {
+	if rulesOut != "" {
+		if err := os.WriteFile(rulesOut, []byte(isel.SaveLibrary(lib)), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote loadable rule library to %s\n", *rulesOut)
+		fmt.Printf("wrote loadable rule library to %s\n", rulesOut)
 	}
-	if *tdOut != "" {
-		if err := os.WriteFile(*tdOut, []byte(lib.Emit()), 0o644); err != nil {
+	if tdOut != "" {
+		if err := os.WriteFile(tdOut, []byte(lib.Emit()), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote TableGen-style listing to %s\n", *tdOut)
+		fmt.Printf("wrote TableGen-style listing to %s\n", tdOut)
 	}
 }
 

@@ -54,6 +54,34 @@ type Config struct {
 	DisableProbe bool
 }
 
+// CacheKey renders the configuration knobs that influence *which rules*
+// a synthesis run produces, for content-addressed caching of rule
+// libraries. Every knob that changes the output must appear here —
+// TestInputs steers the probe filter (and thus which candidates reach
+// the solver), MaxSeqLen/MaxPairBases change the pool, SMTMaxConflicts
+// changes which equivalences the solver proves before timing out, and
+// the ablation switches change whole code paths. Workers is deliberately
+// excluded: it parallelizes matching without affecting the result.
+func (c Config) CacheKey() string {
+	norm := c
+	if norm.TestInputs == 0 {
+		norm.TestInputs = DefaultConfig().TestInputs
+	}
+	if norm.MaxSeqLen == 0 {
+		norm.MaxSeqLen = 2
+	}
+	if norm.SMTMaxConflicts == 0 {
+		norm.SMTMaxConflicts = DefaultConfig().SMTMaxConflicts
+	}
+	extra := "-"
+	if norm.ExtraSequences != nil {
+		extra = "+" // presence only; callers pass target-determined extras
+	}
+	return fmt.Sprintf("inputs=%d|seqlen=%d|conflicts=%d|pairbases=%d|noindex=%t|noprobe=%t|extra=%s",
+		norm.TestInputs, norm.MaxSeqLen, norm.SMTMaxConflicts, norm.MaxPairBases,
+		norm.DisableIndex, norm.DisableProbe, extra)
+}
+
 // DefaultConfig returns the settings used by the experiments.
 func DefaultConfig() Config {
 	return Config{
@@ -106,6 +134,73 @@ type Stats struct {
 	SMTRules       int
 	SMTQueries     int64
 	SMTTimeouts    int64
+	// Curtailed records that a SynthesizeCtx deadline fired mid-run, so
+	// the produced library is partial: SMT-provable rules may be missing.
+	Curtailed bool
+}
+
+// StageStats is the JSON-friendly snapshot of Stats, the per-stage
+// synthesis breakdown of Table II lifted from the worker timers. All
+// durations are nanoseconds so that even sub-millisecond stages survive
+// serialization; counters sum across runs when aggregated.
+type StageStats struct {
+	Sequences    int   `json:"sequences"`
+	IndexEntries int   `json:"index_entries"`
+	Patterns     int   `json:"patterns"`
+	IndexRules   int   `json:"index_rules"`
+	SMTRules     int   `json:"smt_rules"`
+	SMTQueries   int64 `json:"smt_queries"`
+	SMTTimeouts  int64 `json:"smt_timeouts"`
+
+	InstrGenNS    int64 `json:"instr_gen_ns"`
+	CanonNS       int64 `json:"canonicalize_ns"`
+	EvalNS        int64 `json:"test_eval_ns"`
+	InsertNS      int64 `json:"index_insert_ns"`
+	LookupWallNS  int64 `json:"lookup_wall_ns"`
+	IndexLookupNS int64 `json:"index_lookup_cpu_ns"`
+	ProbeNS       int64 `json:"probe_cpu_ns"`
+	SMTNS         int64 `json:"smt_cpu_ns"`
+}
+
+// Snapshot converts the internal stage timers into the exported form.
+func (st *Stats) Snapshot() StageStats {
+	return StageStats{
+		Sequences:     st.Sequences,
+		IndexEntries:  st.IndexEntries,
+		Patterns:      st.Patterns,
+		IndexRules:    st.IndexRules,
+		SMTRules:      st.SMTRules,
+		SMTQueries:    st.SMTQueries,
+		SMTTimeouts:   st.SMTTimeouts,
+		InstrGenNS:    st.InstrGenTime.Nanoseconds(),
+		CanonNS:       st.CanonTime.Nanoseconds(),
+		EvalNS:        st.EvalTime.Nanoseconds(),
+		InsertNS:      st.InsertTime.Nanoseconds(),
+		LookupWallNS:  st.LookupTime.Nanoseconds(),
+		IndexLookupNS: st.IndexLookupT.Nanoseconds(),
+		ProbeNS:       st.ProbeTime.Nanoseconds(),
+		SMTNS:         st.SMTTime.Nanoseconds(),
+	}
+}
+
+// Accumulate sums another snapshot into this one (service-level metric
+// aggregation across synthesis runs).
+func (ss *StageStats) Accumulate(o StageStats) {
+	ss.Sequences += o.Sequences
+	ss.IndexEntries += o.IndexEntries
+	ss.Patterns += o.Patterns
+	ss.IndexRules += o.IndexRules
+	ss.SMTRules += o.SMTRules
+	ss.SMTQueries += o.SMTQueries
+	ss.SMTTimeouts += o.SMTTimeouts
+	ss.InstrGenNS += o.InstrGenNS
+	ss.CanonNS += o.CanonNS
+	ss.EvalNS += o.EvalNS
+	ss.InsertNS += o.InsertNS
+	ss.LookupWallNS += o.LookupWallNS
+	ss.IndexLookupNS += o.IndexLookupNS
+	ss.ProbeNS += o.ProbeNS
+	ss.SMTNS += o.SMTNS
 }
 
 // Synthesizer holds the shared, read-only-after-build synthesis state.
@@ -119,6 +214,10 @@ type Synthesizer struct {
 	byFilter map[string][]*PoolEntry
 	Cfg      Config
 	Stats    Stats
+	// cancelFn, when set by SynthesizeCtx, lets workers observe a
+	// deadline cooperatively (set before workers spawn, cleared after
+	// they join).
+	cancelFn func() bool
 }
 
 // New creates a synthesizer for a target. The target must have been

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -29,6 +30,10 @@ type worker struct {
 	lookupT time.Duration
 	probeT  time.Duration
 	smtT    time.Duration
+
+	// curtailed is set when a cancellation made this worker skip the SMT
+	// fallback for at least one pattern, i.e. rules may have been missed.
+	curtailed bool
 }
 
 func (s *Synthesizer) newWorker() *worker {
@@ -64,6 +69,34 @@ func (s *Synthesizer) Synthesize(patterns []*pattern.Pattern, lib *rules.Library
 		s.wave(wave, lib)
 	}
 	s.Stats.LookupTime += time.Since(t0)
+}
+
+// SynthesizeCtx runs Synthesize under a context. Cancellation is
+// cooperative and degrades gracefully rather than aborting: once the
+// context is done, workers skip the expensive SMT fallback (and bail out
+// of in-progress candidate enumeration) but keep answering patterns from
+// the term index, which is cheap — so a deadline yields a *partial*
+// library containing only index-proven rules instead of a hung request.
+// Reports whether the run was curtailed (i.e. SMT-provable rules may be
+// missing from lib).
+func (s *Synthesizer) SynthesizeCtx(ctx context.Context, patterns []*pattern.Pattern, lib *rules.Library) bool {
+	s.cancelFn = func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	defer func() { s.cancelFn = nil }()
+	s.Stats.Curtailed = false
+	s.Synthesize(patterns, lib)
+	return s.Stats.Curtailed
+}
+
+// cancelled reports whether a SynthesizeCtx deadline has fired.
+func (s *Synthesizer) cancelled() bool {
+	return s.cancelFn != nil && s.cancelFn()
 }
 
 // wave matches one batch of same-size patterns in parallel.
@@ -102,6 +135,9 @@ func (s *Synthesizer) wave(wave []*pattern.Pattern, lib *rules.Library) {
 			s.Stats.SMTTime += w.smtT
 			s.Stats.SMTQueries += w.checker.Stats.Queries
 			s.Stats.SMTTimeouts += w.checker.Stats.TimedOut
+			if w.curtailed {
+				s.Stats.Curtailed = true
+			}
 			mu.Unlock()
 		}()
 	}
@@ -175,6 +211,11 @@ func (w *worker) synthesizeOne(p *pattern.Pattern) *rules.Rule {
 	if best != nil {
 		best.Source = "index"
 		return best
+	}
+	// Deadline hit: keep serving index-proven rules, skip the solver.
+	if w.s.cancelled() {
+		w.curtailed = true
+		return nil
 	}
 	return w.smtFallback(p, tp, leaves)
 }
@@ -434,6 +475,12 @@ func (w *worker) smtFallback(p *pattern.Pattern, tp *term.Term, leaves []*patter
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq.Cost() < sorted[j].Seq.Cost() })
 
 	for _, entry := range sorted {
+		// Candidate enumeration can run many solver queries; honor the
+		// deadline between entries.
+		if w.s.cancelled() {
+			w.curtailed = true
+			return nil
+		}
 		var regIns, immIns []int
 		for k, in := range entry.Seq.Inputs {
 			if in.Op.Kind == spec.OpImm {

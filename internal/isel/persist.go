@@ -3,6 +3,7 @@ package isel
 import (
 	"bufio"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -33,9 +34,17 @@ func SaveLibrary(lib *rules.Library) string {
 		opSpec := opSpecOf(r)
 		line := r.Pattern.Key() + "\t" + seqSpec + "\t" + opSpec
 		if len(r.LeafConsts) > 0 {
-			var lcs []string
-			for leaf, v := range r.LeafConsts {
-				lcs = append(lcs, fmt.Sprintf("%d=%d", leaf, v.Int64()))
+			// Emit in leaf-index order: map iteration order would make
+			// the serialization nondeterministic, and the disk cache
+			// wants Save → Load → Save to be byte-identical.
+			leaves := make([]int, 0, len(r.LeafConsts))
+			for leaf := range r.LeafConsts {
+				leaves = append(leaves, leaf)
+			}
+			sort.Ints(leaves)
+			lcs := make([]string, len(leaves))
+			for i, leaf := range leaves {
+				lcs[i] = fmt.Sprintf("%d=%d", leaf, r.LeafConsts[leaf].Int64())
 			}
 			line += "\t" + strings.Join(lcs, ",")
 		}

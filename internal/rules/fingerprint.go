@@ -1,0 +1,24 @@
+package rules
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint computes the content-addressed identity of a rule library:
+// the SHA-256 over its inputs — target spec text and synthesis
+// configuration knobs (§VI-A makes libraries persistable artifacts; the
+// fingerprint is the cache key that makes re-synthesis avoidable). Each
+// part is length-prefixed before hashing so that concatenation ambiguity
+// cannot alias two different input sets ("ab","c" vs "a","bc").
+func Fingerprint(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -247,21 +247,30 @@ func (l *Library) LookupAll(key string) []*Rule { return l.byKey[key] }
 // constant into a register).
 func (l *Library) Candidates(k RootKey) []*Rule {
 	if !l.sortedQ {
-		for _, rs := range l.byRoot {
-			sort.Slice(rs, func(i, j int) bool {
-				si, sj := rs[i].Pattern.Size(), rs[j].Pattern.Size()
-				if si != sj {
-					return si > sj
-				}
-				if ci, cj := rs[i].Cost(), rs[j].Cost(); ci != cj {
-					return ci < cj
-				}
-				return immLeafCount(rs[i]) > immLeafCount(rs[j])
-			})
-		}
-		l.sortedQ = true
+		l.Freeze()
 	}
 	return l.byRoot[k]
+}
+
+// Freeze sorts every per-root candidate chain into greedy dispatch
+// order. Candidates does this lazily on first use, which mutates the
+// library; a caller that will serve a library to concurrent selectors
+// (the selection service) must Freeze it once after the last Add, after
+// which Candidates is a pure read and safe to call from many goroutines.
+func (l *Library) Freeze() {
+	for _, rs := range l.byRoot {
+		sort.Slice(rs, func(i, j int) bool {
+			si, sj := rs[i].Pattern.Size(), rs[j].Pattern.Size()
+			if si != sj {
+				return si > sj
+			}
+			if ci, cj := rs[i].Cost(), rs[j].Cost(); ci != cj {
+				return ci < cj
+			}
+			return immLeafCount(rs[i]) > immLeafCount(rs[j])
+		})
+	}
+	l.sortedQ = true
 }
 
 func immLeafCount(r *Rule) int {

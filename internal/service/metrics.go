@@ -1,0 +1,57 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"iselgen/internal/core"
+)
+
+// Metrics aggregates service-level counters plus the summed per-stage
+// synthesis timings lifted from the Synthesizer worker timers. Counters
+// are atomics; the StageStats sum is guarded by a mutex since it is a
+// multi-field merge.
+type Metrics struct {
+	CacheHits  atomic.Uint64 // served from the in-memory layer
+	DiskHits   atomic.Uint64 // served from the disk layer (re-verified)
+	Joins      atomic.Uint64 // deduplicated onto an in-flight synthesis
+	SynthRuns  atomic.Uint64 // full synthesis executions
+	PartialRes atomic.Uint64 // deadline-curtailed (partial) results
+	Errors     atomic.Uint64 // requests answered with an error status
+	Selections atomic.Uint64 // /v1/select programs lowered
+
+	mu     sync.Mutex
+	stages core.StageStats
+}
+
+// AddStages merges one synthesis run's stage timings into the running sum.
+func (m *Metrics) AddStages(ss core.StageStats) {
+	m.mu.Lock()
+	m.stages.Accumulate(ss)
+	m.mu.Unlock()
+}
+
+// Stages returns a copy of the summed per-stage timings.
+func (m *Metrics) Stages() core.StageStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stages
+}
+
+// MetricsSnapshot is the JSON shape of GET /v1/metrics.
+type MetricsSnapshot struct {
+	CacheHits      uint64          `json:"cache_hits"`
+	DiskHits       uint64          `json:"disk_hits"`
+	Joins          uint64          `json:"joins"`
+	SynthRuns      uint64          `json:"synth_runs"`
+	PartialResults uint64          `json:"partial_results"`
+	Errors         uint64          `json:"errors"`
+	Selections     uint64          `json:"selections"`
+	CachedEntries  int             `json:"cached_entries"`
+	QueueDepth     int             `json:"queue_depth"`
+	QueueCapacity  int             `json:"queue_capacity"`
+	InFlight       int64           `json:"in_flight"`
+	JobsCompleted  uint64          `json:"jobs_completed"`
+	JobsRejected   uint64          `json:"jobs_rejected"`
+	Stages         core.StageStats `json:"stages"`
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler errors, mapped to HTTP status codes by the server (429/503).
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrClosed    = errors.New("service: scheduler closed")
+)
+
+// Scheduler is a bounded job queue drained by a fixed worker pool — the
+// admission-control layer in front of synthesis (SyGuS-style solver work
+// must run under explicit budgets, so jobs carry their own deadline via
+// the closure's context and the queue rejects rather than buffers
+// unboundedly). Submit never blocks: a full queue is a backpressure
+// signal the HTTP layer turns into 429.
+type Scheduler struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	inFlight  atomic.Int64
+	completed atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// NewScheduler starts a pool of workers draining a queue of the given
+// depth. workers < 1 and depth < 1 are clamped to 1.
+func NewScheduler(workers, depth int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &Scheduler{jobs: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.jobs {
+				s.inFlight.Add(1)
+				job()
+				s.inFlight.Add(-1)
+				s.completed.Add(1)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit enqueues a job without blocking. It returns ErrQueueFull when
+// the queue is at capacity and ErrClosed after Close.
+func (s *Scheduler) Submit(job func()) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.rejected.Add(1)
+		return ErrClosed
+	}
+	select {
+	case s.jobs <- job:
+		return nil
+	default:
+		s.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Close stops accepting jobs and waits for queued and in-flight jobs to
+// drain — the graceful-shutdown half of the daemon.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// QueueDepth returns the number of jobs waiting (not yet started).
+func (s *Scheduler) QueueDepth() int { return len(s.jobs) }
+
+// QueueCapacity returns the configured queue bound.
+func (s *Scheduler) QueueCapacity() int { return cap(s.jobs) }
+
+// InFlight returns the number of jobs currently executing.
+func (s *Scheduler) InFlight() int64 { return s.inFlight.Load() }
+
+// Completed returns the number of jobs that finished.
+func (s *Scheduler) Completed() uint64 { return s.completed.Load() }
+
+// Rejected returns the number of submissions refused by backpressure.
+func (s *Scheduler) Rejected() uint64 { return s.rejected.Load() }

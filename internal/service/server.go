@@ -1,0 +1,488 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"iselgen/internal/bench"
+	"iselgen/internal/core"
+	"iselgen/internal/gmir"
+	"iselgen/internal/harness"
+	"iselgen/internal/isa"
+	"iselgen/internal/isa/aarch64"
+	"iselgen/internal/isa/riscv"
+	"iselgen/internal/isa/x86"
+	"iselgen/internal/isel"
+	"iselgen/internal/rules"
+	"iselgen/internal/sim"
+	"iselgen/internal/spec"
+	"iselgen/internal/term"
+)
+
+// fingerprintScheme versions the cache key derivation; bump it whenever
+// the synthesis pipeline changes in a way that invalidates old artifacts.
+const fingerprintScheme = "iselgen-cache-v1"
+
+// maxBodyBytes bounds request bodies (inline specs included).
+const maxBodyBytes = 1 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the synthesis worker pool size (jobs running at once).
+	Workers int
+	// QueueDepth bounds the waiting-job queue; a full queue answers 429.
+	QueueDepth int
+	// CacheDir, when non-empty, enables the disk artifact layer.
+	CacheDir string
+	// Synth is the server-wide synthesis configuration; its semantic
+	// knobs are part of every fingerprint.
+	Synth core.Config
+	// MaxPatterns caps the corpus pattern pool per synthesis (0 = all).
+	MaxPatterns int
+	// DefaultTimeout is the per-job synthesis deadline applied when a
+	// request does not set timeout_ms (0 = no deadline).
+	DefaultTimeout time.Duration
+}
+
+// Server is the selection service: HTTP handlers over the artifact
+// store and the job scheduler.
+type Server struct {
+	cfg     Config
+	store   *Store
+	sched   *Scheduler
+	metrics Metrics
+	mux     *http.ServeMux
+
+	// testJobGate, when set, is invoked at the start of every scheduled
+	// job — the in-package tests use it to hold jobs in a deterministic
+	// "running" state while they assert on singleflight and backpressure.
+	testJobGate func()
+}
+
+// New builds a Server (and its store and scheduler) from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 8
+	}
+	store, err := NewStore(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	sv := &Server{
+		cfg:   cfg,
+		store: store,
+		sched: NewScheduler(cfg.Workers, cfg.QueueDepth),
+		mux:   http.NewServeMux(),
+	}
+	sv.mux.HandleFunc("POST /v1/synthesize", sv.handleSynthesize)
+	sv.mux.HandleFunc("POST /v1/select", sv.handleSelect)
+	sv.mux.HandleFunc("GET /v1/metrics", sv.handleMetrics)
+	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	return sv, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (sv *Server) Handler() http.Handler { return sv.mux }
+
+// Close drains the scheduler: queued and in-flight synthesis jobs finish
+// (completing their flights) before Close returns.
+func (sv *Server) Close() { sv.sched.Close() }
+
+// targetDef is everything the service needs to know about one target:
+// how to fingerprint it (spec source), how to materialize it, and —
+// for the builtin selection targets — how to build a backend around a
+// synthesized library.
+type targetDef struct {
+	name    string
+	spec    string
+	load    func(b *term.Builder) (*isa.Target, error)
+	backend func(tgt *isa.Target, lib *rules.Library) *isel.Backend
+}
+
+// resolveTarget maps a request to a target definition: a builtin name,
+// or an inline DSL spec (checked up front so malformed specs fail fast
+// with a 400 instead of inside a scheduled job).
+func (sv *Server) resolveTarget(name, inline string) (targetDef, error) {
+	if inline != "" {
+		if name == "" {
+			name = "inline"
+		}
+		switch name {
+		case "aarch64", "riscv", "x86":
+			return targetDef{}, fmt.Errorf("inline spec may not shadow builtin target %q", name)
+		}
+		if _, err := spec.Check(inline); err != nil {
+			return targetDef{}, err
+		}
+		return targetDef{
+			name: name,
+			spec: inline,
+			load: func(b *term.Builder) (*isa.Target, error) {
+				return isa.LoadTarget(b, name, inline, nil, 4)
+			},
+		}, nil
+	}
+	switch name {
+	case "aarch64":
+		return targetDef{name: name, spec: aarch64.Spec(), load: aarch64.Load, backend: isel.NewA64Synth}, nil
+	case "riscv":
+		return targetDef{name: name, spec: riscv.Spec(), load: riscv.Load, backend: isel.NewRVSynth}, nil
+	case "x86":
+		return targetDef{name: name, spec: x86.Spec(), load: x86.Load}, nil
+	case "":
+		return targetDef{}, errors.New("request must set \"target\" or \"spec\"")
+	default:
+		return targetDef{}, fmt.Errorf("unknown target %q (builtins: aarch64, riscv, x86)", name)
+	}
+}
+
+// effectiveConfig resolves the server-wide synthesis config for one
+// target (wiring in the target's special sequences, §VII-A) and the
+// resulting content fingerprint. The deadline is deliberately not part
+// of the key: partial results are never cached, and a full result is
+// identical whatever budget it ran under.
+func (sv *Server) effectiveConfig(def targetDef) (core.Config, string) {
+	cfg := sv.cfg.Synth
+	if cfg.ExtraSequences == nil {
+		cfg.ExtraSequences = harness.ExtraSequences(def.name)
+	}
+	fp := rules.Fingerprint(fingerprintScheme, def.name, def.spec,
+		cfg.CacheKey(), fmt.Sprintf("maxpat=%d", sv.cfg.MaxPatterns))
+	return cfg, fp
+}
+
+// entryFor implements the cache protocol shared by /v1/synthesize and
+// /v1/select: memory hit, or join an in-flight job, or own a new job
+// (disk layer first, then synthesis under the deadline). The returned
+// cache string is the path taken: "hit", "disk", "miss", or "join".
+// On error, the returned status is the HTTP code to answer with.
+func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, fp string, timeout time.Duration) (e *Entry, cache string, status int, err error) {
+	e, fl, owner := sv.store.Acquire(fp)
+	if e != nil {
+		sv.metrics.CacheHits.Add(1)
+		return e, "hit", http.StatusOK, nil
+	}
+	if owner {
+		job := func() {
+			if sv.testJobGate != nil {
+				sv.testJobGate()
+			}
+			if ent, ok := sv.store.LoadDisk(fp, func() (*term.Builder, *isa.Target, error) {
+				b := term.NewBuilder()
+				tgt, err := def.load(b)
+				return b, tgt, err
+			}); ok {
+				sv.metrics.DiskHits.Add(1)
+				sv.store.Complete(fp, ent, nil)
+				return
+			}
+			ent, err := sv.runSynthesis(def, cfg, fp, timeout)
+			sv.store.Complete(fp, ent, err)
+		}
+		if err := sv.sched.Submit(job); err != nil {
+			// The flight must still resolve or joiners would hang.
+			sv.store.Complete(fp, nil, err)
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, ErrQueueFull) {
+				status = http.StatusTooManyRequests
+			}
+			return nil, "", status, err
+		}
+	} else {
+		sv.metrics.Joins.Add(1)
+	}
+	ent, err := fl.Wait(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, "", http.StatusGatewayTimeout, err
+		}
+		return nil, "", http.StatusInternalServerError, err
+	}
+	switch {
+	case !owner:
+		cache = "join"
+	case ent.Origin == "disk":
+		cache = "disk"
+	default:
+		cache = "miss"
+	}
+	return ent, cache, http.StatusOK, nil
+}
+
+// runSynthesis executes one full pipeline run — load target, build the
+// sequence pool, synthesize the corpus patterns — under the job's own
+// deadline (detached from any HTTP request context, so a disconnecting
+// client cannot degrade a shared flight to a partial result).
+func (sv *Server) runSynthesis(def targetDef, cfg core.Config, fp string, timeout time.Duration) (*Entry, error) {
+	t0 := time.Now()
+	// The deadline clock starts before pool construction: the budget is
+	// for the whole job, and an exhausted budget degrades the wave loop
+	// to index-only lookups rather than aborting with nothing.
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	b := term.NewBuilder()
+	tgt, err := def.load(b)
+	if err != nil {
+		return nil, err
+	}
+	syn := core.New(b, tgt, cfg)
+	syn.BuildPool()
+	lib := rules.NewLibrary(def.name)
+	pats := harness.CorpusPatterns(def.name, sv.cfg.MaxPatterns)
+	partial := syn.SynthesizeCtx(ctx, pats, lib)
+	lib.Freeze()
+	sv.metrics.SynthRuns.Add(1)
+	if partial {
+		sv.metrics.PartialRes.Add(1)
+	}
+	sv.metrics.AddStages(syn.Stats.Snapshot())
+	return &Entry{
+		Fingerprint: fp,
+		TargetName:  def.name,
+		B:           b,
+		Target:      tgt,
+		Lib:         lib,
+		Partial:     partial,
+		Stats:       syn.Stats.Snapshot(),
+		Elapsed:     time.Since(t0),
+		Origin:      "synthesized",
+	}, nil
+}
+
+// SynthesizeRequest is the body of POST /v1/synthesize.
+type SynthesizeRequest struct {
+	// Target names a builtin target (aarch64, riscv, x86) — or, with
+	// Spec set, names the inline target (default "inline").
+	Target string `json:"target,omitempty"`
+	// Spec is inline DSL source for a custom target.
+	Spec string `json:"spec,omitempty"`
+	// TimeoutMS is the synthesis deadline; on expiry the response is the
+	// partial library of index-proven rules with partial=true.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Emit asks for the TableGen-flavoured library text in the response.
+	Emit bool `json:"emit,omitempty"`
+}
+
+// SynthesizeResponse is the body answering POST /v1/synthesize.
+type SynthesizeResponse struct {
+	Target      string          `json:"target"`
+	Fingerprint string          `json:"fingerprint"`
+	Rules       int             `json:"rules"`
+	Partial     bool            `json:"partial"`
+	Cache       string          `json:"cache"` // hit | disk | miss | join
+	ElapsedMS   float64         `json:"elapsed_ms"`
+	BySource    map[string]int  `json:"by_source"`
+	Stats       core.StageStats `json:"stats"`
+	Library     string          `json:"library,omitempty"`
+}
+
+func (sv *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req SynthesizeRequest
+	if !sv.decode(w, r, &req) {
+		return
+	}
+	def, err := sv.resolveTarget(req.Target, req.Spec)
+	if err != nil {
+		sv.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, fp := sv.effectiveConfig(def)
+	timeout := sv.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	e, cache, status, err := sv.entryFor(r.Context(), def, cfg, fp, timeout)
+	if err != nil {
+		sv.fail(w, status, err)
+		return
+	}
+	resp := SynthesizeResponse{
+		Target:      e.TargetName,
+		Fingerprint: e.Fingerprint,
+		Rules:       e.Lib.Len(),
+		Partial:     e.Partial,
+		Cache:       cache,
+		ElapsedMS:   float64(e.Elapsed.Nanoseconds()) / 1e6,
+		BySource:    e.Lib.Summarize().BySource,
+		Stats:       e.Stats,
+	}
+	if req.Emit {
+		resp.Library = e.Lib.Emit()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SelectRequest is the body of POST /v1/select: lower one gMIR program
+// from the benchmark corpus with the target's synthesized library.
+type SelectRequest struct {
+	Target string `json:"target"`
+	// Workload names a gMIR program from the SPEC-analog suite.
+	Workload string `json:"workload"`
+	// Scale stretches the workload iteration counts (default 1).
+	Scale int `json:"scale,omitempty"`
+	// TimeoutMS bounds the synthesis this request may trigger on a cold
+	// cache.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Emit asks for the selected MIR text in the response.
+	Emit bool `json:"emit,omitempty"`
+}
+
+// SelectResponse is the body answering POST /v1/select.
+type SelectResponse struct {
+	Target         string   `json:"target"`
+	Workload       string   `json:"workload"`
+	Fingerprint    string   `json:"fingerprint"`
+	Cache          string   `json:"cache"`
+	Partial        bool     `json:"partial"`
+	Fallback       bool     `json:"fallback"`
+	FallbackReason string   `json:"fallback_reason,omitempty"`
+	RuleInsts      int      `json:"rule_insts"`
+	HookInsts      int      `json:"hook_insts"`
+	RulesUsed      []string `json:"rules_used"`
+	Cycles         int64    `json:"cycles,omitempty"`
+	Insts          int64    `json:"insts,omitempty"`
+	BinarySize     int      `json:"binary_size,omitempty"`
+	Checksum       string   `json:"checksum,omitempty"`
+	MIR            string   `json:"mir,omitempty"`
+}
+
+func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if !sv.decode(w, r, &req) {
+		return
+	}
+	def, err := sv.resolveTarget(req.Target, "")
+	if err != nil {
+		sv.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if def.backend == nil {
+		sv.fail(w, http.StatusBadRequest,
+			fmt.Errorf("target %q has no selection backend (selection targets: aarch64, riscv)", def.name))
+		return
+	}
+	scale := req.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	var work *bench.Workload
+	suite := bench.Suite(scale)
+	for i := range suite {
+		if suite[i].Name == req.Workload {
+			work = &suite[i]
+			break
+		}
+	}
+	if work == nil {
+		names := make([]string, len(suite))
+		for i := range suite {
+			names[i] = suite[i].Name
+		}
+		sv.fail(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q (have %v)", req.Workload, names))
+		return
+	}
+	cfg, fp := sv.effectiveConfig(def)
+	timeout := sv.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	e, cache, status, err := sv.entryFor(r.Context(), def, cfg, fp, timeout)
+	if err != nil {
+		sv.fail(w, status, err)
+		return
+	}
+	bk := def.backend(e.Target, e.Lib)
+	f := work.Build()
+	isel.Prepare(f, def.name)
+	mf, rep := bk.Select(f)
+	sv.metrics.Selections.Add(1)
+	resp := SelectResponse{
+		Target:         def.name,
+		Workload:       work.Name,
+		Fingerprint:    e.Fingerprint,
+		Cache:          cache,
+		Partial:        e.Partial,
+		Fallback:       rep.Fallback,
+		FallbackReason: rep.FallbackReason,
+		RuleInsts:      rep.RuleInsts,
+		HookInsts:      rep.HookInsts,
+		RulesUsed:      rep.RulesUsed,
+	}
+	if !rep.Fallback {
+		mem := gmir.NewMemory()
+		if work.InitMem != nil {
+			work.InitMem(mem)
+		}
+		m := &sim.Machine{Mem: mem}
+		res, err := m.Run(mf, work.Args)
+		if err != nil {
+			sv.fail(w, http.StatusInternalServerError, fmt.Errorf("sim: %w", err))
+			return
+		}
+		resp.Cycles = res.Cycles
+		resp.Insts = res.Insts
+		resp.BinarySize = mf.BinarySize()
+		resp.Checksum = res.Ret.String()
+		if req.Emit {
+			resp.MIR = mf.String()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsSnapshot{
+		CacheHits:      sv.metrics.CacheHits.Load(),
+		DiskHits:       sv.metrics.DiskHits.Load(),
+		Joins:          sv.metrics.Joins.Load(),
+		SynthRuns:      sv.metrics.SynthRuns.Load(),
+		PartialResults: sv.metrics.PartialRes.Load(),
+		Errors:         sv.metrics.Errors.Load(),
+		Selections:     sv.metrics.Selections.Load(),
+		CachedEntries:  sv.store.MemLen(),
+		QueueDepth:     sv.sched.QueueDepth(),
+		QueueCapacity:  sv.sched.QueueCapacity(),
+		InFlight:       sv.sched.InFlight(),
+		JobsCompleted:  sv.sched.Completed(),
+		JobsRejected:   sv.sched.Rejected(),
+		Stages:         sv.metrics.Stages(),
+	})
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (sv *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		sv.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (sv *Server) fail(w http.ResponseWriter, status int, err error) {
+	sv.metrics.Errors.Add(1)
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,200 @@
+// Package service turns the synthesis pipeline into a long-lived
+// selection service: rule libraries become content-addressed artifacts
+// (§VI-A makes them persistable; synthesis is the expensive step, so it
+// should run once per (spec, config) fingerprint), synthesis jobs run on
+// a bounded scheduler with per-request deadlines, and an HTTP/JSON API
+// serves synthesize/select/metrics requests with backpressure and
+// graceful degradation.
+package service
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"iselgen/internal/core"
+	"iselgen/internal/isa"
+	"iselgen/internal/isel"
+	"iselgen/internal/rules"
+	"iselgen/internal/term"
+)
+
+// Entry is one cached synthesis artifact: the rule library together with
+// the builder/target it was verified against (rules hold pointers into
+// both, so they travel as a unit). Entries are immutable once published;
+// the library is frozen so concurrent selectors can share it.
+type Entry struct {
+	Fingerprint string
+	TargetName  string
+	B           *term.Builder
+	Target      *isa.Target
+	Lib         *rules.Library
+	// Partial marks a deadline-curtailed synthesis: only index-proven
+	// rules are present. Partial entries are returned to their waiters
+	// but never cached — a later request re-synthesizes in full.
+	Partial bool
+	Stats   core.StageStats
+	Elapsed time.Duration
+	// Origin records how the entry came to exist: "synthesized" or "disk".
+	Origin string
+}
+
+// Materializer reconstructs the (builder, target) pair a persisted
+// library must be re-verified against; the caller owns the mapping from
+// fingerprint to spec source, so the store stays target-agnostic.
+type Materializer func() (*term.Builder, *isa.Target, error)
+
+// Flight is one in-progress synthesis that deduplicated requests wait
+// on: N concurrent requests for the same fingerprint trigger exactly one
+// synthesis.
+type Flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Wait blocks until the flight resolves or the waiter's own context
+// expires (a waiter with a short deadline gives up without cancelling
+// the shared job).
+func (f *Flight) Wait(ctx context.Context) (*Entry, error) {
+	select {
+	case <-f.done:
+		return f.entry, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Store is the content-addressed rule-library cache: an in-memory layer,
+// an optional disk layer persisted via the Emit/parse round-trip
+// (re-verified on load, DESIGN invariant 8), and singleflight
+// deduplication of concurrent misses.
+type Store struct {
+	dir string // "" = memory only
+
+	mu      sync.Mutex
+	mem     map[string]*Entry
+	flights map[string]*Flight
+}
+
+// NewStore creates a store; dir, when non-empty, is created and used as
+// the disk layer.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir, mem: map[string]*Entry{}, flights: map[string]*Flight{}}, nil
+}
+
+// Acquire is the atomic admission step for a fingerprint: a memory hit
+// returns the entry directly; otherwise the caller either joins an
+// existing flight (owner=false) or is appointed owner of a new one
+// (owner=true) and must eventually call Complete.
+func (s *Store) Acquire(fp string) (e *Entry, fl *Flight, owner bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.mem[fp]; e != nil {
+		return e, nil, false
+	}
+	if fl := s.flights[fp]; fl != nil {
+		return nil, fl, false
+	}
+	fl = &Flight{done: make(chan struct{})}
+	s.flights[fp] = fl
+	return nil, fl, true
+}
+
+// Complete resolves the owner's flight, publishing the entry to every
+// waiter. Complete (not the synthesis job) decides cacheability: full
+// results enter the memory layer and, when a disk layer exists, are
+// persisted; partial results and errors are broadcast but not cached.
+func (s *Store) Complete(fp string, e *Entry, err error) {
+	s.mu.Lock()
+	fl := s.flights[fp]
+	delete(s.flights, fp)
+	if e != nil && err == nil && !e.Partial {
+		s.mem[fp] = e
+	}
+	s.mu.Unlock()
+	if fl != nil {
+		fl.entry, fl.err = e, err
+		close(fl.done)
+	}
+	if e != nil && err == nil && !e.Partial && e.Origin == "synthesized" {
+		s.persist(fp, e) // best-effort; the memory layer already has it
+	}
+}
+
+// MemLen returns the number of in-memory entries.
+func (s *Store) MemLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+func (s *Store) path(fp string) string {
+	return filepath.Join(s.dir, fp+".rules")
+}
+
+// persist writes the library through the textual Emit/parse round-trip
+// format atomically (tmp + rename), so a crashed daemon never leaves a
+// half-written artifact for the next one to trust.
+func (s *Store) persist(fp string, e *Entry) error {
+	if s.dir == "" {
+		return nil
+	}
+	text := isel.SaveLibrary(e.Lib)
+	tmp, err := os.CreateTemp(s.dir, "."+fp+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(text); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(fp))
+}
+
+// LoadDisk attempts the disk layer for a fingerprint: the persisted text
+// is parsed against a freshly materialized target and every rule is
+// re-verified (corrupt or stale artifacts are treated as misses, never
+// served). Called by the flight owner before falling back to synthesis.
+func (s *Store) LoadDisk(fp string, mat Materializer) (*Entry, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	text, err := os.ReadFile(s.path(fp))
+	if err != nil {
+		return nil, false
+	}
+	t0 := time.Now()
+	b, tgt, err := mat()
+	if err != nil {
+		return nil, false
+	}
+	lib, err := isel.LoadLibrary(b, tgt, string(text))
+	if err != nil {
+		// A library that no longer verifies is poison: drop the file so
+		// the slot re-synthesizes cleanly.
+		os.Remove(s.path(fp))
+		return nil, false
+	}
+	lib.Freeze()
+	return &Entry{
+		Fingerprint: fp,
+		TargetName:  tgt.Name,
+		B:           b,
+		Target:      tgt,
+		Lib:         lib,
+		Elapsed:     time.Since(t0),
+		Origin:      "disk",
+	}, true
+}

@@ -1,0 +1,37 @@
+package spec
+
+import (
+	"fmt"
+
+	"iselgen/internal/term"
+)
+
+// Check is the inline-spec entry point shared by cmd/iselgen -spec and
+// the daemon's inline-target path: it parses a spec source and
+// symbolically executes every instruction into a throwaway builder,
+// surfacing syntax, width, and semantics errors before any expensive
+// pool construction starts. It returns the declared instruction names in
+// definition order.
+func Check(src string) ([]string, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Insts) == 0 {
+		return nil, fmt.Errorf("spec: no instructions defined")
+	}
+	b := term.NewBuilder()
+	names := make([]string, 0, len(f.Insts))
+	seen := map[string]bool{}
+	for _, inst := range f.Insts {
+		if seen[inst.Name] {
+			return nil, fmt.Errorf("spec: duplicate instruction %q", inst.Name)
+		}
+		seen[inst.Name] = true
+		if _, err := Symbolize(inst, b, inst.Name+"."); err != nil {
+			return nil, err
+		}
+		names = append(names, inst.Name)
+	}
+	return names, nil
+}
