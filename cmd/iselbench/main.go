@@ -8,6 +8,8 @@
 //	-fig6            pattern / sequence length distributions
 //	-sizes           binary-size comparison (§VIII-C)
 //	-json            machine-readable results (rows + normalized + geomeans)
+//	-synthjson       full-vs-incremental synthesis timing baseline (both
+//	                 selection targets; see EXPERIMENTS.md for the schema)
 //
 // Usage: iselbench -target aarch64|riscv [-scale N] [-workers N] [-json] [...]
 package main
@@ -22,6 +24,8 @@ import (
 
 	"iselgen/internal/core"
 	"iselgen/internal/harness"
+	"iselgen/internal/incr"
+	"iselgen/internal/isel"
 )
 
 func main() {
@@ -32,7 +36,13 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "print length distributions (Fig. 6)")
 	table3 := flag.Bool("table3", false, "print fallback table (Table III)")
 	sizes := flag.Bool("sizes", false, "print binary sizes (§VIII-C)")
+	synthJSON := flag.Bool("synthjson", false, "emit the full-vs-incremental synthesis baseline JSON")
 	flag.Parse()
+
+	if *synthJSON {
+		emitSynthJSON(*workers)
+		return
+	}
 
 	var s *harness.Setup
 	var err error
@@ -148,6 +158,91 @@ type benchRow struct {
 	Size     int     `json:"size"`
 	Fallback bool    `json:"fallback,omitempty"`
 	HookPct  float64 `json:"hook_pct,omitempty"`
+}
+
+// synthBaseline is one row of the -synthjson output: the same synthesis
+// run from scratch and incrementally from its own artifact (a no-op
+// delta — the floor of incremental cost, every rule reused, no solver).
+type synthBaseline struct {
+	Target         string  `json:"target"`
+	Rules          int     `json:"rules"`
+	FullSynthMS    float64 `json:"full_synth_ms"`
+	IncrSynthMS    float64 `json:"incr_synth_ms"`
+	Speedup        float64 `json:"speedup"`
+	Reused         int     `json:"reused"`
+	ReusedFraction float64 `json:"reused_fraction"`
+	Resynthesized  int     `json:"resynthesized"`
+	IncrSMTQueries int64   `json:"incr_smt_queries"`
+}
+
+// emitSynthJSON measures, for both selection targets, a full synthesis
+// and then an incremental self-resynthesis from the resulting artifact
+// on a fresh builder — the BENCH_synth.json baseline.
+func emitSynthJSON(workers int) {
+	load := func(name string) *harness.Setup {
+		var s *harness.Setup
+		var err error
+		if name == "aarch64" {
+			s, err = harness.NewAArch64()
+		} else {
+			s, err = harness.NewRISCV()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		return s
+	}
+	var out []synthBaseline
+	for _, name := range []string{"aarch64", "riscv"} {
+		cfg := core.DefaultConfig()
+		if workers > 0 {
+			cfg.Workers = workers
+		}
+		s := load(name)
+		t0 := time.Now()
+		lib := s.Synthesize(cfg, 0)
+		fullMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+		art, err := incr.ParseArtifact(isel.SaveLibraryFor(lib, s.ISA))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		s2 := load(name)
+		icfg := cfg
+		icfg.ExtraSequences = harness.ExtraSequences(name)
+		t1 := time.Now()
+		lib2, rep, err := incr.Resynthesize(s2.B, s2.ISA, art,
+			incr.Options{Config: icfg, Patterns: harness.CorpusPatterns(name, 0)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		incrMS := float64(time.Since(t1).Nanoseconds()) / 1e6
+		if lib2.Len() != lib.Len() {
+			fmt.Fprintf(os.Stderr, "iselbench: incremental library has %d rules, full has %d\n",
+				lib2.Len(), lib.Len())
+			os.Exit(1)
+		}
+		out = append(out, synthBaseline{
+			Target:         name,
+			Rules:          lib.Len(),
+			FullSynthMS:    fullMS,
+			IncrSynthMS:    incrMS,
+			Speedup:        fullMS / incrMS,
+			Reused:         rep.Reused,
+			ReusedFraction: rep.ReusedFraction(),
+			Resynthesized:  rep.Resynthesized,
+			IncrSMTQueries: rep.SMTQueries,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
 }
 
 func emitJSON(s *harness.Setup, rules int, synthElapsed time.Duration, scale int, rows []harness.Row) {

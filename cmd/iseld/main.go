@@ -12,9 +12,9 @@
 //	GET  /v1/metrics      cache/queue counters and per-stage timings
 //	GET  /healthz         liveness
 //
-// Usage: iseld [-addr :8791] [-cache-dir DIR] [-workers N] [-queue N]
+// Usage: iseld [-addr :8791] [-cache-dir DIR] [-cache-entries N]
 //
-//	[-patterns N] [-timeout D]
+//	[-workers N] [-queue N] [-patterns N] [-timeout D]
 package main
 
 import (
@@ -35,6 +35,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8791", "listen address")
 	cacheDir := flag.String("cache-dir", "", "disk artifact cache directory (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 0, "LRU cap on in-memory cached libraries (0 = unbounded)")
 	workers := flag.Int("workers", 2, "synthesis jobs running at once")
 	queue := flag.Int("queue", 8, "waiting-job queue depth (full queue answers 429)")
 	patterns := flag.Int("patterns", 0, "limit corpus patterns per synthesis (0 = all)")
@@ -50,6 +51,7 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheDir:       *cacheDir,
+		CacheEntries:   *cacheEntries,
 		Synth:          cfg,
 		MaxPatterns:    *patterns,
 		DefaultTimeout: *timeout,

@@ -8,15 +8,23 @@
 //	iseldump -target aarch64 -canon ADDXrs_lsl     # canonical form
 //	iseldump -target riscv -corpus 30              # top corpus patterns
 //	iseldump -target aarch64 -mir x264_sad         # selected machine code
+//	iseldump -target riscv -provenance             # per-rule provenance
+//
+// -provenance synthesizes the target's library and prints one line per
+// rule — pattern key, proof origin, and each supporting instruction with
+// its content fingerprint — sorted, so two dumps diff cleanly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"iselgen/internal/bench"
 	"iselgen/internal/canon"
+	"iselgen/internal/core"
 	"iselgen/internal/harness"
 	"iselgen/internal/isa"
 	"iselgen/internal/isel"
@@ -28,6 +36,8 @@ func main() {
 	canonName := flag.String("canon", "", "print the canonical form of an instruction's effects")
 	corpus := flag.Int("corpus", 0, "print the top N corpus patterns")
 	mirOf := flag.String("mir", "", "print the handwritten backend's machine code for a workload")
+	provenance := flag.Bool("provenance", false, "synthesize and print each rule's provenance (stable order)")
+	patterns := flag.Int("patterns", 0, "limit corpus patterns for -provenance (0 = all)")
 	flag.Parse()
 
 	var s *harness.Setup
@@ -69,6 +79,23 @@ func main() {
 				break
 			}
 			fmt.Printf("%3d  %s\n", i+1, p)
+		}
+
+	case *provenance:
+		lib := s.Synthesize(core.DefaultConfig(), *patterns)
+		var lines []string
+		for _, r := range lib.Rules {
+			parts := []string{r.Pattern.Key(), r.Source}
+			for _, p := range r.Prov {
+				parts = append(parts, fmt.Sprintf("%s=%s", p.Name, p.FP[:16]))
+			}
+			lines = append(lines, strings.Join(parts, "\t"))
+		}
+		// Sorted output: library order varies with worker scheduling, but
+		// two dumps of the same spec + config must diff cleanly.
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Println(l)
 		}
 
 	case *mirOf != "":

@@ -8,6 +8,12 @@
 //	iselgen -target aarch64|riscv|x86 [-rules out.td] [-inputs N]
 //	        [-patterns N] [-workers N] [-summary]
 //	iselgen -spec newisa.spec [...]        (inline DSL spec retargeting)
+//	iselgen -spec edited.spec -incremental -from old.rules [...]
+//
+// With -incremental, the library saved by a previous run (-rules) is
+// diffed against the current spec by instruction content fingerprint:
+// rules whose supporting instructions are unchanged are re-verified and
+// reused without any solver work, and synthesis runs only for the delta.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"iselgen/internal/core"
 	"iselgen/internal/harness"
+	"iselgen/internal/incr"
 	"iselgen/internal/isa"
 	"iselgen/internal/isa/x86"
 	"iselgen/internal/isel"
@@ -38,6 +45,8 @@ func main() {
 	maxPatterns := flag.Int("patterns", 0, "limit considered patterns (0 = all)")
 	workers := flag.Int("workers", 0, "matcher threads (0 = default)")
 	summary := flag.Bool("summary", false, "print the library composition summary")
+	incremental := flag.Bool("incremental", false, "resynthesize incrementally from a prior artifact (-from)")
+	fromPath := flag.String("from", "", "prior rule-library artifact to diff against (with -incremental)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -48,17 +57,26 @@ func main() {
 		cfg.Workers = *workers
 	}
 
+	if *incremental {
+		if *fromPath == "" {
+			fatal(fmt.Errorf("-incremental requires -from <artifact>"))
+		}
+		runIncremental(*target, *specFile, *fromPath, cfg, *maxPatterns, *summary, *rulesOut, *tdOut)
+		return
+	}
+
 	var lib *rules.Library
+	var tgt *isa.Target
 	var tableII string
 	t0 := time.Now()
 	if *specFile != "" {
 		name := strings.TrimSuffix(filepath.Base(*specFile), filepath.Ext(*specFile))
 		var err error
-		lib, tableII, err = synthInline(name, *specFile, cfg, *maxPatterns)
+		lib, tgt, tableII, err = synthInline(name, *specFile, cfg, *maxPatterns)
 		if err != nil {
 			fatal(err)
 		}
-		printResults(lib, name, t0, tableII, *summary, *rulesOut, *tdOut)
+		printResults(lib, tgt, name, t0, tableII, *summary, *rulesOut, *tdOut)
 		return
 	}
 	switch *target {
@@ -74,44 +92,125 @@ func main() {
 			fatal(err)
 		}
 		lib = s.Synthesize(cfg, *maxPatterns)
+		tgt = s.ISA
 		tableII = s.TableII(lib)
 	case "x86":
 		b := term.NewBuilder()
-		tgt, err := x86.Load(b)
+		xtgt, err := x86.Load(b)
 		if err != nil {
 			fatal(err)
 		}
-		synth := core.New(b, tgt, cfg)
+		synth := core.New(b, xtgt, cfg)
 		synth.BuildPool()
 		lib = rules.NewLibrary("x86")
 		pats := x86Patterns(*maxPatterns)
 		synth.Synthesize(pats, lib)
+		tgt = xtgt
 		tableII = fmt.Sprintf("x86: %d sequences, %d rules (index %d, smt %d)\n",
 			synth.Stats.Sequences, lib.Len(), synth.Stats.IndexRules, synth.Stats.SMTRules)
 	default:
 		fatal(fmt.Errorf("unknown target %q", *target))
 	}
 
-	printResults(lib, *target, t0, tableII, *summary, *rulesOut, *tdOut)
+	printResults(lib, tgt, *target, t0, tableII, *summary, *rulesOut, *tdOut)
+}
+
+// loadFor materializes the builder, target, and pattern corpus for any
+// of the three target kinds (builtin harness target, x86, inline spec)
+// without running synthesis — the incremental path decides what to
+// synthesize itself.
+func loadFor(target, specFile string, maxPatterns int) (*term.Builder, *isa.Target, string, []*pattern.Pattern, error) {
+	if specFile != "" {
+		name := strings.TrimSuffix(filepath.Base(specFile), filepath.Ext(specFile))
+		src, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, nil, "", nil, err
+		}
+		if _, err := spec.Check(string(src)); err != nil {
+			return nil, nil, "", nil, err
+		}
+		b := term.NewBuilder()
+		tgt, err := isa.LoadTarget(b, name, string(src), nil, 4)
+		if err != nil {
+			return nil, nil, "", nil, err
+		}
+		return b, tgt, name, harness.CorpusPatterns(name, maxPatterns), nil
+	}
+	switch target {
+	case "aarch64", "riscv":
+		var s *harness.Setup
+		var err error
+		if target == "aarch64" {
+			s, err = harness.NewAArch64()
+		} else {
+			s, err = harness.NewRISCV()
+		}
+		if err != nil {
+			return nil, nil, "", nil, err
+		}
+		return s.B, s.ISA, target, harness.CorpusPatterns(target, maxPatterns), nil
+	case "x86":
+		b := term.NewBuilder()
+		tgt, err := x86.Load(b)
+		if err != nil {
+			return nil, nil, "", nil, err
+		}
+		return b, tgt, target, x86Patterns(maxPatterns), nil
+	default:
+		return nil, nil, "", nil, fmt.Errorf("unknown target %q", target)
+	}
+}
+
+// runIncremental is the -incremental flow: parse the prior artifact's
+// provenance, diff it against the current spec, reuse what survives,
+// synthesize the rest, and report the reuse accounting.
+func runIncremental(target, specFile, fromPath string, cfg core.Config, maxPatterns int, summary bool, rulesOut, tdOut string) {
+	t0 := time.Now()
+	b, tgt, name, pats, err := loadFor(target, specFile, maxPatterns)
+	if err != nil {
+		fatal(err)
+	}
+	text, err := os.ReadFile(fromPath)
+	if err != nil {
+		fatal(err)
+	}
+	art, err := incr.ParseArtifact(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	lib, rep, err := incr.Resynthesize(b, tgt, art, incr.Options{Config: cfg, Patterns: pats})
+	if err != nil {
+		fatal(err)
+	}
+	d := rep.Delta
+	report := fmt.Sprintf(
+		"delta: %d changed, %d added, %d removed, %d unchanged instructions\n"+
+			"rules: %d in artifact, %d reused (%.0f%%), %d stale (%d failed re-verify), %d resynthesized, %d improved\n"+
+			"work:  %d SMT queries, full pool rebuilt: %v\n",
+		len(d.Changed), len(d.Added), len(d.Removed), d.Unchanged,
+		rep.ArtifactRules, rep.Reused, 100*rep.ReusedFraction(),
+		rep.Stale, rep.ReverifyFailed, rep.Resynthesized, rep.Improved,
+		rep.SMTQueries, rep.FullPool)
+	printResults(lib, tgt, name, t0, report, summary, rulesOut, tdOut)
 }
 
 // synthInline runs the pipeline for a DSL spec file — the retargeting
 // flow of examples/newisa, from the CLI. The spec is validated up front
 // (spec.Check is the same entry point the iseld daemon's inline path
 // uses), then synthesized against the shared benchmark pattern corpus.
-func synthInline(name, path string, cfg core.Config, maxPatterns int) (*rules.Library, string, error) {
+func synthInline(name, path string, cfg core.Config, maxPatterns int) (*rules.Library, *isa.Target, string, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	insts, err := spec.Check(string(src))
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	b := term.NewBuilder()
 	tgt, err := isa.LoadTarget(b, name, string(src), nil, 4)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	synth := core.New(b, tgt, cfg)
 	synth.BuildPool()
@@ -121,10 +220,10 @@ func synthInline(name, path string, cfg core.Config, maxPatterns int) (*rules.Li
 	tableII := fmt.Sprintf("%s: %d instructions, %d sequences, %d rules (index %d, smt %d)\n",
 		name, len(insts), synth.Stats.Sequences, lib.Len(),
 		synth.Stats.IndexRules, synth.Stats.SMTRules)
-	return lib, tableII, nil
+	return lib, tgt, tableII, nil
 }
 
-func printResults(lib *rules.Library, target string, t0 time.Time, tableII string, summary bool, rulesOut, tdOut string) {
+func printResults(lib *rules.Library, tgt *isa.Target, target string, t0 time.Time, tableII string, summary bool, rulesOut, tdOut string) {
 	fmt.Printf("synthesized %d rules for %s in %v\n\n", lib.Len(), target,
 		time.Since(t0).Round(time.Millisecond))
 	fmt.Println(tableII)
@@ -135,7 +234,10 @@ func printResults(lib *rules.Library, target string, t0 time.Time, tableII strin
 			st.BySource, st.BySeqLen, st.ByPatternSize, st.RulesWithImmCs)
 	}
 	if rulesOut != "" {
-		if err := os.WriteFile(rulesOut, []byte(isel.SaveLibrary(lib)), 0o644); err != nil {
+		// SaveLibraryFor stamps every instruction's content fingerprint
+		// into the artifact header, which is what -incremental -from
+		// diffs against after a spec edit.
+		if err := os.WriteFile(rulesOut, []byte(isel.SaveLibraryFor(lib, tgt)), 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote loadable rule library to %s\n", rulesOut)

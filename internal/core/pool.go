@@ -52,6 +52,12 @@ type Config struct {
 	// "without sample evaluation" ablation (which did not terminate at
 	// their scale).
 	DisableProbe bool
+	// PoolFilter, when set, restricts stage 1 to the sequences it accepts:
+	// enumeration still runs (it is cheap), but rejected sequences skip
+	// canonicalization, test evaluation, and index insertion. The
+	// incremental planner uses it to build a reduced pool containing only
+	// sequences that touch changed instructions.
+	PoolFilter func(*isa.Sequence) bool
 }
 
 // CacheKey renders the configuration knobs that influence *which rules*
@@ -77,9 +83,13 @@ func (c Config) CacheKey() string {
 	if norm.ExtraSequences != nil {
 		extra = "+" // presence only; callers pass target-determined extras
 	}
-	return fmt.Sprintf("inputs=%d|seqlen=%d|conflicts=%d|pairbases=%d|noindex=%t|noprobe=%t|extra=%s",
+	filter := "-"
+	if norm.PoolFilter != nil {
+		filter = "+" // a filtered pool produces a different (partial) library
+	}
+	return fmt.Sprintf("inputs=%d|seqlen=%d|conflicts=%d|pairbases=%d|noindex=%t|noprobe=%t|extra=%s|filter=%s",
 		norm.TestInputs, norm.MaxSeqLen, norm.SMTMaxConflicts, norm.MaxPairBases,
-		norm.DisableIndex, norm.DisableProbe, extra)
+		norm.DisableIndex, norm.DisableProbe, extra, filter)
 }
 
 // DefaultConfig returns the settings used by the experiments.
@@ -361,6 +371,9 @@ func writesFlags(seq *isa.Sequence) bool {
 // addEntry canonicalizes, evaluates, and indexes one sequence's primary
 // effect.
 func (s *Synthesizer) addEntry(seq *isa.Sequence) {
+	if s.Cfg.PoolFilter != nil && !s.Cfg.PoolFilter(seq) {
+		return
+	}
 	eff, class, ok := primaryEffect(seq)
 	if !ok {
 		return

@@ -19,39 +19,91 @@ import (
 // a selector without re-running synthesis). The format is line-based:
 //
 //	# comment
-//	<pattern-key> \t <sequence-spec> \t <operand-spec> [\t <leaf-consts>]
+//	#%inst <name> <fingerprint>
+//	<pattern-key> \t <sequence-spec> \t <operand-spec> [\t <leaf-consts>] \t <source>
 //
 // using the same compact sequence/operand grammar as the manual-rule DSL
-// (MustSeq / MustRule), so saved rules are human-auditable. Every rule is
-// re-verified on load.
+// (MustSeq / MustRule), so saved rules are human-auditable. The "#%inst"
+// header records, for every instruction any rule depends on, the content
+// fingerprint its semantics had at synthesis time (rules.InstFingerprint)
+// — the provenance an incremental resynthesis diffs against a new spec.
+// The trailing source field preserves each rule's proof origin (index vs
+// smt) across save/load cycles. Both extensions are backward compatible:
+// "#"-prefixed lines were always comments, and loaders distinguish the
+// optional leaf-consts field from the source field by the presence of
+// '='. Every rule is re-verified on load.
 
-// SaveLibrary serializes a library.
+// SaveLibrary serializes a library. The provenance header covers the
+// instructions the rules depend on; use SaveLibraryFor when the loaded
+// target is at hand, so the header covers the *whole* spec and an
+// incremental resynthesis can also tell unchanged-but-unused
+// instructions from new ones.
 func SaveLibrary(lib *rules.Library) string {
+	fps := map[string]string{}
+	for _, r := range lib.Rules {
+		for _, p := range r.Prov {
+			fps[p.Name] = p.FP
+		}
+	}
+	return saveLibrary(lib, fps)
+}
+
+// SaveLibraryFor serializes a library with a provenance header recording
+// the content fingerprint of every instruction of the target it was
+// synthesized against — the artifact format the incremental planner
+// diffs against an edited spec.
+func SaveLibraryFor(lib *rules.Library, tgt *isa.Target) string {
+	fps := make(map[string]string, len(tgt.Insts))
+	for _, inst := range tgt.Insts {
+		fps[inst.Name] = rules.InstFingerprint(inst)
+	}
+	return saveLibrary(lib, fps)
+}
+
+func saveLibrary(lib *rules.Library, fps map[string]string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "# %s rule library: %d rules\n", lib.Target, lib.Len())
+	names := make([]string, 0, len(fps))
+	for n := range fps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "#%%inst %s %s\n", n, fps[n])
+	}
 	for _, r := range lib.Rules {
-		seqSpec := seqSpecOf(r.Seq)
-		opSpec := opSpecOf(r)
-		line := r.Pattern.Key() + "\t" + seqSpec + "\t" + opSpec
-		if len(r.LeafConsts) > 0 {
-			// Emit in leaf-index order: map iteration order would make
-			// the serialization nondeterministic, and the disk cache
-			// wants Save → Load → Save to be byte-identical.
-			leaves := make([]int, 0, len(r.LeafConsts))
-			for leaf := range r.LeafConsts {
-				leaves = append(leaves, leaf)
-			}
-			sort.Ints(leaves)
-			lcs := make([]string, len(leaves))
-			for i, leaf := range leaves {
-				lcs[i] = fmt.Sprintf("%d=%d", leaf, r.LeafConsts[leaf].Int64())
-			}
-			line += "\t" + strings.Join(lcs, ",")
-		}
-		sb.WriteString(line)
+		sb.WriteString(RuleLine(r))
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+// RuleLine renders one rule as its persisted artifact line (no trailing
+// newline). The rendering depends only on rule content — not on builder
+// or target identity — so it doubles as a builder-independent rule
+// fingerprint for comparing libraries across synthesis runs.
+func RuleLine(r *rules.Rule) string {
+	line := r.Pattern.Key() + "\t" + seqSpecOf(r.Seq) + "\t" + opSpecOf(r)
+	if len(r.LeafConsts) > 0 {
+		// Emit in leaf-index order: map iteration order would make
+		// the serialization nondeterministic, and the disk cache
+		// wants Save → Load → Save to be byte-identical.
+		leaves := make([]int, 0, len(r.LeafConsts))
+		for leaf := range r.LeafConsts {
+			leaves = append(leaves, leaf)
+		}
+		sort.Ints(leaves)
+		lcs := make([]string, len(leaves))
+		for i, leaf := range leaves {
+			lcs[i] = fmt.Sprintf("%d=%d", leaf, r.LeafConsts[leaf].Int64())
+		}
+		line += "\t" + strings.Join(lcs, ",")
+	}
+	src := r.Source
+	if src == "" {
+		src = "loaded"
+	}
+	return line + "\t" + src
 }
 
 // seqSpecOf renders a sequence in MustSeq grammar. Sequences with fixed
@@ -113,30 +165,50 @@ func LoadLibrary(b *term.Builder, tgt *isa.Target, text string) (*rules.Library,
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) < 3 {
-			return nil, fmt.Errorf("isel: line %d: need at least 3 fields", lineNo)
-		}
-		pat, err := pattern.ParseKey(fields[0])
+		r, err := LoadRule(b, tgt, line)
 		if err != nil {
 			return nil, fmt.Errorf("isel: line %d: %w", lineNo, err)
 		}
-		opSpec := fields[2]
-		if opSpec == "-" {
-			opSpec = ""
-		}
-		var leafConsts []string
-		if len(fields) >= 4 {
-			leafConsts = strings.Split(fields[3], ",")
-		}
-		r, err := loadRule(b, tgt, pat, fields[1], opSpec, leafConsts)
-		if err != nil {
-			return nil, fmt.Errorf("isel: line %d: %w", lineNo, err)
-		}
-		r.Source = "loaded"
 		lib.Add(r)
 	}
 	return lib, sc.Err()
+}
+
+// LoadRule parses and verifies one persisted rule line against a loaded
+// target. Verification is VerifyRule — randomized evaluation only, no
+// solver — which is what lets the incremental planner re-validate reused
+// rules with zero SMT queries. The rule's proof origin is taken from the
+// line's trailing source field when present ("loaded" otherwise), so
+// provenance survives save/load cycles.
+func LoadRule(b *term.Builder, tgt *isa.Target, line string) (*rules.Rule, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("need at least 3 fields")
+	}
+	pat, err := pattern.ParseKey(fields[0])
+	if err != nil {
+		return nil, err
+	}
+	opSpec := fields[2]
+	if opSpec == "-" {
+		opSpec = ""
+	}
+	// Trailing fields: leaf-consts contain '=', the source field does not.
+	var leafConsts []string
+	source := "loaded"
+	for _, f := range fields[3:] {
+		if strings.Contains(f, "=") {
+			leafConsts = strings.Split(f, ",")
+		} else if f != "" {
+			source = f
+		}
+	}
+	r, err := loadRule(b, tgt, pat, fields[1], opSpec, leafConsts)
+	if err != nil {
+		return nil, err
+	}
+	r.Source = source
+	return r, nil
 }
 
 // loadRule is MustRule with error returns and fixed-immediate support in

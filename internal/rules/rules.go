@@ -104,7 +104,14 @@ type Rule struct {
 	LeafConsts map[int]bv.BV
 	// Source records the discovery path: "index", "smt", or "manual"
 	// (§VIII: manual rules cover operations outside the synthesis scope).
+	// Together with Prov it forms the rule's provenance: Source is the
+	// proof origin, Prov the facts the proof depends on.
 	Source string
+	// Prov lists, per supporting instruction, the content fingerprint its
+	// semantics had when the rule was established (name-sorted). Stamped
+	// by Library.Add; the incremental planner reuses a rule only if every
+	// supporting fingerprint is unchanged in the new spec.
+	Prov []InstFP
 }
 
 // Cost is the paper's metric: total input operands over the sequence.
@@ -180,8 +187,14 @@ func NewLibrary(target string) *Library {
 }
 
 // Add inserts a rule, keeping the per-pattern chain cost-sorted and
-// dropping exact duplicates (same sequence and operand shape).
+// dropping exact duplicates (same sequence and operand shape). Rules are
+// stamped with their provenance (supporting instruction fingerprints) on
+// insertion, so every library — synthesized, manual, or loaded — carries
+// the reuse metadata the incremental planner needs.
 func (l *Library) Add(r *Rule) {
+	if r.Prov == nil {
+		r.Prov = SupportOf(r.Seq)
+	}
 	key := r.Pattern.Key()
 	chain := l.byKey[key]
 	sig := ruleSig(r)

@@ -17,8 +17,12 @@ type Metrics struct {
 	Joins      atomic.Uint64 // deduplicated onto an in-flight synthesis
 	SynthRuns  atomic.Uint64 // full synthesis executions
 	PartialRes atomic.Uint64 // deadline-curtailed (partial) results
-	Errors     atomic.Uint64 // requests answered with an error status
-	Selections atomic.Uint64 // /v1/select programs lowered
+
+	IncrRuns     atomic.Uint64 // incremental resyntheses served from shards
+	RulesReused  atomic.Uint64 // rules carried over re-verified (zero solver queries)
+	RulesResynth atomic.Uint64 // rules synthesized by incremental runs
+	Errors       atomic.Uint64 // requests answered with an error status
+	Selections   atomic.Uint64 // /v1/select programs lowered
 
 	mu     sync.Mutex
 	stages core.StageStats
@@ -44,10 +48,16 @@ type MetricsSnapshot struct {
 	DiskHits       uint64          `json:"disk_hits"`
 	Joins          uint64          `json:"joins"`
 	SynthRuns      uint64          `json:"synth_runs"`
+	IncrRuns       uint64          `json:"incr_runs"`
+	RulesReused    uint64          `json:"rules_reused"`
+	RulesResynth   uint64          `json:"rules_resynthesized"`
 	PartialResults uint64          `json:"partial_results"`
 	Errors         uint64          `json:"errors"`
 	Selections     uint64          `json:"selections"`
 	CachedEntries  int             `json:"cached_entries"`
+	Evictions      uint64          `json:"evictions"`
+	ShardLineages  int             `json:"shard_lineages"`
+	Shards         int             `json:"shards"`
 	QueueDepth     int             `json:"queue_depth"`
 	QueueCapacity  int             `json:"queue_capacity"`
 	InFlight       int64           `json:"in_flight"`

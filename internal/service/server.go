@@ -12,6 +12,7 @@ import (
 	"iselgen/internal/core"
 	"iselgen/internal/gmir"
 	"iselgen/internal/harness"
+	"iselgen/internal/incr"
 	"iselgen/internal/isa"
 	"iselgen/internal/isa/aarch64"
 	"iselgen/internal/isa/riscv"
@@ -38,6 +39,9 @@ type Config struct {
 	QueueDepth int
 	// CacheDir, when non-empty, enables the disk artifact layer.
 	CacheDir string
+	// CacheEntries, when positive, caps the in-memory library cache;
+	// past the cap the least-recently-used entry is evicted (0 = unbounded).
+	CacheEntries int
 	// Synth is the server-wide synthesis configuration; its semantic
 	// knobs are part of every fingerprint.
 	Synth core.Config
@@ -53,6 +57,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	store   *Store
+	shards  *ShardStore
 	sched   *Scheduler
 	metrics Metrics
 	mux     *http.ServeMux
@@ -71,15 +76,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 8
 	}
-	store, err := NewStore(cfg.CacheDir)
+	store, err := NewStore(cfg.CacheDir, cfg.CacheEntries)
 	if err != nil {
 		return nil, err
 	}
 	sv := &Server{
-		cfg:   cfg,
-		store: store,
-		sched: NewScheduler(cfg.Workers, cfg.QueueDepth),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		store:  store,
+		shards: NewShardStore(),
+		sched:  NewScheduler(cfg.Workers, cfg.QueueDepth),
+		mux:    http.NewServeMux(),
 	}
 	sv.mux.HandleFunc("POST /v1/synthesize", sv.handleSynthesize)
 	sv.mux.HandleFunc("POST /v1/select", sv.handleSelect)
@@ -158,6 +164,15 @@ func (sv *Server) effectiveConfig(def targetDef) (core.Config, string) {
 	return cfg, fp
 }
 
+// lineageKey identifies the incremental line of descent a request
+// belongs to: the full-cache fingerprint *minus the spec text*. Two
+// revisions of a spec share a lineage, which is exactly what lets the
+// shard store answer the second revision from the first one's shards.
+func (sv *Server) lineageKey(def targetDef, cfg core.Config) string {
+	return rules.Fingerprint(fingerprintScheme, "lineage", def.name,
+		cfg.CacheKey(), fmt.Sprintf("maxpat=%d", sv.cfg.MaxPatterns))
+}
+
 // entryFor implements the cache protocol shared by /v1/synthesize and
 // /v1/select: memory hit, or join an in-flight job, or own a new job
 // (disk layer first, then synthesis under the deadline). The returned
@@ -170,6 +185,7 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 		return e, "hit", http.StatusOK, nil
 	}
 	if owner {
+		lk := sv.lineageKey(def, cfg)
 		job := func() {
 			if sv.testJobGate != nil {
 				sv.testJobGate()
@@ -181,10 +197,21 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 			}); ok {
 				sv.metrics.DiskHits.Add(1)
 				sv.store.Complete(fp, ent, nil)
+				sv.shards.Update(lk, ent.Target, ent.Lib)
 				return
 			}
-			ent, err := sv.runSynthesis(def, cfg, fp, timeout)
+			// Disk miss: if this lineage has completed before (same target
+			// name and config, different spec text), resynthesize from its
+			// shards instead of from scratch.
+			ent, ok := sv.runIncremental(def, cfg, fp, lk, timeout)
+			var err error
+			if !ok {
+				ent, err = sv.runSynthesis(def, cfg, fp, timeout)
+			}
 			sv.store.Complete(fp, ent, err)
+			if err == nil && ent != nil && !ent.Partial {
+				sv.shards.Update(lk, ent.Target, ent.Lib)
+			}
 		}
 		if err := sv.sched.Submit(job); err != nil {
 			// The flight must still resolve or joiners would hang.
@@ -210,10 +237,68 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 		cache = "join"
 	case ent.Origin == "disk":
 		cache = "disk"
+	case ent.Origin == "incremental":
+		cache = "incr"
 	default:
 		cache = "miss"
 	}
 	return ent, cache, http.StatusOK, nil
+}
+
+// runIncremental attempts to answer a full-cache miss from the
+// lineage's shards: load the new spec, diff its instruction
+// fingerprints against the shards' provenance, re-verify the rules
+// whose support is unchanged (randomized evaluation, zero solver
+// queries), and synthesize only the remainder. Returns ok=false when
+// the lineage has no prior result or the resynthesis fails — the
+// caller then falls back to a from-scratch run.
+func (sv *Server) runIncremental(def targetDef, cfg core.Config, fp, lk string, timeout time.Duration) (*Entry, bool) {
+	art := sv.shards.Artifact(lk)
+	if art == nil {
+		return nil, false
+	}
+	t0 := time.Now()
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	b := term.NewBuilder()
+	tgt, err := def.load(b)
+	if err != nil {
+		return nil, false
+	}
+	// The corpus is derived the same way runSynthesis derives it, which
+	// is the consistency the incremental planner requires.
+	pats := harness.CorpusPatterns(def.name, sv.cfg.MaxPatterns)
+	lib, rep, err := incr.Resynthesize(b, tgt, art, incr.Options{
+		Config: cfg, Patterns: pats, Context: ctx,
+	})
+	if err != nil {
+		return nil, false
+	}
+	lib.Freeze()
+	sv.metrics.IncrRuns.Add(1)
+	sv.metrics.RulesReused.Add(uint64(rep.Reused))
+	sv.metrics.RulesResynth.Add(uint64(rep.Resynthesized))
+	if rep.Curtailed {
+		sv.metrics.PartialRes.Add(1)
+	}
+	sv.metrics.AddStages(rep.Stats)
+	return &Entry{
+		Fingerprint: fp,
+		TargetName:  def.name,
+		B:           b,
+		Target:      tgt,
+		Lib:         lib,
+		Partial:     rep.Curtailed,
+		Stats:       rep.Stats,
+		Elapsed:     time.Since(t0),
+		Origin:      "incremental",
+		Reused:      rep.Reused,
+		Resynth:     rep.Resynthesized,
+	}, true
 }
 
 // runSynthesis executes one full pipeline run — load target, build the
@@ -276,15 +361,20 @@ type SynthesizeRequest struct {
 
 // SynthesizeResponse is the body answering POST /v1/synthesize.
 type SynthesizeResponse struct {
-	Target      string          `json:"target"`
-	Fingerprint string          `json:"fingerprint"`
-	Rules       int             `json:"rules"`
-	Partial     bool            `json:"partial"`
-	Cache       string          `json:"cache"` // hit | disk | miss | join
-	ElapsedMS   float64         `json:"elapsed_ms"`
-	BySource    map[string]int  `json:"by_source"`
-	Stats       core.StageStats `json:"stats"`
-	Library     string          `json:"library,omitempty"`
+	Target      string  `json:"target"`
+	Fingerprint string  `json:"fingerprint"`
+	Rules       int     `json:"rules"`
+	Partial     bool    `json:"partial"`
+	Cache       string  `json:"cache"` // hit | disk | miss | join | incr
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	// Reused and Resynthesized report, for cache=incr responses, how many
+	// rules were carried over from the lineage's shards (re-verified, no
+	// solver) versus synthesized for the delta.
+	Reused        int             `json:"reused_rules,omitempty"`
+	Resynthesized int             `json:"resynthesized_rules,omitempty"`
+	BySource      map[string]int  `json:"by_source"`
+	Stats         core.StageStats `json:"stats"`
+	Library       string          `json:"library,omitempty"`
 }
 
 func (sv *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
@@ -317,6 +407,7 @@ func (sv *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		BySource:    e.Lib.Summarize().BySource,
 		Stats:       e.Stats,
 	}
+	resp.Reused, resp.Resynthesized = e.Reused, e.Resynth
 	if req.Emit {
 		resp.Library = e.Lib.Emit()
 	}
@@ -442,15 +533,22 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	lineages, shards := sv.shards.Counts()
 	writeJSON(w, http.StatusOK, MetricsSnapshot{
 		CacheHits:      sv.metrics.CacheHits.Load(),
 		DiskHits:       sv.metrics.DiskHits.Load(),
 		Joins:          sv.metrics.Joins.Load(),
 		SynthRuns:      sv.metrics.SynthRuns.Load(),
+		IncrRuns:       sv.metrics.IncrRuns.Load(),
+		RulesReused:    sv.metrics.RulesReused.Load(),
+		RulesResynth:   sv.metrics.RulesResynth.Load(),
 		PartialResults: sv.metrics.PartialRes.Load(),
 		Errors:         sv.metrics.Errors.Load(),
 		Selections:     sv.metrics.Selections.Load(),
 		CachedEntries:  sv.store.MemLen(),
+		Evictions:      sv.store.Evictions(),
+		ShardLineages:  lineages,
+		Shards:         shards,
 		QueueDepth:     sv.sched.QueueDepth(),
 		QueueCapacity:  sv.sched.QueueCapacity(),
 		InFlight:       sv.sched.InFlight(),
@@ -476,6 +574,12 @@ func (sv *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool 
 
 func (sv *Server) fail(w http.ResponseWriter, status int, err error) {
 	sv.metrics.Errors.Add(1)
+	// Backpressure rejections are retryable by construction — the queue
+	// drains at synthesis speed — so tell well-behaved clients when to
+	// come back instead of letting them hammer the queue.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 

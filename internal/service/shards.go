@@ -1,0 +1,116 @@
+package service
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"iselgen/internal/incr"
+	"iselgen/internal/isa"
+	"iselgen/internal/isel"
+	"iselgen/internal/rules"
+)
+
+// ShardStore is the incremental layer beneath the full-library cache.
+// The full cache is keyed by (spec text, config) — any edit to the spec
+// is a total miss there. The shard store instead keys a *lineage* by
+// (target name, config), i.e. everything except the spec text, and
+// remembers the last full result decomposed into shards: groups of rules
+// binned by their supporting-instruction set, alongside the per
+// instruction content fingerprints the result was synthesized against.
+// When an edited spec misses the full cache, the flight owner hands the
+// lineage's shards to the incremental planner (internal/incr), which
+// drops only the shards whose support changed and re-verifies the rest
+// with zero solver queries.
+type ShardStore struct {
+	mu       sync.Mutex
+	lineages map[string]*lineage
+}
+
+// lineage is the latest full synthesis result for one (target name,
+// config) line of descent, in provenance form.
+type lineage struct {
+	instFPs map[string]string // content fingerprint per instruction at synthesis time
+	shards  map[string]*shard // keyed by support-set signature
+}
+
+// shard is the group of rules sharing one supporting-instruction set. A
+// spec edit invalidates a shard as a unit: every rule in it is stale iff
+// any instruction in the support set changed.
+type shard struct {
+	support []string
+	rules   []incr.ArtifactRule
+}
+
+// NewShardStore creates an empty shard store.
+func NewShardStore() *ShardStore {
+	return &ShardStore{lineages: map[string]*lineage{}}
+}
+
+// Update replaces a lineage with the shard decomposition of a freshly
+// verified full library. Called after every full-quality completion
+// (synthesized, incremental, or disk-loaded), so the lineage always
+// reflects the most recent spec the service has seen for the line.
+func (ss *ShardStore) Update(key string, tgt *isa.Target, lib *rules.Library) {
+	ln := &lineage{instFPs: incr.InstFingerprints(tgt), shards: map[string]*shard{}}
+	for _, r := range lib.Rules {
+		names := make([]string, len(r.Prov))
+		for i, p := range r.Prov {
+			names[i] = p.Name // SupportOf returns them sorted and deduplicated
+		}
+		sig := strings.Join(names, ",")
+		sh := ln.shards[sig]
+		if sh == nil {
+			sh = &shard{support: names}
+			ln.shards[sig] = sh
+		}
+		src := r.Source
+		if src == "" {
+			src = "loaded"
+		}
+		sh.rules = append(sh.rules, incr.ArtifactRule{
+			Line:       isel.RuleLine(r),
+			PatternKey: r.Pattern.Key(),
+			Insts:      names,
+			Source:     src,
+		})
+	}
+	ss.mu.Lock()
+	ss.lineages[key] = ln
+	ss.mu.Unlock()
+}
+
+// Artifact assembles the incremental planner's input from a lineage's
+// shards, or nil when the lineage has never completed a full run. Shards
+// are emitted in signature order so the assembly is deterministic.
+func (ss *ShardStore) Artifact(key string) *incr.Artifact {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ln := ss.lineages[key]
+	if ln == nil {
+		return nil
+	}
+	art := &incr.Artifact{InstFPs: make(map[string]string, len(ln.instFPs))}
+	for n, fp := range ln.instFPs {
+		art.InstFPs[n] = fp
+	}
+	sigs := make([]string, 0, len(ln.shards))
+	for sig := range ln.shards {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		art.Rules = append(art.Rules, ln.shards[sig].rules...)
+	}
+	return art
+}
+
+// Counts reports the number of lineages and shards held, for /v1/metrics.
+func (ss *ShardStore) Counts() (lineages, shards int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for _, ln := range ss.lineages {
+		shards += len(ln.shards)
+	}
+	return len(ss.lineages), shards
+}

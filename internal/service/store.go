@@ -37,8 +37,13 @@ type Entry struct {
 	Partial bool
 	Stats   core.StageStats
 	Elapsed time.Duration
-	// Origin records how the entry came to exist: "synthesized" or "disk".
+	// Origin records how the entry came to exist: "synthesized",
+	// "incremental" (resynthesized from a lineage's shards), or "disk".
 	Origin string
+	// Reused and Resynth count, for incremental entries, how many rules
+	// were carried over re-verified versus produced by synthesis.
+	Reused  int
+	Resynth int
 }
 
 // Materializer reconstructs the (builder, target) pair a persisted
@@ -72,22 +77,30 @@ func (f *Flight) Wait(ctx context.Context) (*Entry, error) {
 // (re-verified on load, DESIGN invariant 8), and singleflight
 // deduplication of concurrent misses.
 type Store struct {
-	dir string // "" = memory only
+	dir    string // "" = memory only
+	maxMem int    // LRU cap on in-memory entries; 0 = unbounded
 
-	mu      sync.Mutex
-	mem     map[string]*Entry
-	flights map[string]*Flight
+	mu        sync.Mutex
+	mem       map[string]*Entry
+	used      map[string]uint64 // fingerprint -> last-touch tick
+	clock     uint64
+	evictions uint64
+	flights   map[string]*Flight
 }
 
 // NewStore creates a store; dir, when non-empty, is created and used as
-// the disk layer.
-func NewStore(dir string) (*Store, error) {
+// the disk layer. maxMem, when positive, caps the in-memory layer: the
+// least-recently-used entry is evicted on insertion past the cap (the
+// disk layer, when present, still holds the artifact, so an evicted
+// fingerprint re-verifies from disk rather than re-synthesizing).
+func NewStore(dir string, maxMem int) (*Store, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	return &Store{dir: dir, mem: map[string]*Entry{}, flights: map[string]*Flight{}}, nil
+	return &Store{dir: dir, maxMem: maxMem,
+		mem: map[string]*Entry{}, used: map[string]uint64{}, flights: map[string]*Flight{}}, nil
 }
 
 // Acquire is the atomic admission step for a fingerprint: a memory hit
@@ -98,6 +111,8 @@ func (s *Store) Acquire(fp string) (e *Entry, fl *Flight, owner bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e := s.mem[fp]; e != nil {
+		s.clock++
+		s.used[fp] = s.clock
 		return e, nil, false
 	}
 	if fl := s.flights[fp]; fl != nil {
@@ -118,14 +133,37 @@ func (s *Store) Complete(fp string, e *Entry, err error) {
 	delete(s.flights, fp)
 	if e != nil && err == nil && !e.Partial {
 		s.mem[fp] = e
+		s.clock++
+		s.used[fp] = s.clock
+		s.evictLocked()
 	}
 	s.mu.Unlock()
 	if fl != nil {
 		fl.entry, fl.err = e, err
 		close(fl.done)
 	}
-	if e != nil && err == nil && !e.Partial && e.Origin == "synthesized" {
+	if e != nil && err == nil && !e.Partial &&
+		(e.Origin == "synthesized" || e.Origin == "incremental") {
 		s.persist(fp, e) // best-effort; the memory layer already has it
+	}
+}
+
+// evictLocked drops least-recently-used entries until the memory layer
+// is back under its cap. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	if s.maxMem <= 0 {
+		return
+	}
+	for len(s.mem) > s.maxMem {
+		victim, oldest := "", uint64(0)
+		for fp, tick := range s.used {
+			if victim == "" || tick < oldest {
+				victim, oldest = fp, tick
+			}
+		}
+		delete(s.mem, victim)
+		delete(s.used, victim)
+		s.evictions++
 	}
 }
 
@@ -134,6 +172,13 @@ func (s *Store) MemLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.mem)
+}
+
+// Evictions returns how many entries the LRU cap has evicted.
+func (s *Store) Evictions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
 }
 
 func (s *Store) path(fp string) string {
@@ -147,7 +192,10 @@ func (s *Store) persist(fp string, e *Entry) error {
 	if s.dir == "" {
 		return nil
 	}
-	text := isel.SaveLibrary(e.Lib)
+	// SaveLibraryFor records the fingerprint of every instruction of the
+	// target — not just the ones rules use — so a future daemon can run
+	// the incremental planner against the persisted artifact too.
+	text := isel.SaveLibraryFor(e.Lib, e.Target)
 	tmp, err := os.CreateTemp(s.dir, "."+fp+".tmp*")
 	if err != nil {
 		return err

@@ -25,7 +25,7 @@ func Check(src string) ([]string, error) {
 	seen := map[string]bool{}
 	for _, inst := range f.Insts {
 		if seen[inst.Name] {
-			return nil, fmt.Errorf("spec: duplicate instruction %q", inst.Name)
+			return nil, fmt.Errorf("spec:%d: duplicate instruction %q", inst.Line, inst.Name)
 		}
 		seen[inst.Name] = true
 		if _, err := Symbolize(inst, b, inst.Name+"."); err != nil {

@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckErrors drives the parser/checker error paths through Check —
+// the same entry point cmd/iselgen -spec and the daemon's inline-target
+// path use — and asserts both the diagnostic and its reported position,
+// since a spec author fixing a 300-instruction file navigates by the
+// "spec:<line>:" prefix.
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		pos  string // expected "spec:<line>:" prefix
+		want string // expected diagnostic substring
+	}{
+		{
+			name: "operator width mismatch",
+			src: `inst A(a: reg64, b: reg64) { rd = a + b; }
+inst B(a: reg64, b: reg32) { rd = a & b; }`,
+			pos:  "spec:2:",
+			want: "width mismatch: 64 vs 32",
+		},
+		{
+			name: "unannotated literal width",
+			src: `inst A(a: reg64) { rd = a; }
+inst B(a: imm12) {
+  let k = 7;
+  rd = zext(a, 64) + k;
+}`,
+			pos:  "spec:3:",
+			want: "cannot infer width",
+		},
+		{
+			name: "write-back width mismatch",
+			src: `inst A(a: reg64, b: reg64) {
+  a = trunc(b, 16);
+}`,
+			pos:  "spec:2:",
+			want: "write-back width 16 to 64-bit operand a",
+		},
+		{
+			name: "shrinking zext",
+			src: `inst A(a: reg64) { rd = a; }
+inst B(a: reg64) {
+  rd = zext(a, 32);
+}`,
+			pos:  "spec:3:",
+			want: "zext to width 32 shrinks 64-bit value",
+		},
+		{
+			name: "widening trunc",
+			src: `inst A(a: imm12) {
+  rd = trunc(a, 64);
+}`,
+			pos:  "spec:2:",
+			want: "trunc to width 64 widens 12-bit value",
+		},
+		{
+			name: "undefined variable",
+			src: `inst A(a: reg64) { rd = a; }
+inst B(a: reg64) {
+  let x = a + a;
+  rd = x ^ nonesuch;
+}`,
+			pos:  "spec:4:",
+			want: `unknown identifier "nonesuch"`,
+		},
+		{
+			name: "duplicate instruction name",
+			src: `inst A(a: reg64) { rd = a; }
+inst B(a: reg64) { rd = ~a; }
+inst A(a: reg64, b: reg64) { rd = a - b; }`,
+			pos:  "spec:3:",
+			want: `duplicate instruction "A"`,
+		},
+		{
+			name: "missing width annotation suffix",
+			src: `inst A(a: reg64) {
+  rd = a + 3:;
+}`,
+			pos:  "spec:2:",
+			want: "missing width after ':'",
+		},
+		{
+			name: "unexpected character",
+			src: `inst A(a: reg64) { rd = a; }
+inst B(a: reg64) { rd = a # a; }`,
+			pos:  "spec:2:",
+			want: "unexpected character",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Check(c.src)
+			if err == nil {
+				t.Fatalf("Check accepted invalid spec:\n%s", c.src)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, c.pos) {
+				t.Errorf("error %q does not report position %q", msg, c.pos)
+			}
+			if !strings.Contains(msg, c.want) {
+				t.Errorf("error %q does not contain %q", msg, c.want)
+			}
+		})
+	}
+}
+
+// TestCheckErrorNamesInstruction: semantic errors name the offending
+// instruction, not just the line — the executor's errf contract.
+func TestCheckErrorNamesInstruction(t *testing.T) {
+	_, err := Check(`inst BROKEN(a: reg64, b: reg32) { rd = a | b; }`)
+	if err == nil {
+		t.Fatal("Check accepted width-mismatched spec")
+	}
+	if !strings.Contains(err.Error(), "BROKEN") {
+		t.Errorf("error %q does not name the instruction", err)
+	}
+}

@@ -150,11 +150,20 @@ func (ex *executor) evalCall(st *state, e *Call, expect int) (*term.Term, error)
 			return nil, err
 		}
 		switch e.Fn {
-		case "zext":
-			return b.ZExt(w, x), nil
-		case "sext":
+		case "zext", "sext":
+			// Diagnose a shrinking extension here: the builder would
+			// panic, and a spec author deserves a positioned error.
+			if w < x.W() {
+				return nil, ex.errf(e.Line, "%s to width %d shrinks %d-bit value (use trunc)", e.Fn, w, x.W())
+			}
+			if e.Fn == "zext" {
+				return b.ZExt(w, x), nil
+			}
 			return b.SExt(w, x), nil
 		case "trunc":
+			if w > x.W() {
+				return nil, ex.errf(e.Line, "trunc to width %d widens %d-bit value (use zext or sext)", w, x.W())
+			}
 			return b.Trunc(w, x), nil
 		default:
 			if x.W() != 64 {
