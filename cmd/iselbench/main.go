@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"iselgen/internal/core"
+	"iselgen/internal/fuzz"
 	"iselgen/internal/harness"
 	"iselgen/internal/incr"
 	"iselgen/internal/isel"
@@ -148,6 +149,10 @@ type benchReport struct {
 	Rows       []benchRow                    `json:"rows"`
 	Normalized map[string]map[string]float64 `json:"normalized"`
 	Geomean    map[string]float64            `json:"geomean"`
+	// FuzzThroughput is programs/second through the differential-fuzzing
+	// pipeline (generate + select + simulate) against the synthesized
+	// backend — the sustained rate iselfuzz achieves on this machine.
+	FuzzThroughput float64 `json:"fuzz_throughput"`
 }
 
 type benchRow struct {
@@ -263,6 +268,7 @@ func emitJSON(s *harness.Setup, rules int, synthElapsed time.Duration, scale int
 			Fallback: r.Fallback, HookPct: r.HookPct,
 		})
 	}
+	rep.FuzzThroughput = fuzz.Throughput(fuzz.SetupPipeline(s, true), 1, 300)
 	rep.Normalized = harness.Normalized(rows, "selectiondag")
 	seen := map[string]bool{}
 	for _, r := range rows {

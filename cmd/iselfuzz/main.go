@@ -1,0 +1,69 @@
+// Command iselfuzz runs the differential fuzzing harness: random gMIR
+// programs through legalize → select → simulate against the gMIR
+// interpreter, mutated ISA specifications against the synthesis
+// contract, and random term pairs against the SMT equivalence checker.
+// Failures are shrunk to minimal reproducers and written to the corpus
+// directory, where `go test ./internal/fuzz` replays them.
+//
+//	iselfuzz -target aarch64 -n 500 -seed 1
+//	iselfuzz -oracle smt -n 2000
+//	iselfuzz -oracle all -budget 30s -corpus internal/fuzz/testdata/corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"iselgen/internal/fuzz"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "root random seed; every iteration derives from it deterministically")
+		n         = flag.Int("n", 500, "iterations per oracle")
+		target    = flag.String("target", "aarch64", "select-diff target: aarch64 or riscv")
+		oracle    = flag.String("oracle", "select-diff", "oracle to run: select-diff, spec, smt, or all")
+		budget    = flag.Duration("budget", 0, "wall-clock budget (0 = unlimited)")
+		corpus    = flag.String("corpus", "", "directory for shrunk reproducers (also replayed by go test)")
+		synth     = flag.Bool("synth", true, "select against a freshly synthesized library (handwritten fallback)")
+		specSynth = flag.Bool("specsynth", false, "differential-check accepted spec mutants (slow)")
+	)
+	flag.Parse()
+
+	opts := fuzz.Options{
+		Seed:      *seed,
+		N:         *n,
+		Target:    *target,
+		Oracle:    *oracle,
+		Budget:    *budget,
+		CorpusDir: *corpus,
+		Synth:     *synth,
+		SpecSynth: *specSynth,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	start := time.Now()
+	sum, err := fuzz.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselfuzz: %v\n", err)
+		os.Exit(2)
+	}
+	total := 0
+	for o, c := range sum.PerOracle {
+		fmt.Printf("%-12s %d iterations\n", o+":", c)
+		total += c
+	}
+	el := time.Since(start)
+	rate := float64(total) / el.Seconds()
+	fmt.Printf("ran %d, skipped %d, failed %d in %v (%.1f iter/s)\n",
+		sum.Ran, sum.Skipped, sum.Failed, el.Round(time.Millisecond), rate)
+	if sum.Failed > 0 {
+		for _, p := range sum.Repros {
+			fmt.Printf("repro: %s\n", p)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,294 @@
+package fuzz
+
+import (
+	"iselgen/internal/bv"
+)
+
+// GenConfig controls the shape of generated programs.
+type GenConfig struct {
+	// MinOps/MaxOps bound the number of operation instructions.
+	MinOps, MaxOps int
+	// Widths are the scalar widths parameters and operations draw from.
+	Widths []int
+	// Ops restricts the operation vocabulary (names from the corpus
+	// format). Empty means the full selectable integer set.
+	Ops []string
+	// Consts allows G_CONSTANT materialization.
+	Consts bool
+	// Mem allows loads and stores (requires Consts for address masking).
+	Mem bool
+}
+
+// DefaultGenConfig is the full-pipeline configuration: every selectable
+// operation, all legal scalar widths, memory traffic enabled.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MinOps: 1, MaxOps: 14,
+		Widths: []int{8, 16, 32, 64},
+		Consts: true,
+		Mem:    true,
+	}
+}
+
+// defaultOps is the generator's full vocabulary. Narrow-width bit
+// unaries (ctlz/cttz/bswap) are excluded from 8/16-bit draws at
+// generation time since the legalizer deliberately refuses to widen them.
+var defaultOps = []string{
+	"add", "sub", "mul", "udiv", "sdiv", "urem", "srem",
+	"and", "or", "xor", "shl", "lshr", "ashr",
+	"smin", "smax", "umin", "umax",
+	"ctpop", "ctlz", "cttz", "bswap", "abs",
+	"icmp", "select", "zext", "sext", "trunc",
+	"load", "store",
+}
+
+// Gen produces a random well-typed straight-line program. The same RNG
+// state always yields the same program.
+func Gen(rng *bv.RNG, cfg GenConfig) *Prog {
+	if len(cfg.Widths) == 0 {
+		cfg.Widths = []int{8, 16, 32, 64}
+	}
+	ops := cfg.Ops
+	if len(ops) == 0 {
+		ops = defaultOps
+	}
+	if cfg.MaxOps < 1 {
+		cfg.MaxOps = 12
+	}
+	if cfg.MinOps < 1 {
+		cfg.MinOps = 1
+	}
+	g := &genState{rng: rng, cfg: cfg, p: &Prog{}}
+
+	nParams := 2 + rng.Intn(3)
+	has64 := false
+	for i := 0; i < nParams; i++ {
+		w := cfg.Widths[rng.Intn(len(cfg.Widths))]
+		if i == 0 && !contains(cfg.Widths, 64) {
+			// No 64-bit width configured: still legal, ret will extend.
+		} else if i == nParams-1 && !has64 && contains(cfg.Widths, 64) {
+			w = 64 // guarantee a 64-bit value exists for addresses/ret
+		}
+		if w == 64 {
+			has64 = true
+		}
+		g.emit(PInst{Op: "param", Bits: w})
+	}
+
+	n := cfg.MinOps + rng.Intn(cfg.MaxOps-cfg.MinOps+1)
+	for i := 0; i < n; i++ {
+		g.genOp(ops[rng.Intn(len(ops))])
+	}
+	g.ret()
+	return g.p
+}
+
+type genState struct {
+	rng *bv.RNG
+	cfg GenConfig
+	p   *Prog
+}
+
+func (g *genState) emit(in PInst) int {
+	g.p.Insts = append(g.p.Insts, in)
+	return len(g.p.Insts) - 1
+}
+
+// pick returns a random existing value of width w, or -1.
+func (g *genState) pick(w int) int {
+	var cands []int
+	for i := range g.p.Insts {
+		if g.p.widthOf(i) == w {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+// operand returns a value of width w, materializing a constant when none
+// exists (or occasionally anyway, to exercise immediate rules).
+func (g *genState) operand(w int) int {
+	v := g.pick(w)
+	if v < 0 || (g.cfg.Consts && g.rng.Intn(5) == 0) {
+		if !g.cfg.Consts && v >= 0 {
+			return v
+		}
+		if !g.cfg.Consts {
+			return -1
+		}
+		return g.emit(PInst{Op: "const", Bits: w, Imm: g.rng.BV(w)})
+	}
+	return v
+}
+
+// width draws a random configured width.
+func (g *genState) width() int {
+	return g.cfg.Widths[g.rng.Intn(len(g.cfg.Widths))]
+}
+
+// address builds a 64-bit address masked into the low 256 bytes, so that
+// loads observe stored data instead of wandering an empty sparse memory.
+func (g *genState) address() int {
+	base := g.operand(64)
+	if base < 0 {
+		return -1
+	}
+	mask := g.emit(PInst{Op: "const", Bits: 64, Imm: bv.New(64, 0xf8)})
+	return g.emit(PInst{Op: "and", Bits: 64, Args: []int{base, mask}})
+}
+
+func (g *genState) genOp(op string) {
+	w := g.width()
+	switch op {
+	case "icmp":
+		a, b := g.operand(w), g.operand(w)
+		if a < 0 || b < 0 {
+			return
+		}
+		preds := []string{"eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge"}
+		g.emit(PInst{Op: "icmp", Pred: preds[g.rng.Intn(len(preds))], Bits: w, Args: []int{a, b}})
+	case "select":
+		c := g.pick(1)
+		if c < 0 {
+			a, b := g.operand(w), g.operand(w)
+			if a < 0 || b < 0 {
+				return
+			}
+			c = g.emit(PInst{Op: "icmp", Pred: "ult", Bits: w, Args: []int{a, b}})
+		}
+		x, y := g.operand(w), g.operand(w)
+		if x < 0 || y < 0 {
+			return
+		}
+		g.emit(PInst{Op: "select", Bits: w, Args: []int{c, x, y}})
+	case "zext", "sext":
+		// Extend a narrower value (possibly an s1 comparison, zext only).
+		var from int
+		if op == "zext" && g.rng.Intn(3) == 0 {
+			from = g.pick(1)
+		} else {
+			from = -1
+		}
+		if from < 0 {
+			fw := g.width()
+			if fw >= w {
+				fw, w = w, fw
+			}
+			if fw == w {
+				return
+			}
+			from = g.operand(fw)
+		}
+		if from < 0 {
+			return
+		}
+		g.emit(PInst{Op: op, Bits: w, Args: []int{from}})
+	case "trunc":
+		fw := g.width()
+		if fw <= w {
+			fw, w = w, fw
+		}
+		if fw == w || w == 1 {
+			return
+		}
+		from := g.operand(fw)
+		if from < 0 {
+			return
+		}
+		g.emit(PInst{Op: "trunc", Bits: w, Args: []int{from}})
+	case "load":
+		if !g.cfg.Mem || !g.cfg.Consts {
+			return
+		}
+		addr := g.address()
+		if addr < 0 {
+			return
+		}
+		if w == 1 {
+			w = 64
+		}
+		mems := []int{8, 16, 32, 64}
+		var mem int
+		for {
+			mem = mems[g.rng.Intn(len(mems))]
+			if mem <= w {
+				break
+			}
+		}
+		op := "load"
+		if mem < w && g.rng.Intn(2) == 0 {
+			op = "sload"
+		}
+		g.emit(PInst{Op: op, Bits: w, MemBits: mem, Args: []int{addr}})
+	case "store":
+		if !g.cfg.Mem || !g.cfg.Consts {
+			return
+		}
+		v := g.operand(w)
+		addr := g.address()
+		if v < 0 || addr < 0 {
+			return
+		}
+		mems := []int{8, 16, 32, 64}
+		var mem int
+		for {
+			mem = mems[g.rng.Intn(len(mems))]
+			if mem <= w {
+				break
+			}
+		}
+		g.emit(PInst{Op: "store", MemBits: mem, Args: []int{v, addr}})
+	case "ctlz", "cttz", "bswap":
+		// The legalizer refuses to widen these; keep them at legal widths.
+		if w < 32 {
+			w = 32 + 32*g.rng.Intn(2)
+		}
+		x := g.operand(w)
+		if x < 0 {
+			return
+		}
+		g.emit(PInst{Op: op, Bits: w, Args: []int{x}})
+	case "ctpop", "abs":
+		x := g.operand(w)
+		if x < 0 {
+			return
+		}
+		g.emit(PInst{Op: op, Bits: w, Args: []int{x}})
+	default: // binary
+		a, b := g.operand(w), g.operand(w)
+		if a < 0 || b < 0 {
+			return
+		}
+		g.emit(PInst{Op: op, Bits: w, Args: []int{a, b}})
+	}
+}
+
+// ret closes the program, extending the most recently defined value to
+// 64 bits if needed.
+func (g *genState) ret() {
+	// Latest value-producing instruction.
+	v := -1
+	for i := len(g.p.Insts) - 1; i >= 0; i-- {
+		if g.p.widthOf(i) > 0 {
+			v = i
+			break
+		}
+	}
+	w := g.p.widthOf(v)
+	if w < 64 {
+		v = g.emit(PInst{Op: "zext", Bits: 64, Args: []int{v}})
+	}
+	g.emit(PInst{Op: "ret", Args: []int{v}})
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

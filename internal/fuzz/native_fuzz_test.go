@@ -1,0 +1,35 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+// FuzzSelectDiff is the native-fuzzing entry to the differential oracle:
+// arbitrary bytes are parsed as the corpus program form (invalid inputs
+// are skipped), and anything that parses runs through both targets'
+// legalize → select → simulate pipelines against the interpreter.
+//
+//	go test ./internal/fuzz -fuzz FuzzSelectDiff
+func FuzzSelectDiff(f *testing.F) {
+	f.Add("v0 = param 64\nret v0\n")
+	f.Add("v0 = param 64\nv1 = param 64\nv2 = sub 64 v0 v1\nret v2\n")
+	f.Add("v0 = param 32\nv1 = bswap 32 v0\nv2 = cttz 32 v1\nv3 = zext 64 v2\nret v3\n")
+	f.Add("v0 = param 64\nv1 = param 16\nstore 16 v1 v0\nv3 = load 64 8 v0\nv4 = ctpop 64 v3\nret v4\n")
+	f.Add("v0 = param 8\nv1 = const 8 0x0:7f\nv2 = add 8 v0 v1\nv3 = sext 64 v2\nret v3\n")
+	f.Add("v0 = param 16\nv1 = icmp slt 16 v0 v0\nv2 = select 16 v1 v0 v0\nv3 = zext 64 v2\nret v3\n")
+	pls := testPipelines(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		p, err := ParseProg(src)
+		if err != nil {
+			t.Skip("not a valid program")
+		}
+		for tgt, pl := range pls {
+			if cerr := CheckProg(pl, p, VectorsFor(1, p, 3)); IsFailure(cerr) {
+				t.Errorf("%s: %v\nprogram:\n%s", tgt, cerr, p.Format())
+			}
+		}
+	})
+}

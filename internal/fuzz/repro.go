@@ -1,0 +1,146 @@
+package fuzz
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Repro is a self-contained failure reproducer in the corpus format.
+// Select-diff entries carry the shrunk program text; spec entries carry
+// the mutated specification verbatim; smt entries are regenerated
+// deterministically from (seed, iter), since random terms have no stable
+// text form worth inventing.
+type Repro struct {
+	Oracle string // "select-diff", "spec", or "smt"
+	Target string // pipeline name (select-diff only)
+	Seed   uint64 // driver seed that produced the failure
+	Iter   int    // iteration within the seed (smt only)
+	Note   string // first line of the failure message
+	Prog   string // corpus program text (select-diff)
+	Spec   string // specification source (spec)
+}
+
+// Format renders the reproducer. Header lines are `key: value`; the
+// `prog:` / `spec:` marker line starts the verbatim body.
+func (r *Repro) Format() string {
+	var sb strings.Builder
+	sb.WriteString("# iselfuzz reproducer\n")
+	fmt.Fprintf(&sb, "oracle: %s\n", r.Oracle)
+	if r.Target != "" {
+		fmt.Fprintf(&sb, "target: %s\n", r.Target)
+	}
+	fmt.Fprintf(&sb, "seed: %d\n", r.Seed)
+	if r.Oracle == "smt" {
+		fmt.Fprintf(&sb, "iter: %d\n", r.Iter)
+	}
+	if r.Note != "" {
+		fmt.Fprintf(&sb, "note: %s\n", strings.SplitN(r.Note, "\n", 2)[0])
+	}
+	switch r.Oracle {
+	case "spec":
+		sb.WriteString("spec:\n")
+		sb.WriteString(strings.TrimRight(r.Spec, "\n"))
+		sb.WriteByte('\n')
+	case "smt":
+		// body-less: (seed, iter) regenerate the term pair
+	default:
+		sb.WriteString("prog:\n")
+		sb.WriteString(strings.TrimRight(r.Prog, "\n"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParseRepro parses the corpus format. Like ParseProg it returns errors,
+// never panics, so corpus directories can hold hand-edited files.
+func ParseRepro(src string) (*Repro, error) {
+	r := &Repro{}
+	lines := strings.Split(src, "\n")
+	i := 0
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "prog:" || line == "spec:" {
+			break
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("repro:%d: expected `key: value`, got %q", i+1, line)
+		}
+		v = strings.TrimSpace(v)
+		switch k {
+		case "oracle":
+			r.Oracle = v
+		case "target":
+			r.Target = v
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("repro:%d: bad seed %q", i+1, v)
+			}
+			r.Seed = n
+		case "iter":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("repro:%d: bad iter %q", i+1, v)
+			}
+			r.Iter = n
+		case "note":
+			r.Note = v
+		default:
+			return nil, fmt.Errorf("repro:%d: unknown header %q", i+1, k)
+		}
+	}
+	if r.Oracle == "" {
+		return nil, fmt.Errorf("repro: missing oracle header")
+	}
+	if i < len(lines) {
+		marker := strings.TrimSpace(lines[i])
+		body := strings.Join(lines[i+1:], "\n")
+		if marker == "spec:" {
+			r.Spec = body
+		} else {
+			r.Prog = body
+		}
+	}
+	switch r.Oracle {
+	case "select-diff":
+		if strings.TrimSpace(r.Prog) == "" {
+			return nil, fmt.Errorf("repro: select-diff entry has no program body")
+		}
+		if _, err := ParseProg(r.Prog); err != nil {
+			return nil, err
+		}
+	case "spec":
+		if strings.TrimSpace(r.Spec) == "" {
+			return nil, fmt.Errorf("repro: spec entry has no specification body")
+		}
+	case "smt":
+		// nothing further to validate
+	default:
+		return nil, fmt.Errorf("repro: unknown oracle %q", r.Oracle)
+	}
+	return r, nil
+}
+
+// SaveRepro writes the reproducer into dir under a content-addressed
+// name, creating the directory if needed, and returns the path.
+func SaveRepro(dir string, r *Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	text := r.Format()
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	path := filepath.Join(dir, fmt.Sprintf("%s-%016x.repro", r.Oracle, h.Sum64()))
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

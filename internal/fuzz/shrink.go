@@ -1,0 +1,164 @@
+package fuzz
+
+import (
+	"iselgen/internal/bv"
+)
+
+// Shrink delta-debugs a failing program to a (locally) minimal
+// reproducer: it repeatedly removes instructions (rewiring their uses to
+// an equal-width earlier value), drops unused parameters, and simplifies
+// constants, keeping each candidate only if `failing` still holds. The
+// invariant: the returned program is valid and failing(result) is true
+// whenever failing(p) was true on entry.
+func Shrink(p *Prog, failing func(*Prog) bool, maxChecks int) *Prog {
+	if !failing(p) {
+		return p
+	}
+	checks := 0
+	try := func(cand *Prog) bool {
+		if checks >= maxChecks {
+			return false
+		}
+		if cand.Validate() != nil {
+			return false
+		}
+		checks++
+		return failing(cand)
+	}
+	cur := p
+	for {
+		next := shrinkPass(cur, try)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkPass tries one round of reductions; nil means no progress.
+func shrinkPass(p *Prog, try func(*Prog) bool) *Prog {
+	// 1. Remove one instruction, rewiring its uses.
+	for i := len(p.Insts) - 1; i >= 0; i-- {
+		in := p.Insts[i]
+		if in.Op == "ret" {
+			continue
+		}
+		if in.Op == "param" {
+			// Only removable when unused.
+			if used(p, i) {
+				continue
+			}
+			if cand := remove(p, i, -1); try(cand) {
+				return cand
+			}
+			continue
+		}
+		w := p.widthOf(i)
+		if w == 0 || !used(p, i) {
+			// Stores and dead values need no rewiring.
+			if cand := remove(p, i, -1); try(cand) {
+				return cand
+			}
+			continue
+		}
+		// Candidate replacements: same-width operands of the removed
+		// instruction first (often preserves the failure shape), then any
+		// earlier same-width value.
+		var repls []int
+		for _, a := range in.Args {
+			if p.widthOf(a) == w {
+				repls = append(repls, a)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if p.widthOf(j) == w {
+				repls = append(repls, j)
+			}
+		}
+		seen := map[int]bool{}
+		for _, r := range repls {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if cand := remove(p, i, r); try(cand) {
+				return cand
+			}
+		}
+	}
+	// 2. Replace a non-trivial instruction's result with a constant.
+	for i := len(p.Insts) - 1; i >= 0; i-- {
+		in := p.Insts[i]
+		w := p.widthOf(i)
+		if w == 0 || w == 1 || in.Op == "param" || in.Op == "const" {
+			continue
+		}
+		for _, v := range []uint64{0, 1} {
+			cand := clone(p)
+			cand.Insts[i] = PInst{Op: "const", Bits: w, Imm: bv.New(w, v)}
+			if try(cand) {
+				return cand
+			}
+		}
+	}
+	// 3. Simplify constants toward small values.
+	for i, in := range p.Insts {
+		if in.Op != "const" {
+			continue
+		}
+		for _, v := range []bv.BV{bv.Zero(in.Bits), bv.New(in.Bits, 1)} {
+			if in.Imm == v {
+				continue
+			}
+			cand := clone(p)
+			cand.Insts[i].Imm = v
+			if try(cand) {
+				return cand
+			}
+		}
+	}
+	return nil
+}
+
+func used(p *Prog, id int) bool {
+	for _, in := range p.Insts {
+		for _, a := range in.Args {
+			if a == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clone(p *Prog) *Prog {
+	np := &Prog{Insts: make([]PInst, len(p.Insts))}
+	copy(np.Insts, p.Insts)
+	for i := range np.Insts {
+		np.Insts[i].Args = append([]int(nil), np.Insts[i].Args...)
+	}
+	return np
+}
+
+// remove deletes instruction id, substituting repl for its uses (repl < 0
+// when the instruction has no uses), and renumbers all references.
+func remove(p *Prog, id, repl int) *Prog {
+	np := &Prog{}
+	for i, in := range p.Insts {
+		if i == id {
+			continue
+		}
+		ni := PInst{Op: in.Op, Bits: in.Bits, Pred: in.Pred, Imm: in.Imm, MemBits: in.MemBits}
+		for _, a := range in.Args {
+			if a == id {
+				a = repl
+			}
+			if a > id {
+				a--
+			}
+			ni.Args = append(ni.Args, a)
+		}
+		np.Insts = append(np.Insts, ni)
+	}
+	return np
+}

@@ -28,6 +28,19 @@ func (m *Memory) Load(addr uint64, bits int) bv.BV {
 	return bv.New128(bits, hi, lo)
 }
 
+// Snapshot returns a copy of the current memory contents, omitting
+// zero-valued bytes so that "never written" and "written zero" compare
+// equal — the observational equivalence the differential oracles need.
+func (m *Memory) Snapshot() map[uint64]byte {
+	out := make(map[uint64]byte, len(m.bytes))
+	for a, b := range m.bytes {
+		if b != 0 {
+			out[a] = b
+		}
+	}
+	return out
+}
+
 // Store writes the low `bits` of v to addr.
 func (m *Memory) Store(addr uint64, v bv.BV, bits int) {
 	for i := 0; i < bits/8; i++ {

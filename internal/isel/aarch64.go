@@ -219,25 +219,163 @@ func a64LowerBrCond(fold bool) func(c *Ctx, cond gmir.Value, taken int, invert b
 }
 
 // a64LowerInst handles G_SELECT whose condition is a shared (multi-use)
-// boolean register: compare the 0/1 register against zero, then CSEL —
-// the C++ path LLVM uses when the comparison cannot be folded.
+// boolean register — compare the 0/1 register against zero, then CSEL,
+// the C++ path LLVM uses when the comparison cannot be folded — and the
+// sub-word extensions and truncations the legalizer emits around widened
+// narrow arithmetic. Narrow (s8/s16) values follow the usual 64-bit
+// register-file convention: bits above the type width are undefined and
+// every consumer masks, so truncation is a plain register copy and the
+// extensions are UXTB/UXTH/SXTB/SXTH forms.
 func a64LowerInst(c *Ctx, in *gmir.Inst) bool {
-	if in.Op != gmir.GSelect {
-		return false
+	switch in.Op {
+	case gmir.GZExt:
+		from := c.TypeOf(in.Args[0]).Bits
+		src := c.ValueReg(in.Args[0])
+		dst := c.ensureReg(in.Dst)
+		switch from {
+		case 1:
+			// Booleans are materialized by CSET and always hold 0/1.
+			c.Emit(&mir.Inst{Pseudo: mir.PCopy, Dsts: []mir.Reg{dst},
+				Args: []mir.Operand{mir.R(src)}})
+		case 8:
+			c.Emit(&mir.Inst{Meta: c.Inst("UXTBW"), Dsts: []mir.Reg{dst},
+				Args: []mir.Operand{mir.R(src)}})
+		case 16:
+			c.Emit(&mir.Inst{Meta: c.Inst("UXTHW"), Dsts: []mir.Reg{dst},
+				Args: []mir.Operand{mir.R(src)}})
+		default:
+			return false // s32 sources are covered by the UXTWX rule
+		}
+		return true
+	case gmir.GSExt:
+		from := c.TypeOf(in.Args[0]).Bits
+		if from != 8 && from != 16 {
+			return false
+		}
+		name := "SXTB"
+		if from == 16 {
+			name = "SXTH"
+		}
+		// The W form sign-extends to 32 bits, which is bit-exact for any
+		// narrower destination too; only s64 needs the X form.
+		suffix := "W"
+		if in.Ty.Bits == 64 {
+			suffix = "X"
+		}
+		c.Emit(&mir.Inst{Meta: c.Inst(name + suffix), Dsts: []mir.Reg{c.ensureReg(in.Dst)},
+			Args: []mir.Operand{mir.R(c.ValueReg(in.Args[0]))}})
+		return true
+	case gmir.GTrunc:
+		if in.Ty.Bits >= 32 {
+			return false // s64 -> s32 is covered by the TRUNCWX rule
+		}
+		c.Emit(&mir.Inst{Pseudo: mir.PCopy, Dsts: []mir.Reg{c.ensureReg(in.Dst)},
+			Args: []mir.Operand{mir.R(c.ValueReg(in.Args[0]))}})
+		return true
+	case gmir.GSelect:
+		w := in.Ty.Bits
+		if w != 32 && w != 64 {
+			return false
+		}
+		cond := c.ValueReg(in.Args[0])
+		x := c.ValueReg(in.Args[1])
+		y := c.ValueReg(in.Args[2])
+		tmp := c.NewReg()
+		c.Emit(&mir.Inst{Meta: c.Inst("SUBSWri"), Dsts: []mir.Reg{tmp},
+			Args: []mir.Operand{mir.R(cond), mir.I(bv.Zero(12))}})
+		c.Emit(&mir.Inst{Meta: c.Inst("CSEL" + wx(w) + "ne"), Dsts: []mir.Reg{c.ensureReg(in.Dst)},
+			Args: []mir.Operand{mir.R(x), mir.R(y)}})
+		return true
+	case gmir.GStore:
+		// The store instruction truncates its source to the access size,
+		// which also discards any junk above a narrow value's type width.
+		var name string
+		switch in.MemBits {
+		case 8:
+			name = "STRBBui"
+		case 16:
+			name = "STRHHui"
+		case 32:
+			name = "STRWui"
+		case 64:
+			name = "STRXui"
+		default:
+			return false
+		}
+		c.Emit(&mir.Inst{Meta: c.Inst(name),
+			Args: []mir.Operand{mir.R(c.ValueReg(in.Args[0])),
+				mir.R(c.ValueReg(in.Args[1])), mir.I(bv.Zero(12))}})
+		return true
+	case gmir.GCtpop:
+		w := in.Ty.Bits
+		if w != 32 && w != 64 {
+			return false
+		}
+		a64Ctpop(c, c.ensureReg(in.Dst), c.ValueReg(in.Args[0]), w)
+		return true
+	case gmir.GCttz:
+		w := in.Ty.Bits
+		if w != 32 && w != 64 {
+			return false
+		}
+		// cttz(x) = w - clz(~x & (x-1)): the AND isolates the trailing-zero
+		// mask, and for x == 0 it is all-ones (clz 0), yielding w as G_CTTZ
+		// defines for zero.
+		s := wx(w)
+		src := c.ValueReg(in.Args[0])
+		t1, nx, lo, cl, mw := c.NewReg(), c.NewReg(), c.NewReg(), c.NewReg(), c.NewReg()
+		c.Emit(&mir.Inst{Meta: c.Inst("SUB" + s + "ri"), Dsts: []mir.Reg{t1},
+			Args: []mir.Operand{mir.R(src), mir.I(bv.New(12, 1))}})
+		c.Emit(&mir.Inst{Meta: c.Inst("MVN" + s + "r"), Dsts: []mir.Reg{nx},
+			Args: []mir.Operand{mir.R(src)}})
+		c.Emit(&mir.Inst{Meta: c.Inst("AND" + s + "rr"), Dsts: []mir.Reg{lo},
+			Args: []mir.Operand{mir.R(nx), mir.R(t1)}})
+		c.Emit(&mir.Inst{Meta: c.Inst("CLZ" + s), Dsts: []mir.Reg{cl},
+			Args: []mir.Operand{mir.R(lo)}})
+		c.Emit(&mir.Inst{Meta: c.Inst("MOVZ" + s + "_0"), Dsts: []mir.Reg{mw},
+			Args: []mir.Operand{mir.I(bv.New(16, uint64(w)))}})
+		c.Emit(&mir.Inst{Meta: c.Inst("SUB" + s + "rr"), Dsts: []mir.Reg{c.ensureReg(in.Dst)},
+			Args: []mir.Operand{mir.R(mw), mir.R(cl)}})
+		return true
 	}
-	w := in.Ty.Bits
-	if w != 32 && w != 64 {
-		return false
+	return false
+}
+
+// a64Ctpop emits the classic SWAR population count (pairs, nibbles, byte
+// sum via multiply) — what LLVM expands G_CTPOP to without NEON.
+func a64Ctpop(c *Ctx, dst, src mir.Reg, w int) {
+	s := wx(w)
+	shw := 5
+	if w == 64 {
+		shw = 6
 	}
-	cond := c.ValueReg(in.Args[0])
-	x := c.ValueReg(in.Args[1])
-	y := c.ValueReg(in.Args[2])
-	tmp := c.NewReg()
-	c.Emit(&mir.Inst{Meta: c.Inst("SUBSWri"), Dsts: []mir.Reg{tmp},
-		Args: []mir.Operand{mir.R(cond), mir.I(bv.Zero(12))}})
-	c.Emit(&mir.Inst{Meta: c.Inst("CSEL" + wx(w) + "ne"), Dsts: []mir.Reg{c.ensureReg(in.Dst)},
-		Args: []mir.Operand{mir.R(x), mir.R(y)}})
-	return true
+	bin := func(name string, a, b mir.Reg) mir.Reg {
+		d := c.NewReg()
+		c.Emit(&mir.Inst{Meta: c.Inst(name), Dsts: []mir.Reg{d},
+			Args: []mir.Operand{mir.R(a), mir.R(b)}})
+		return d
+	}
+	shr := func(a mir.Reg, sh int) mir.Reg {
+		d := c.NewReg()
+		c.Emit(&mir.Inst{Meta: c.Inst("LSR" + s + "ri"), Dsts: []mir.Reg{d},
+			Args: []mir.Operand{mir.R(a), mir.I(bv.New(shw, uint64(sh)))}})
+		return d
+	}
+	mask := func(rep uint64) mir.Reg {
+		v := uint64(0)
+		for i := 0; i < w; i += 8 {
+			v |= rep << i
+		}
+		r, _ := a64MatConstNaive(c, bv.New(w, v))
+		return r
+	}
+	m55, m33, m0f, m01 := mask(0x55), mask(0x33), mask(0x0f), mask(0x01)
+	x1 := bin("SUB"+s+"rr", src, bin("AND"+s+"rr", shr(src, 1), m55))
+	x2 := bin("ADD"+s+"rr", bin("AND"+s+"rr", x1, m33), bin("AND"+s+"rr", shr(x1, 2), m33))
+	x3 := bin("AND"+s+"rr", bin("ADD"+s+"rr", x2, shr(x2, 4)), m0f)
+	mul := bin("MUL"+s, x3, m01)
+	c.Emit(&mir.Inst{Meta: c.Inst("LSR" + s + "ri"), Dsts: []mir.Reg{dst},
+		Args: []mir.Operand{mir.R(mul), mir.I(bv.New(shw, uint64(w-8)))}})
 }
 
 // typeLetter maps a width to the W/X suffix.

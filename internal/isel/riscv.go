@@ -150,10 +150,42 @@ func rvLowerBrCond(fold bool) func(c *Ctx, cond gmir.Value, taken int, invert bo
 
 // rvLowerInst covers operations the base ISA has no instruction for —
 // the C++-style expansions LLVM performs for RISC-V: branch-free select
-// (res = y ^ ((x^y) & -cond)) and min/max via a comparison feeding the
-// same idiom.
+// (res = y ^ ((x^y) & -cond)), min/max via a comparison feeding the same
+// idiom, and the extensions/truncations the legalizer emits around
+// widened narrow arithmetic (ANDI masks and shift pairs, since RV64I has
+// no dedicated extension instructions). Narrow values keep the usual
+// convention that bits above the type width are undefined.
 func rvLowerInst(c *Ctx, in *gmir.Inst) bool {
 	switch in.Op {
+	case gmir.GZExt:
+		from := c.TypeOf(in.Args[0]).Bits
+		src := c.ValueReg(in.Args[0])
+		dst := c.ensureReg(in.Dst)
+		switch from {
+		case 1:
+			// Booleans come from SLT/SLTU-style idioms and hold 0/1.
+			c.Emit(&mir.Inst{Pseudo: mir.PCopy, Dsts: []mir.Reg{dst},
+				Args: []mir.Operand{mir.R(src)}})
+		case 8:
+			c.Emit(&mir.Inst{Meta: c.Inst("ANDI"), Dsts: []mir.Reg{dst},
+				Args: []mir.Operand{mir.R(src), mir.I(bv.New(12, 0xff))}})
+		case 16, 32:
+			rvShiftPair(c, dst, src, 64-from, "SRLI")
+		default:
+			return false
+		}
+		return true
+	case gmir.GSExt:
+		from := c.TypeOf(in.Args[0]).Bits
+		if from != 8 && from != 16 && from != 32 {
+			return false
+		}
+		rvShiftPair(c, c.ensureReg(in.Dst), c.ValueReg(in.Args[0]), 64-from, "SRAI")
+		return true
+	case gmir.GTrunc:
+		c.Emit(&mir.Inst{Pseudo: mir.PCopy, Dsts: []mir.Reg{c.ensureReg(in.Dst)},
+			Args: []mir.Operand{mir.R(c.ValueReg(in.Args[0]))}})
+		return true
 	case gmir.GSelect:
 		if in.Ty.Bits > 64 {
 			return false
@@ -183,8 +215,169 @@ func rvLowerInst(c *Ctx, in *gmir.Inst) bool {
 		}
 		rvMaskSelect(c, c.ensureReg(in.Dst), cond, x, y)
 		return true
+	case gmir.GStore:
+		// The store instruction truncates rs2 to the access size, which
+		// also discards any junk above a narrow value's type width.
+		var name string
+		switch in.MemBits {
+		case 8:
+			name = "SB"
+		case 16:
+			name = "SH"
+		case 32:
+			name = "SW"
+		case 64:
+			name = "SD"
+		default:
+			return false
+		}
+		c.Emit(&mir.Inst{Meta: c.Inst(name),
+			Args: []mir.Operand{mir.R(c.ValueReg(in.Args[0])),
+				mir.R(c.ValueReg(in.Args[1])), mir.I(bv.Zero(12))}})
+		return true
+	case gmir.GCtpop:
+		// The legalizer widens G_CTPOP, so only the full width survives.
+		if in.Ty.Bits != 64 {
+			return false
+		}
+		rvCtpop64(c, c.ensureReg(in.Dst), c.ValueReg(in.Args[0]))
+		return true
+	case gmir.GCttz:
+		w := in.Ty.Bits
+		if w != 32 && w != 64 {
+			return false
+		}
+		// cttz(x) = popcount(~x & (x-1)). Masking the AND back to w bits
+		// makes the x == 0 case (an all-ones AND) come out as w.
+		src := rvMaskTo(c, c.ValueReg(in.Args[0]), w)
+		nx, t1, lo := c.NewReg(), c.NewReg(), c.NewReg()
+		c.Emit(&mir.Inst{Meta: c.Inst("NOT"), Dsts: []mir.Reg{nx},
+			Args: []mir.Operand{mir.R(src)}})
+		c.Emit(&mir.Inst{Meta: c.Inst("ADDI"), Dsts: []mir.Reg{t1},
+			Args: []mir.Operand{mir.R(src), mir.I(bv.New(12, 0xfff))}})
+		c.Emit(&mir.Inst{Meta: c.Inst("AND"), Dsts: []mir.Reg{lo},
+			Args: []mir.Operand{mir.R(nx), mir.R(t1)}})
+		rvCtpop64(c, c.ensureReg(in.Dst), rvMaskTo(c, lo, w))
+		return true
+	case gmir.GCtlz:
+		w := in.Ty.Bits
+		if w != 32 && w != 64 {
+			return false
+		}
+		// Smear the highest set bit rightward, then clz = w - popcount.
+		x := rvMaskTo(c, c.ValueReg(in.Args[0]), w)
+		for sh := 1; sh < w; sh <<= 1 {
+			t, o := c.NewReg(), c.NewReg()
+			c.Emit(&mir.Inst{Meta: c.Inst("SRLI"), Dsts: []mir.Reg{t},
+				Args: []mir.Operand{mir.R(x), mir.I(bv.New(6, uint64(sh)))}})
+			c.Emit(&mir.Inst{Meta: c.Inst("OR"), Dsts: []mir.Reg{o},
+				Args: []mir.Operand{mir.R(x), mir.R(t)}})
+			x = o
+		}
+		pc := c.NewReg()
+		rvCtpop64(c, pc, x)
+		wreg, _ := rvMatConstSmart(c, bv.New(64, uint64(w)))
+		c.Emit(&mir.Inst{Meta: c.Inst("SUB"), Dsts: []mir.Reg{c.ensureReg(in.Dst)},
+			Args: []mir.Operand{mir.R(wreg), mir.R(pc)}})
+		return true
+	case gmir.GBSwap:
+		w := in.Ty.Bits
+		if w != 32 && w != 64 {
+			return false
+		}
+		src := c.ValueReg(in.Args[0])
+		if w == 32 {
+			// bswap64(x << 32) leaves bswap32(x) in the low 32 bits (and
+			// zeros above), shifting out any junk in the source's high half.
+			t := c.NewReg()
+			c.Emit(&mir.Inst{Meta: c.Inst("SLLI"), Dsts: []mir.Reg{t},
+				Args: []mir.Operand{mir.R(src), mir.I(bv.New(6, 32))}})
+			src = t
+		}
+		rvBSwap64(c, c.ensureReg(in.Dst), src)
+		return true
 	}
 	return false
+}
+
+// rvMaskTo zero-extends the low w bits of src into a fresh register (or
+// returns src unchanged for w == 64).
+func rvMaskTo(c *Ctx, src mir.Reg, w int) mir.Reg {
+	if w >= 64 {
+		return src
+	}
+	d := c.NewReg()
+	rvShiftPair(c, d, src, 64-w, "SRLI")
+	return d
+}
+
+// rvCtpop64 emits the classic SWAR population count (pairs, nibbles,
+// byte sum via multiply) — RV64IM has no popcount instruction.
+func rvCtpop64(c *Ctx, dst, src mir.Reg) {
+	bin := func(name string, a, b mir.Reg) mir.Reg {
+		d := c.NewReg()
+		c.Emit(&mir.Inst{Meta: c.Inst(name), Dsts: []mir.Reg{d},
+			Args: []mir.Operand{mir.R(a), mir.R(b)}})
+		return d
+	}
+	shr := func(a mir.Reg, sh int) mir.Reg {
+		d := c.NewReg()
+		c.Emit(&mir.Inst{Meta: c.Inst("SRLI"), Dsts: []mir.Reg{d},
+			Args: []mir.Operand{mir.R(a), mir.I(bv.New(6, uint64(sh)))}})
+		return d
+	}
+	konst := func(v uint64) mir.Reg {
+		r, _ := rvMatConstSmart(c, bv.New(64, v))
+		return r
+	}
+	m55, m33, m0f := konst(0x5555555555555555), konst(0x3333333333333333), konst(0x0f0f0f0f0f0f0f0f)
+	x1 := bin("SUB", src, bin("AND", shr(src, 1), m55))
+	x2 := bin("ADD", bin("AND", x1, m33), bin("AND", shr(x1, 2), m33))
+	x3 := bin("AND", bin("ADD", x2, shr(x2, 4)), m0f)
+	mul := bin("MUL", x3, konst(0x0101010101010101))
+	c.Emit(&mir.Inst{Meta: c.Inst("SRLI"), Dsts: []mir.Reg{dst},
+		Args: []mir.Operand{mir.R(mul), mir.I(bv.New(6, 56))}})
+}
+
+// rvBSwap64 emits the three-stage byte reversal (bytes, halfwords, words).
+func rvBSwap64(c *Ctx, dst, src mir.Reg) {
+	stage := func(x mir.Reg, m uint64, sh int, out mir.Reg) mir.Reg {
+		mr, _ := rvMatConstSmart(c, bv.New(64, m))
+		lo, lsh, hi, hm := c.NewReg(), c.NewReg(), c.NewReg(), c.NewReg()
+		amt := mir.I(bv.New(6, uint64(sh)))
+		c.Emit(&mir.Inst{Meta: c.Inst("AND"), Dsts: []mir.Reg{lo},
+			Args: []mir.Operand{mir.R(x), mir.R(mr)}})
+		c.Emit(&mir.Inst{Meta: c.Inst("SLLI"), Dsts: []mir.Reg{lsh},
+			Args: []mir.Operand{mir.R(lo), amt}})
+		c.Emit(&mir.Inst{Meta: c.Inst("SRLI"), Dsts: []mir.Reg{hi},
+			Args: []mir.Operand{mir.R(x), amt}})
+		c.Emit(&mir.Inst{Meta: c.Inst("AND"), Dsts: []mir.Reg{hm},
+			Args: []mir.Operand{mir.R(hi), mir.R(mr)}})
+		c.Emit(&mir.Inst{Meta: c.Inst("OR"), Dsts: []mir.Reg{out},
+			Args: []mir.Operand{mir.R(lsh), mir.R(hm)}})
+		return out
+	}
+	x1 := stage(src, 0x00ff00ff00ff00ff, 8, c.NewReg())
+	x2 := stage(x1, 0x0000ffff0000ffff, 16, c.NewReg())
+	lsh, hi := c.NewReg(), c.NewReg()
+	amt := mir.I(bv.New(6, 32))
+	c.Emit(&mir.Inst{Meta: c.Inst("SLLI"), Dsts: []mir.Reg{lsh},
+		Args: []mir.Operand{mir.R(x2), amt}})
+	c.Emit(&mir.Inst{Meta: c.Inst("SRLI"), Dsts: []mir.Reg{hi},
+		Args: []mir.Operand{mir.R(x2), amt}})
+	c.Emit(&mir.Inst{Meta: c.Inst("OR"), Dsts: []mir.Reg{dst},
+		Args: []mir.Operand{mir.R(lsh), mir.R(hi)}})
+}
+
+// rvShiftPair emits dst = (src << sh) >>(logical|arith) sh — the RV64I
+// extension idiom.
+func rvShiftPair(c *Ctx, dst, src mir.Reg, sh int, shiftRight string) {
+	tmp := c.NewReg()
+	amt := mir.I(bv.New(6, uint64(sh)))
+	c.Emit(&mir.Inst{Meta: c.Inst("SLLI"), Dsts: []mir.Reg{tmp},
+		Args: []mir.Operand{mir.R(src), amt}})
+	c.Emit(&mir.Inst{Meta: c.Inst(shiftRight), Dsts: []mir.Reg{dst},
+		Args: []mir.Operand{mir.R(tmp), amt}})
 }
 
 // rvMaskSelect emits dst = cond ? x : y via the mask idiom.

@@ -23,6 +23,10 @@ type Result struct {
 	HasRet bool
 	Cycles int64
 	Insts  int64
+	// Flags is the final condition-flag state (N/Z/C/V), exposed so
+	// differential harnesses can assert run-to-run determinism of the
+	// effect evaluation, not just the returned value.
+	Flags map[string]bv.BV
 }
 
 // Machine executes machine functions.
@@ -93,6 +97,10 @@ func (m *Machine) Run(f *mir.Func, args []bv.BV) (Result, error) {
 				if len(in.Args) == 1 {
 					res.Ret = regs[in.Args[0].Reg]
 					res.HasRet = true
+				}
+				res.Flags = map[string]bv.BV{}
+				for k, v := range flags {
+					res.Flags[k] = v
 				}
 				return res, nil
 			}

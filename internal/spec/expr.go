@@ -120,6 +120,9 @@ func (ex *executor) widthArg(e Expr, what string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("spec: %s: %s must be an integer literal", ex.inst.Name, what)
 	}
+	if n.Val > 128 {
+		return 0, ex.errf(n.Line, "%s %d out of range (max 128)", what, n.Val)
+	}
 	return int(n.Val), nil
 }
 
@@ -140,6 +143,9 @@ func (ex *executor) evalCall(st *state, e *Call, expect int) (*term.Term, error)
 		w, err := ex.widthArg(e.Args[1], e.Fn+" width")
 		if err != nil {
 			return nil, err
+		}
+		if w < 1 {
+			return nil, ex.errf(e.Line, "%s width must be at least 1", e.Fn)
 		}
 		hint := 0
 		if e.Fn == "load" {
@@ -187,6 +193,9 @@ func (ex *executor) evalCall(st *state, e *Call, expect int) (*term.Term, error)
 		if err != nil {
 			return nil, err
 		}
+		if lo > hi || hi >= x.W() {
+			return nil, ex.errf(e.Line, "extract bounds [%d:%d] invalid for %d-bit value", hi, lo, x.W())
+		}
 		return b.Extract(hi, lo, x), nil
 	case "concat":
 		if err := argc(2); err != nil {
@@ -199,6 +208,9 @@ func (ex *executor) evalCall(st *state, e *Call, expect int) (*term.Term, error)
 		y, err := ex.eval(st, e.Args[1], 0)
 		if err != nil {
 			return nil, err
+		}
+		if x.W()+y.W() > 128 {
+			return nil, ex.errf(e.Line, "concat result width %d exceeds 128", x.W()+y.W())
 		}
 		return b.Concat(x, y), nil
 	case "select":

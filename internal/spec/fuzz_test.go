@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var diagRE = regexp.MustCompile(`^spec(:\d+)?: `)
+
+// FuzzSpecParse asserts the front-end contract the fuzzing harness
+// relies on: Check never panics, and every rejection carries a
+// positioned "spec:N:" (or at least "spec:") diagnostic.
+//
+//	go test ./internal/spec -fuzz FuzzSpecParse
+func FuzzSpecParse(f *testing.F) {
+	f.Add("inst add(a: reg64, b: reg64) { rd = a + b; }\n")
+	f.Add("inst addk(a: reg64, k: imm12) { rd = a + zext(k, 64); }\n")
+	f.Add("inst st(v: reg64, a: reg64) { mem[a, 64] = v; }\n")
+	f.Add("inst cz(a: reg32) { rd = clz(a); }\n")
+	f.Add("inst w(a: reg64) { rd = zext(slt(a, a), 255); }\n") // once a bv panic
+	f.Add("inst x(a: reg64) { rd = extract(a, 70, 3); }\n")
+	f.Add("inst c(a: reg64, b: reg64) { rd = trunc(concat(a, b), 64); }\n")
+	f.Add("inst n(a: reg64) { rd = a + 1:999999999999999999999; }\n")
+	f.Add("inst d(a: reg64, a: reg64) { rd = a; }\n")
+	f.Add("inst m(v: reg64, a: reg64) { mem[a, 0] = v; }\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			t.Skip("oversized input")
+		}
+		_, err := Check(src)
+		if err != nil && !diagRE.MatchString(err.Error()) {
+			t.Errorf("diagnostic without position: %q", err.Error())
+		}
+	})
+}
+
+// TestRejectedWithDiagnostics pins the malformed inputs the differential
+// fuzzer found panicking (or silently accepted) in earlier revisions:
+// each must now produce a positioned diagnostic.
+func TestRejectedWithDiagnostics(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"zext width over 128",
+			"inst z(a: reg64, b: reg64) { rd = zext(slt(a, b), 255); }\n",
+			"out of range"},
+		{"zext width zero",
+			"inst z(a: reg64) { rd = zext(a, 0); }\n",
+			"at least 1"},
+		{"literal width suffix over 128",
+			"inst z(a: reg64) { rd = a + 1:300; }\n",
+			"out of range"},
+		{"literal width suffix overflowing int",
+			"inst z(a: reg64) { rd = a + 1:99999999999999999999; }\n",
+			"out of range"},
+		{"store width zero",
+			"inst z(v: reg64, a: reg64) { mem[a, 0] = v; }\n",
+			"out of range"},
+		{"store width over 128",
+			"inst z(v: reg64, a: reg64) { mem[a, 256] = v; }\n",
+			"out of range"},
+		{"extract beyond operand width",
+			"inst z(a: reg64) { rd = extract(a, 70, 3); }\n",
+			"invalid"},
+		{"extract reversed bounds",
+			"inst z(a: reg64) { rd = extract(a, 3, 7); }\n",
+			"invalid"},
+		{"concat beyond 128 bits",
+			"inst z(a: reg128, b: reg64) { rd = trunc(concat(a, b), 64); }\n",
+			"exceeds 128"},
+		{"duplicate operand name",
+			"inst z(a: reg64, a: reg64) { rd = a; }\n",
+			"duplicate operand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Check(tc.src)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !diagRE.MatchString(err.Error()) {
+				t.Errorf("diagnostic without position: %q", err.Error())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("diagnostic %q does not mention %q", err.Error(), tc.want)
+			}
+		})
+	}
+}

@@ -136,11 +136,16 @@ done:
 		l.pos++
 		w := 0
 		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
-			w = w*10 + int(l.src[l.pos]-'0')
+			if w <= 128 { // saturate instead of overflowing on absurd suffixes
+				w = w*10 + int(l.src[l.pos]-'0')
+			}
 			l.pos++
 		}
 		if w == 0 {
 			return fmt.Errorf("spec:%d: missing width after ':'", l.line)
+		}
+		if w > 128 {
+			return fmt.Errorf("spec:%d: width %d out of range (1..128)", l.line, w)
 		}
 		tok.numWidth = w
 	}

@@ -96,6 +96,11 @@ func (p *parser) parseInst() (*InstDef, error) {
 		if err != nil {
 			return nil, p.errf("%v", err)
 		}
+		for _, prev := range inst.Operands {
+			if prev.Name == op.Name {
+				return nil, p.errf("duplicate operand %q in %s", op.Name, name)
+			}
+		}
 		inst.Operands = append(inst.Operands, op)
 	}
 	p.pos++ // ')'
@@ -207,6 +212,9 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return nil, p.errf("expected store width")
 		}
 		w := int(p.next().num)
+		if w < 1 || w > 128 {
+			return nil, p.errf("store width %d out of range (1..128)", w)
+		}
 		if err := p.eatPunct("]"); err != nil {
 			return nil, err
 		}
