@@ -10,6 +10,13 @@
 //	-json            machine-readable results (rows + normalized + geomeans)
 //	-synthjson       full-vs-incremental synthesis timing baseline (both
 //	                 selection targets; see EXPERIMENTS.md for the schema)
+//	-cost            attach the target cost model: rules are ranked by the
+//	                 model, the simulator charges model latencies, and the
+//	                 optimal DP selector ("synthopt") joins the tables
+//	-costjson        greedy-vs-optimal cost baseline (both targets): static
+//	                 and dynamic cost per workload, geomean dynamic delta,
+//	                 and a selector-diff sweep of the checked-in fuzz corpus
+//	                 (-corpus); the BENCH_cost.json schema in EXPERIMENTS.md
 //
 // Usage: iselbench -target aarch64|riscv [-scale N] [-workers N] [-json] [...]
 package main
@@ -21,6 +28,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"math"
 
 	"iselgen/internal/core"
 	"iselgen/internal/fuzz"
@@ -38,10 +47,17 @@ func main() {
 	table3 := flag.Bool("table3", false, "print fallback table (Table III)")
 	sizes := flag.Bool("sizes", false, "print binary sizes (§VIII-C)")
 	synthJSON := flag.Bool("synthjson", false, "emit the full-vs-incremental synthesis baseline JSON")
+	withCost := flag.Bool("cost", false, "attach the target cost model (adds the synthopt backend)")
+	costJSON := flag.Bool("costjson", false, "emit the greedy-vs-optimal cost baseline JSON (both targets)")
+	corpus := flag.String("corpus", "internal/fuzz/testdata/corpus", "fuzz corpus swept by -costjson")
 	flag.Parse()
 
 	if *synthJSON {
 		emitSynthJSON(*workers)
+		return
+	}
+	if *costJSON {
+		emitCostJSON(*workers, *corpus)
 		return
 	}
 
@@ -63,6 +79,14 @@ func main() {
 	cfg := core.DefaultConfig()
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *withCost {
+		model, merr := harness.CostModel(*target)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", merr)
+			os.Exit(1)
+		}
+		cfg.CostModel = model
 	}
 
 	if !*jsonOut {
@@ -112,7 +136,7 @@ func main() {
 		workloads = append(workloads, w)
 	}
 	sort.Strings(workloads)
-	backends := []string{"selectiondag", "globalisel", "fastisel", "synth"}
+	backends := []string{"selectiondag", "globalisel", "fastisel", "synth", "synthopt"}
 	fmt.Printf("%-16s", "")
 	for _, bk := range backends {
 		if _, ok := norm[workloads[0]][bk]; ok {
@@ -248,6 +272,163 @@ func emitSynthJSON(workers int) {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
+}
+
+// costRow is one workload of the -costjson output: the greedy and
+// optimal selections of the same synthesized library, measured both
+// statically (model cost of the emitted code) and dynamically
+// (simulated cycles under model latencies).
+type costRow struct {
+	Workload      string  `json:"workload"`
+	GreedyStatic  string  `json:"greedy_static"`
+	OptimalStatic string  `json:"optimal_static"`
+	GreedyCycles  int64   `json:"greedy_cycles"`
+	OptimalCycles int64   `json:"optimal_cycles"`
+	DynamicDelta  float64 `json:"dynamic_delta"`
+}
+
+// costReport is one target of the -costjson output (BENCH_cost.json).
+type costReport struct {
+	Target        string    `json:"target"`
+	CostVersion   string    `json:"cost_version"`
+	Rules         int       `json:"rules"`
+	Rows          []costRow `json:"rows"`
+	GeomeanDelta  float64   `json:"geomean_dynamic_delta"`
+	CorpusChecked int       `json:"corpus_checked"`
+	CorpusSkipped int       `json:"corpus_skipped"`
+}
+
+// emitCostJSON measures, for both selection targets, the greedy and
+// optimal selectors over the same synthesized library, enforces the
+// optimal engine's static guarantee on every workload and every
+// select-diff program in the checked-in fuzz corpus, and emits the
+// BENCH_cost.json baseline.
+func emitCostJSON(workers int, corpusDir string) {
+	var out []costReport
+	for _, name := range []string{"aarch64", "riscv"} {
+		model, err := harness.CostModel(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		var s *harness.Setup
+		if name == "aarch64" {
+			s, err = harness.NewAArch64()
+		} else {
+			s, err = harness.NewRISCV()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		cfg := core.DefaultConfig()
+		if workers > 0 {
+			cfg.Workers = workers
+		}
+		cfg.CostModel = model
+		lib := s.Synthesize(cfg, 0)
+		rows, err := s.RunSuite(1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		byWorkload := map[string]map[string]harness.Row{}
+		for _, r := range rows {
+			if byWorkload[r.Workload] == nil {
+				byWorkload[r.Workload] = map[string]harness.Row{}
+			}
+			byWorkload[r.Workload][r.Backend] = r
+		}
+		var workloads []string
+		for w := range byWorkload {
+			workloads = append(workloads, w)
+		}
+		sort.Strings(workloads)
+		rep := costReport{Target: name, CostVersion: model.Version(), Rules: lib.Len()}
+		logSum, n := 0.0, 0
+		for _, w := range workloads {
+			g, gok := byWorkload[w]["synth"]
+			o, ook := byWorkload[w]["synthopt"]
+			if !gok || !ook {
+				continue
+			}
+			if g.Static.Less(o.Static) {
+				fmt.Fprintf(os.Stderr, "iselbench: %s/%s: optimal static cost %s exceeds greedy %s\n",
+					name, w, o.Static, g.Static)
+				os.Exit(1)
+			}
+			delta := float64(o.Cycles) / float64(g.Cycles)
+			rep.Rows = append(rep.Rows, costRow{
+				Workload:      w,
+				GreedyStatic:  g.Static.String(),
+				OptimalStatic: o.Static.String(),
+				GreedyCycles:  g.Cycles,
+				OptimalCycles: o.Cycles,
+				DynamicDelta:  delta,
+			})
+			logSum += math.Log(delta)
+			n++
+		}
+		if n > 0 {
+			rep.GeomeanDelta = math.Exp(logSum / float64(n))
+		}
+		rep.CorpusChecked, rep.CorpusSkipped = sweepCorpus(s, corpusDir)
+		out = append(out, rep)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+}
+
+// sweepCorpus replays every select-diff/selector-diff corpus program
+// for the setup's target through the cross-selector oracle, which
+// fails if the two engines diverge semantically or the optimal output
+// is statically more expensive. Returns (checked, skipped); a genuine
+// failure exits nonzero.
+func sweepCorpus(s *harness.Setup, dir string) (checked, skipped int) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iselbench: corpus %s: %v (skipping sweep)\n", dir, err)
+		return 0, 0
+	}
+	pl := fuzz.SetupPipeline(s, true)
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		src, err := os.ReadFile(dir + "/" + ent.Name())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		r, err := fuzz.ParseRepro(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: %s: %v\n", ent.Name(), err)
+			os.Exit(1)
+		}
+		if (r.Oracle != "select-diff" && r.Oracle != "selector-diff") || r.Target != s.Name {
+			continue
+		}
+		p, err := fuzz.ParseProg(r.Prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iselbench: %s: %v\n", ent.Name(), err)
+			os.Exit(1)
+		}
+		cerr := fuzz.CheckSelectorDiff(pl, p, fuzz.VectorsFor(r.Seed, p, 5))
+		if fuzz.IsFailure(cerr) {
+			fmt.Fprintf(os.Stderr, "iselbench: %s: selector divergence: %v\n", ent.Name(), cerr)
+			os.Exit(1)
+		}
+		if cerr != nil {
+			skipped++
+			continue
+		}
+		checked++
+	}
+	return checked, skipped
 }
 
 func emitJSON(s *harness.Setup, rules int, synthElapsed time.Duration, scale int, rows []harness.Row) {

@@ -8,7 +8,12 @@
 //	POST /v1/synthesize   synthesize (or fetch) a library for a builtin
 //	                      target or an inline DSL spec
 //	POST /v1/select       lower a benchmark gMIR program with a target's
-//	                      synthesized backend and simulate it
+//	                      synthesized backend and simulate it; the
+//	                      "selector" field picks the engine ("greedy" or
+//	                      "optimal" — the cost-model DP tiler), and each
+//	                      selector keys its own cached library entry
+//	                      (the cost-table version rides in the
+//	                      fingerprint)
 //	GET  /v1/metrics      cache/queue counters and per-stage timings
 //	GET  /healthz         liveness
 //

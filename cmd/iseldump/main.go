@@ -9,10 +9,16 @@
 //	iseldump -target riscv -corpus 30              # top corpus patterns
 //	iseldump -target aarch64 -mir x264_sad         # selected machine code
 //	iseldump -target riscv -provenance             # per-rule provenance
+//	iseldump -target aarch64 -rules                # per-rule cost table
 //
 // -provenance synthesizes the target's library and prints one line per
 // rule — pattern key, proof origin, and each supporting instruction with
 // its content fingerprint — sorted, so two dumps diff cleanly.
+//
+// -rules synthesizes the library under the target's cost model and
+// prints one line per rule — pattern key, the legacy cost (operand
+// count), the model cost vector "latency,size", and the replacement
+// sequence — sorted, so two dumps diff cleanly.
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 	corpus := flag.Int("corpus", 0, "print the top N corpus patterns")
 	mirOf := flag.String("mir", "", "print the handwritten backend's machine code for a workload")
 	provenance := flag.Bool("provenance", false, "synthesize and print each rule's provenance (stable order)")
+	rulesDump := flag.Bool("rules", false, "synthesize and print each rule's legacy + model cost (stable order)")
 	patterns := flag.Int("patterns", 0, "limit corpus patterns for -provenance (0 = all)")
 	flag.Parse()
 
@@ -94,6 +101,30 @@ func main() {
 		// Sorted output: library order varies with worker scheduling, but
 		// two dumps of the same spec + config must diff cleanly.
 		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+
+	case *rulesDump:
+		model, merr := harness.CostModel(s.Name)
+		if merr != nil {
+			fatal(merr)
+		}
+		cfg := core.DefaultConfig()
+		cfg.CostModel = model
+		lib := s.Synthesize(cfg, *patterns)
+		var lines []string
+		for _, r := range lib.Rules {
+			names := make([]string, len(r.Seq.Insts))
+			for i, inst := range r.Seq.Insts {
+				names[i] = inst.Name
+			}
+			lines = append(lines, fmt.Sprintf("%s\tlegacy=%d\tmodel=%s\t%s",
+				r.Pattern.Key(), r.Cost(), r.EffCost(), strings.Join(names, ";")))
+		}
+		// Sorted for the same reason as -provenance: stable diffs.
+		sort.Strings(lines)
+		fmt.Printf("# %s cost model %s — %d rules\n", s.Name, model.Version(), len(lines))
 		for _, l := range lines {
 			fmt.Println(l)
 		}

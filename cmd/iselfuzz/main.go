@@ -1,11 +1,13 @@
 // Command iselfuzz runs the differential fuzzing harness: random gMIR
 // programs through legalize → select → simulate against the gMIR
-// interpreter, mutated ISA specifications against the synthesis
-// contract, and random term pairs against the SMT equivalence checker.
-// Failures are shrunk to minimal reproducers and written to the corpus
-// directory, where `go test ./internal/fuzz` replays them.
+// interpreter, the greedy vs optimal selection engines against each
+// other (selector-diff), mutated ISA specifications against the
+// synthesis contract, and random term pairs against the SMT equivalence
+// checker. Failures are shrunk to minimal reproducers and written to
+// the corpus directory, where `go test ./internal/fuzz` replays them.
 //
 //	iselfuzz -target aarch64 -n 500 -seed 1
+//	iselfuzz -oracle selector-diff -target riscv -budget 2m
 //	iselfuzz -oracle smt -n 2000
 //	iselfuzz -oracle all -budget 30s -corpus internal/fuzz/testdata/corpus
 package main
@@ -23,8 +25,8 @@ func main() {
 	var (
 		seed      = flag.Uint64("seed", 1, "root random seed; every iteration derives from it deterministically")
 		n         = flag.Int("n", 500, "iterations per oracle")
-		target    = flag.String("target", "aarch64", "select-diff target: aarch64 or riscv")
-		oracle    = flag.String("oracle", "select-diff", "oracle to run: select-diff, spec, smt, or all")
+		target    = flag.String("target", "aarch64", "select-diff/selector-diff target: aarch64 or riscv")
+		oracle    = flag.String("oracle", "select-diff", "oracle to run: select-diff, selector-diff, spec, smt, or all")
 		budget    = flag.Duration("budget", 0, "wall-clock budget (0 = unlimited)")
 		corpus    = flag.String("corpus", "", "directory for shrunk reproducers (also replayed by go test)")
 		synth     = flag.Bool("synth", true, "select against a freshly synthesized library (handwritten fallback)")

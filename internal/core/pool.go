@@ -17,6 +17,7 @@ import (
 
 	"iselgen/internal/bv"
 	"iselgen/internal/canon"
+	"iselgen/internal/cost"
 	"iselgen/internal/isa"
 	"iselgen/internal/spec"
 	"iselgen/internal/term"
@@ -58,6 +59,27 @@ type Config struct {
 	// incremental planner uses it to build a reduced pool containing only
 	// sequences that touch changed instructions.
 	PoolFilter func(*isa.Sequence) bool
+	// CostModel, when set, ranks candidate sequences (index matches, SMT
+	// fallback order) and the beneficial-rule filter by model cost
+	// (latency cycles, then encoding bytes) instead of the paper's
+	// operand-count metric. Callers that pass a model here should set the
+	// same table as the target library's Model so stamped rule costs and
+	// synthesis-time ranking agree. Its Version is part of CacheKey.
+	CostModel *cost.Table
+	// Selector names the selection engine artifacts produced under this
+	// configuration are served to ("greedy" when empty, or "optimal").
+	// Selection happens after synthesis, but the knob is part of CacheKey
+	// so cached responses and artifacts are never shared across selector
+	// configurations (the service keys its caches on it).
+	Selector string
+}
+
+// EffSelector normalizes the Selector knob ("greedy" when unset).
+func (c Config) EffSelector() string {
+	if c.Selector == "" {
+		return "greedy"
+	}
+	return c.Selector
 }
 
 // CacheKey renders the configuration knobs that influence *which rules*
@@ -66,8 +88,12 @@ type Config struct {
 // TestInputs steers the probe filter (and thus which candidates reach
 // the solver), MaxSeqLen/MaxPairBases change the pool, SMTMaxConflicts
 // changes which equivalences the solver proves before timing out, and
-// the ablation switches change whole code paths. Workers is deliberately
-// excluded: it parallelizes matching without affecting the result.
+// the ablation switches change whole code paths. CostModel changes rule
+// ranking (its content hash stands in for the table), and Selector —
+// while post-synthesis — is included so artifacts and responses cached
+// under one selection engine are never served to the other. Workers is
+// deliberately excluded: it parallelizes matching without affecting the
+// result.
 func (c Config) CacheKey() string {
 	norm := c
 	if norm.TestInputs == 0 {
@@ -87,9 +113,10 @@ func (c Config) CacheKey() string {
 	if norm.PoolFilter != nil {
 		filter = "+" // a filtered pool produces a different (partial) library
 	}
-	return fmt.Sprintf("inputs=%d|seqlen=%d|conflicts=%d|pairbases=%d|noindex=%t|noprobe=%t|extra=%s|filter=%s",
+	return fmt.Sprintf("inputs=%d|seqlen=%d|conflicts=%d|pairbases=%d|noindex=%t|noprobe=%t|extra=%s|filter=%s|cost=%s|sel=%s",
 		norm.TestInputs, norm.MaxSeqLen, norm.SMTMaxConflicts, norm.MaxPairBases,
-		norm.DisableIndex, norm.DisableProbe, extra, filter)
+		norm.DisableIndex, norm.DisableProbe, extra, filter,
+		norm.CostModel.Version(), norm.EffSelector())
 }
 
 // DefaultConfig returns the settings used by the experiments.

@@ -9,6 +9,8 @@ import (
 
 	"iselgen/internal/bv"
 	"iselgen/internal/canon"
+	"iselgen/internal/cost"
+	"iselgen/internal/isa"
 	"iselgen/internal/pattern"
 	"iselgen/internal/rules"
 	"iselgen/internal/smt"
@@ -16,6 +18,19 @@ import (
 	"iselgen/internal/term"
 	"iselgen/internal/trie"
 )
+
+// seqVec is the ranking cost of a sequence under the configured model:
+// the model vector when Config.CostModel is set, else the paper's
+// operand count replicated into both components. All synthesis-time
+// orderings (index match order, SMT candidate order, the beneficial-rule
+// filter) go through this one helper so they agree on the metric.
+func (s *Synthesizer) seqVec(seq *isa.Sequence) cost.Vector {
+	if m := s.Cfg.CostModel; m != nil {
+		return m.SeqVector(seq)
+	}
+	c := int64(seq.Cost())
+	return cost.Vector{Latency: c, Size: c}
+}
 
 // worker holds the per-goroutine state for parallel matching: a private
 // term builder, canonicalization context, and SMT checker. The shared
@@ -147,9 +162,9 @@ func (s *Synthesizer) wave(wave []*pattern.Pattern, lib *rules.Library) {
 			continue
 		}
 		// Beneficial-rule filter (§VI): a multi-op rule must beat the
-		// best cover by smaller rules.
+		// best cover by smaller rules (under the configured cost metric).
 		if r.rule.Pattern.Size() > 1 {
-			if cover, ok := coverCost(r.rule.Pattern.Root, lib); ok && r.rule.Cost() >= cover {
+			if cover, ok := s.coverCost(r.rule.Pattern.Root, lib); ok && !s.seqVec(r.rule.Seq).Less(cover) {
 				continue
 			}
 		}
@@ -189,16 +204,16 @@ func (w *worker) synthesizeOne(p *pattern.Pattern) *rules.Rule {
 		query := w.wcx.Canon(tp)
 		matches = w.s.Index.Lookup(query)
 	}
-	// Cheapest sequences first.
+	// Cheapest sequences first (model cost when configured).
 	sort.Slice(matches, func(i, j int) bool {
-		return seqCostOf(matches[i]) < seqCostOf(matches[j])
+		return w.seqCostOf(matches[i]).Less(w.seqCostOf(matches[j]))
 	})
 	var best *rules.Rule
 	for _, m := range matches {
 		for _, payload := range m.Payloads {
 			entry := payload.(*PoolEntry)
 			if r := w.ruleFromBinding(p, tp, leaves, entry, m.Binding); r != nil {
-				if best == nil || r.Cost() < best.Cost() {
+				if best == nil || w.s.seqVec(r.Seq).Less(w.s.seqVec(best.Seq)) {
 					best = r
 				}
 			}
@@ -220,10 +235,10 @@ func (w *worker) synthesizeOne(p *pattern.Pattern) *rules.Rule {
 	return w.smtFallback(p, tp, leaves)
 }
 
-func seqCostOf(m trie.Match) int {
-	min := 1 << 30
+func (w *worker) seqCostOf(m trie.Match) cost.Vector {
+	min := cost.Vector{Latency: 1 << 40, Size: 1 << 40}
 	for _, p := range m.Payloads {
-		if c := p.(*PoolEntry).Seq.Cost(); c < min {
+		if c := w.s.seqVec(p.(*PoolEntry).Seq); c.Less(min) {
 			min = c
 		}
 	}
@@ -472,7 +487,9 @@ func (w *worker) smtFallback(p *pattern.Pattern, tp *term.Term, leaves []*patter
 	// Cheapest sequences first; stop at the first verified match.
 	sorted := make([]*PoolEntry, len(cands))
 	copy(sorted, cands)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq.Cost() < sorted[j].Seq.Cost() })
+	sort.Slice(sorted, func(i, j int) bool {
+		return w.s.seqVec(sorted[i].Seq).Less(w.s.seqVec(sorted[j].Seq))
+	})
 
 	for _, entry := range sorted {
 		// Candidate enumeration can run many solver queries; honor the
@@ -690,10 +707,12 @@ func permutations(n int) [][]int {
 }
 
 // coverCost computes the cheapest cover of a pattern by existing
-// single-operation rules (§VI's beneficial-rule check).
-func coverCost(n *pattern.Node, lib *rules.Library) (int, bool) {
+// single-operation rules (§VI's beneficial-rule check), under the
+// synthesizer's cost metric — recomputed from each rule's sequence so
+// the comparison never mixes stamped and unstamped scales.
+func (s *Synthesizer) coverCost(n *pattern.Node, lib *rules.Library) (cost.Vector, bool) {
 	if n.IsLeaf() {
-		return 0, true
+		return cost.Vector{}, true
 	}
 	args := make([]*pattern.Node, len(n.Args))
 	for i, a := range n.Args {
@@ -707,18 +726,18 @@ func coverCost(n *pattern.Node, lib *rules.Library) (int, bool) {
 		MemBits: n.MemBits, Args: args})
 	r := lib.Lookup(single.Key())
 	if r == nil {
-		return 0, false
+		return cost.Vector{}, false
 	}
-	total := r.Cost()
+	total := s.seqVec(r.Seq)
 	for _, a := range n.Args {
 		if a.IsLeaf() {
 			continue
 		}
-		c, ok := coverCost(a, lib)
+		c, ok := s.coverCost(a, lib)
 		if !ok {
-			return 0, false
+			return cost.Vector{}, false
 		}
-		total += c
+		total = total.Add(c)
 	}
 	return total, true
 }

@@ -39,8 +39,8 @@ func VectorsFor(seed uint64, p *Prog, n int) [][]bv.BV {
 type Options struct {
 	Seed   uint64
 	N      int           // iterations per oracle
-	Target string        // "aarch64" or "riscv" (select-diff)
-	Oracle string        // "select-diff", "spec", "smt", or "all"
+	Target string        // "aarch64" or "riscv" (select-diff / selector-diff)
+	Oracle string        // "select-diff", "selector-diff", "spec", "smt", or "all"
 	Budget time.Duration // wall-clock cap (0 = unlimited)
 	// CorpusDir receives shrunk reproducers for every failure.
 	CorpusDir string
@@ -127,13 +127,15 @@ func Run(opts Options) (*Summary, error) {
 	}
 	oracles := []string{opts.Oracle}
 	if opts.Oracle == "" || opts.Oracle == "all" {
-		oracles = []string{"select-diff", "spec", "smt"}
+		oracles = []string{"select-diff", "selector-diff", "spec", "smt"}
 	}
 	for _, oracle := range oracles {
 		var err error
 		switch oracle {
 		case "select-diff":
 			err = runSelectDiff(&opts, sum, over)
+		case "selector-diff":
+			err = runSelectorDiff(&opts, sum, over)
 		case "spec":
 			err = runSpec(&opts, sum, over)
 		case "smt":
@@ -214,6 +216,47 @@ func runSelectDiff(opts *Options, sum *Summary, over func() bool) error {
 	return nil
 }
 
+// runSelectorDiff drives the cross-selector oracle: same generator and
+// shrinking loop as select-diff, but the check is greedy-vs-optimal
+// over one backend (semantic agreement plus the static ≤ guarantee).
+func runSelectorDiff(opts *Options, sum *Summary, over func() bool) error {
+	pl, err := NewPipeline(opts.Target, opts.Synth)
+	if err != nil {
+		return err
+	}
+	cfg := DefaultGenConfig()
+	nVec := opts.numVectors()
+	for iter := 0; iter < opts.N && !over(); iter++ {
+		rng := bv.NewRNG(SubSeed(opts.Seed, uint64(iter)))
+		p := Gen(rng, cfg)
+		cerr := CheckSelectorDiff(pl, p, VectorsFor(opts.Seed, p, nVec))
+		sum.PerOracle["selector-diff"]++
+		switch {
+		case cerr == nil:
+			sum.Ran++
+		case !IsFailure(cerr):
+			sum.Ran++
+			sum.Skipped++
+		default:
+			sum.Failed++
+			opts.logf("selector-diff failure (iter %d): %v", iter, cerr)
+			failing := func(q *Prog) bool {
+				return IsFailure(CheckSelectorDiff(pl, q, VectorsFor(opts.Seed, q, nVec)))
+			}
+			shrunk := Shrink(p, failing, opts.maxShrinkChecks())
+			opts.logf("  shrunk %d -> %d operations", p.NumOps(), shrunk.NumOps())
+			opts.save(sum, &Repro{
+				Oracle: "selector-diff",
+				Target: pl.Name,
+				Seed:   opts.Seed,
+				Note:   firstLine(cerr.Error()),
+				Prog:   shrunk.Format(),
+			})
+		}
+	}
+	return nil
+}
+
 func runSpec(opts *Options, sum *Summary, over func() bool) error {
 	sopts := SpecOptions{Synth: opts.SpecSynth}
 	for iter := 0; iter < opts.N && !over(); iter++ {
@@ -270,7 +313,7 @@ func firstLine(s string) string {
 // verdict, and a rejected spec mutant is the contract working).
 func ReplayRepro(r *Repro, pipelines map[string]*Pipeline) error {
 	switch r.Oracle {
-	case "select-diff":
+	case "select-diff", "selector-diff":
 		p, err := ParseProg(r.Prog)
 		if err != nil {
 			return err
@@ -279,7 +322,11 @@ func ReplayRepro(r *Repro, pipelines map[string]*Pipeline) error {
 		if pl == nil {
 			return fmt.Errorf("fuzz: no pipeline for target %q", r.Target)
 		}
-		if cerr := CheckProg(pl, p, VectorsFor(r.Seed, p, 5)); IsFailure(cerr) {
+		check := CheckProg
+		if r.Oracle == "selector-diff" {
+			check = CheckSelectorDiff
+		}
+		if cerr := check(pl, p, VectorsFor(r.Seed, p, 5)); IsFailure(cerr) {
 			return cerr
 		}
 		return nil

@@ -301,3 +301,21 @@ func TestSpecMutantSynthesis(t *testing.T) {
 		}
 	}
 }
+
+// The cross-selector oracle must find no divergence between the greedy
+// and optimal engines on either target: semantic agreement plus the
+// "optimal never statically worse" floor, over a generated burst.
+func TestSelectorDiffSmoke(t *testing.T) {
+	for _, tgt := range []string{"aarch64", "riscv"} {
+		sum, err := Run(Options{Seed: 5, N: 150, Target: tgt, Oracle: "selector-diff"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Failed != 0 {
+			t.Errorf("%s: %d selector-diff failures", tgt, sum.Failed)
+		}
+		if sum.PerOracle["selector-diff"] != 150 {
+			t.Errorf("%s: ran %d iterations", tgt, sum.PerOracle["selector-diff"])
+		}
+	}
+}

@@ -26,6 +26,8 @@ type Pipeline struct {
 	Fallback *isel.Backend
 	// MinWidth is the legalization floor (0 = 32).
 	MinWidth int
+
+	opt *isel.Backend // cached optimal-selector twin (selector-diff oracle)
 }
 
 // Vectors derives n deterministic argument vectors for a program.

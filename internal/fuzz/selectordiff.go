@@ -1,0 +1,123 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/cost"
+	"iselgen/internal/gmir"
+	"iselgen/internal/isel"
+	"iselgen/internal/mir"
+	"iselgen/internal/sim"
+)
+
+// selectordiff.go — the cross-selector differential oracle. The greedy
+// and optimal engines run over the SAME backend (library, hooks), so
+// any semantic divergence is a selection bug, not a rule bug; and the
+// optimal engine carries a static guarantee the oracle enforces: its
+// output is never more expensive than greedy's under the cost model.
+
+// optimalTwin lazily caches the optimal-selector variant of the
+// pipeline's primary backend.
+func (pl *Pipeline) optimalTwin() *isel.Backend {
+	if pl.opt == nil {
+		pl.opt = isel.OptimalVariant(pl.Primary, nil)
+	}
+	return pl.opt
+}
+
+// CheckSelectorDiff runs one program through both selection engines.
+// ErrSkip when the greedy engine cannot select it (nothing to compare);
+// a genuine failure when the optimal engine falls back where greedy
+// succeeded, when either engine's code disagrees with the interpreter
+// (result or final memory) on any vector, or when the optimal output
+// is statically more expensive than the greedy output under the model.
+func CheckSelectorDiff(pl *Pipeline, p *Prog, vectors [][]bv.BV) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+
+	f1, berr := p.Build()
+	if berr != nil {
+		return fmt.Errorf("build: %w", berr)
+	}
+	type refRun struct {
+		ret bv.BV
+		mem map[uint64]byte
+	}
+	refs := make([]refRun, len(vectors))
+	for i, args := range vectors {
+		mem := gmir.NewMemory()
+		ip := &gmir.Interp{Mem: mem}
+		ret, rerr := ip.Run(f1, args...)
+		if rerr != nil {
+			return fmt.Errorf("interp: %w", rerr)
+		}
+		refs[i] = refRun{ret: ret, mem: mem.Snapshot()}
+	}
+
+	minW := pl.MinWidth
+	if minW == 0 {
+		minW = 32
+	}
+	selectAs := func(bk *isel.Backend) (*mir.Func, *isel.Report, error) {
+		f, berr := p.Build()
+		if berr != nil {
+			return nil, nil, fmt.Errorf("rebuild: %w", berr)
+		}
+		if lerr := gmir.Legalize(f, minW); lerr != nil {
+			return nil, nil, fmt.Errorf("legalize: %w", lerr)
+		}
+		isel.Prepare(f, pl.Name)
+		mf, rep := bk.Select(f)
+		return mf, rep, nil
+	}
+
+	mg, rg, serr := selectAs(pl.Primary)
+	if serr != nil {
+		return serr
+	}
+	if rg.Fallback {
+		return fmt.Errorf("%w (%s)", ErrSkip, rg.FallbackReason)
+	}
+	opt := pl.optimalTwin()
+	mo, ro, serr := selectAs(opt)
+	if serr != nil {
+		return serr
+	}
+	if ro.Fallback {
+		// The optimal engine tries every rule greedy tries (the plan only
+		// reorders preference), so this must never happen.
+		return fmt.Errorf("optimal fell back where greedy selected: %s", ro.FallbackReason)
+	}
+
+	for _, side := range []struct {
+		name string
+		mf   *mir.Func
+	}{{"greedy", mg}, {"optimal", mo}} {
+		name, mf := side.name, side.mf
+		for i, args := range vectors {
+			mem := gmir.NewMemory()
+			m := &sim.Machine{Mem: mem}
+			res, serr := m.Run(mf, args)
+			if serr != nil {
+				return fmt.Errorf("%s: sim: %w", name, serr)
+			}
+			if got := sim.Adjust(res.Ret, 64); got != refs[i].ret {
+				return fmt.Errorf("%s: result mismatch on vector %d %s: interp=%s sim=%s",
+					name, i, fmtArgs(args), refs[i].ret, got)
+			}
+			if !memEqual(refs[i].mem, mem.Snapshot()) {
+				return fmt.Errorf("%s: final memory mismatch on vector %d %s", name, i, fmtArgs(args))
+			}
+		}
+	}
+
+	if cg, co := cost.StaticOf(mg, opt.Model), cost.StaticOf(mo, opt.Model); cg.Less(co) {
+		return fmt.Errorf("optimal statically worse than greedy: %v vs %v\n-- optimal --\n%s\n-- greedy --\n%s",
+			co, cg, mo, mg)
+	}
+	return nil
+}

@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"iselgen/internal/bench"
 	"iselgen/internal/bv"
 	"iselgen/internal/core"
+	"iselgen/internal/cost"
 	"iselgen/internal/gmir"
 	"iselgen/internal/isa"
 	"iselgen/internal/isa/aarch64"
@@ -39,6 +41,47 @@ type Setup struct {
 	// Handwritten is the GlobalISel-analog baseline (also the fallback
 	// backend when selection fails, mirroring §VIII-A).
 	Handwritten *isel.Backend
+	// SynthOpt is the optimal-selector variant of the synthesized
+	// backend ("synthopt"), built only when Synthesize ran with a cost
+	// model; Model is that table (nil means legacy metadata costs).
+	SynthOpt *isel.Backend
+	Model    *cost.Table
+}
+
+var (
+	costModelMu  sync.Mutex
+	costModelTab = map[string]*cost.Table{}
+)
+
+// CostModel returns the target-derived cost table for a known target
+// name ("aarch64"/"riscv"), cached process-wide: deriving it needs the
+// full ISA spec load, and every layer (synthesis config, sim, service
+// requests) wants the same table so cache keys agree.
+func CostModel(name string) (*cost.Table, error) {
+	costModelMu.Lock()
+	defer costModelMu.Unlock()
+	if t, ok := costModelTab[name]; ok {
+		return t, nil
+	}
+	b := term.NewBuilder()
+	var (
+		tgt *isa.Target
+		err error
+	)
+	switch name {
+	case "aarch64":
+		tgt, err = aarch64.Load(b)
+	case "riscv":
+		tgt, err = riscv.Load(b)
+	default:
+		return nil, fmt.Errorf("cost model: unknown target %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t := cost.FromTarget(tgt)
+	costModelTab[name] = t
+	return t, nil
 }
 
 // NewAArch64 loads the AArch64 target and baselines.
@@ -215,6 +258,9 @@ func SeedPatterns() []*pattern.Pattern {
 
 // Synthesize builds the pool (if needed) and synthesizes the rule
 // library from the corpus, then constructs the synthesized backend.
+// With cfg.CostModel set, rules are cost-stamped, synthesis ranks by
+// the model, and a second "synthopt" backend running the optimal DP
+// selector is built alongside the greedy one.
 func (s *Setup) Synthesize(cfg core.Config, maxPatterns int) *rules.Library {
 	if cfg.ExtraSequences == nil {
 		cfg.ExtraSequences = ExtraSequences(s.Name)
@@ -224,6 +270,7 @@ func (s *Setup) Synthesize(cfg core.Config, maxPatterns int) *rules.Library {
 		s.Synther.BuildPool()
 	}
 	lib := rules.NewLibrary(s.Name)
+	lib.Model = cfg.CostModel
 	pats := CorpusPatterns(s.Name, maxPatterns)
 	s.Synther.Synthesize(pats, lib)
 	s.SynthLib = lib
@@ -232,6 +279,12 @@ func (s *Setup) Synthesize(cfg core.Config, maxPatterns int) *rules.Library {
 		s.Synth = isel.NewA64Synth(s.ISA, lib)
 	case "riscv":
 		s.Synth = isel.NewRVSynth(s.ISA, lib)
+	}
+	s.Model = cfg.CostModel
+	s.SynthOpt = nil
+	if cfg.CostModel != nil && s.Synth != nil {
+		s.SynthOpt = isel.OptimalVariant(s.Synth, cfg.CostModel)
+		s.SynthOpt.Name = "synthopt"
 	}
 	return lib
 }
@@ -246,6 +299,9 @@ type Row struct {
 	Fallback bool
 	HookPct  float64
 	Checksum bv.BV
+	// Static is the model cost of the selected code (metadata
+	// latencies/sizes when the setup has no cost table).
+	Static cost.Vector
 }
 
 // RunSuite compiles and simulates the whole workload suite on every
@@ -258,6 +314,9 @@ func (s *Setup) RunSuite(scale int) ([]Row, error) {
 	backends := append([]*isel.Backend(nil), s.Baselines...)
 	if s.Synth != nil {
 		backends = append(backends, s.Synth)
+	}
+	if s.SynthOpt != nil {
+		backends = append(backends, s.SynthOpt)
 	}
 	var rows []Row
 	for _, w := range bench.Suite(scale) {
@@ -294,7 +353,7 @@ func (s *Setup) RunSuite(scale int) ([]Row, error) {
 			if w.InitMem != nil {
 				w.InitMem(mem)
 			}
-			m := &sim.Machine{Mem: mem}
+			m := &sim.Machine{Mem: mem, Model: s.Model}
 			res, err := m.Run(mf, w.Args)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: sim: %w", w.Name, bk.Name, err)
@@ -306,6 +365,7 @@ func (s *Setup) RunSuite(scale int) ([]Row, error) {
 			row.Insts = res.Insts
 			row.Size = mf.BinarySize()
 			row.Checksum = res.Ret
+			row.Static = cost.StaticOf(mf, s.Model)
 			rows = append(rows, row)
 		}
 	}

@@ -120,3 +120,62 @@ func TestGeoMean(t *testing.T) {
 		t.Errorf("missing backend geomean = %f", g)
 	}
 }
+
+// With a cost model configured, Synthesize stamps the library, builds
+// the "synthopt" backend, and RunSuite measures it — never statically
+// worse than the greedy synthesized backend on any workload.
+func TestSynthOptRowWithCostModel(t *testing.T) {
+	s, err := NewRISCV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := CostModel("riscv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.TestInputs = 48
+	cfg.CostModel = model
+	lib := s.Synthesize(cfg, 80)
+	if s.SynthOpt == nil || s.SynthOpt.Name != "synthopt" {
+		t.Fatal("no synthopt backend despite cost model")
+	}
+	stamped := 0
+	for _, r := range lib.Rules {
+		if !r.CostV.IsZero() {
+			stamped++
+		}
+	}
+	if stamped != lib.Len() {
+		t.Errorf("only %d/%d rules cost-stamped", stamped, lib.Len())
+	}
+	rows, err := s.RunSuite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := map[string]map[string]Row{} // workload -> backend -> row
+	for _, r := range rows {
+		if static[r.Workload] == nil {
+			static[r.Workload] = map[string]Row{}
+		}
+		static[r.Workload][r.Backend] = r
+	}
+	checked := 0
+	for w, per := range static {
+		g, okG := per["synth"]
+		o, okO := per["synthopt"]
+		if !okG || !okO {
+			t.Fatalf("%s: missing synth/synthopt rows", w)
+		}
+		if g.Static.Less(o.Static) {
+			t.Errorf("%s: optimal statically worse: %v vs greedy %v", w, o.Static, g.Static)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no workloads compared")
+	}
+	if _, err := CostModel("nope"); err == nil {
+		t.Error("unknown target accepted")
+	}
+}

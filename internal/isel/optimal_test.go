@@ -1,0 +1,160 @@
+package isel
+
+import (
+	"strings"
+	"testing"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/cost"
+	"iselgen/internal/gmir"
+)
+
+// optimalSuite builds a small program mix: straight-line arithmetic
+// with a foldable shift, a loop with phis, selects, and constants of
+// several widths — enough to exercise plans, bool roots, and hooks.
+func optimalSuite() []*gmir.Function {
+	var fs []*gmir.Function
+
+	fb := gmir.NewFunc("arith")
+	a := fb.Param(gmir.S64)
+	b := fb.Param(gmir.S64)
+	sh := fb.Shl(b, fb.Const(gmir.S64, 4))
+	sum := fb.Add(a, sh)
+	fb.Ret(fb.Sub(fb.Mul(sum, b), a))
+	fs = append(fs, fb.MustFinish())
+
+	fb = gmir.NewFunc("sumsq")
+	n := fb.Param(gmir.S64)
+	entry := fb.Block()
+	loop := fb.NewBlock()
+	exit := fb.NewBlock()
+	zero := fb.Const(gmir.S64, 0)
+	fb.Br(loop)
+	fb.SetBlock(loop)
+	i := fb.Phi(gmir.S64, zero, entry)
+	acc := fb.Phi(gmir.S64, zero, entry)
+	acc2 := fb.Add(acc, fb.Mul(i, i))
+	i2 := fb.Add(i, fb.Const(gmir.S64, 1))
+	fb.AddPhiIncoming(i, i2, loop)
+	fb.AddPhiIncoming(acc, acc2, loop)
+	fb.BrCond(fb.ICmp(gmir.PredUGE, i2, n), exit, loop)
+	fb.SetBlock(exit)
+	fb.Ret(acc2)
+	fs = append(fs, fb.MustFinish())
+
+	fb = gmir.NewFunc("max")
+	a = fb.Param(gmir.S64)
+	b = fb.Param(gmir.S64)
+	fb.Ret(fb.Select(fb.ICmp(gmir.PredSGT, a, b), a, b))
+	fs = append(fs, fb.MustFinish())
+
+	fb = gmir.NewFunc("konst")
+	a = fb.Param(gmir.S64)
+	fb.Ret(fb.Add(fb.Or(a, fb.Const(gmir.S64, 0xbeef000000000000)),
+		fb.Const(gmir.S64, 42)))
+	fs = append(fs, fb.MustFinish())
+
+	return fs
+}
+
+// The optimal selector must never be statically more expensive than
+// greedy under the model (the dual-emission floor makes this a hard
+// invariant), and must stay semantically equivalent.
+func TestOptimalNoWorseThanGreedy(t *testing.T) {
+	rng := bv.NewRNG(11)
+	for _, f := range optimalSuite() {
+		var argSets [][]bv.BV
+		for i := 0; i < 8; i++ {
+			args := make([]bv.BV, len(f.Params))
+			for j := range args {
+				args[j] = bv.New(64, rng.BV(64).Lo%200)
+			}
+			argSets = append(argSets, args)
+		}
+		for _, bk := range append(allA64(), allRV()...) {
+			opt := OptimalVariant(bk, nil)
+			mg, rg := bk.Select(f)
+			mo, ro := opt.Select(f)
+			if rg.Fallback != ro.Fallback {
+				t.Fatalf("%s/%s: fallback disagreement: greedy=%v optimal=%v (%s / %s)",
+					bk.Name, f.Name, rg.Fallback, ro.Fallback,
+					rg.FallbackReason, ro.FallbackReason)
+			}
+			if rg.Fallback {
+				continue
+			}
+			if ro.Selector != "optimal" {
+				t.Errorf("%s/%s: report selector = %q", bk.Name, f.Name, ro.Selector)
+			}
+			model := opt.Model
+			cg, co := cost.StaticOf(mg, model), cost.StaticOf(mo, model)
+			if cg.Less(co) {
+				t.Errorf("%s/%s: optimal statically worse: %v vs greedy %v\n-- optimal --\n%s\n-- greedy --\n%s",
+					bk.Name, f.Name, co, cg, mo, mg)
+			}
+			runBoth(t, opt, f, argSets, nil)
+		}
+	}
+}
+
+// With a cost table that makes the fused shift-add expensive, greedy
+// (largest-pattern-first) still folds and pays; the DP must instead
+// tile with the two cheap single-op rules — a strict static win.
+func TestOptimalStrictWinOnSkewedTable(t *testing.T) {
+	fb := gmir.NewFunc("fold")
+	a := fb.Param(gmir.S64)
+	b := fb.Param(gmir.S64)
+	fb.Ret(fb.Add(a, fb.Shl(b, fb.Const(gmir.S64, 4))))
+	f := fb.MustFinish()
+
+	model := cost.FromTarget(a64Target)
+	model.Latency["ADDXrs_lsl"] = 50
+	model.Size["ADDXrs_lsl"] = 50
+
+	mg, rg := a64Set.Handwritten.Select(f)
+	if rg.Fallback {
+		t.Fatal(rg.FallbackReason)
+	}
+	if !strings.Contains(mg.String(), "ADDXrs_lsl") {
+		t.Fatalf("greedy did not fold (test premise broken):\n%s", mg)
+	}
+
+	opt := OptimalVariant(a64Set.Handwritten, model)
+	mo, ro := opt.Select(f)
+	if ro.Fallback {
+		t.Fatal(ro.FallbackReason)
+	}
+	if strings.Contains(mo.String(), "ADDXrs_lsl") {
+		t.Errorf("optimal used the expensive fused form:\n%s", mo)
+	}
+	cg, co := cost.StaticOf(mg, model), cost.StaticOf(mo, model)
+	if !co.Less(cg) {
+		t.Errorf("expected strict win: optimal %v vs greedy %v", co, cg)
+	}
+
+	// Same semantics regardless of tiling.
+	rng := bv.NewRNG(7)
+	var argSets [][]bv.BV
+	for i := 0; i < 10; i++ {
+		argSets = append(argSets, []bv.BV{rng.BV(64), rng.BV(64)})
+	}
+	runBoth(t, opt, f, argSets, nil)
+}
+
+// OptimalVariant defaults: nil model falls back to the target-derived
+// table; the original backend is untouched.
+func TestOptimalVariantDefaults(t *testing.T) {
+	opt := OptimalVariant(a64Set.Naive, nil)
+	if opt.Selector != SelOptimal || opt.Model == nil {
+		t.Fatalf("variant not configured: sel=%v model=%v", opt.Selector, opt.Model)
+	}
+	if opt.Model.Target != a64Target.Name {
+		t.Errorf("model target = %q", opt.Model.Target)
+	}
+	if a64Set.Naive.Selector != SelGreedy || a64Set.Naive.Model != nil {
+		t.Error("OptimalVariant mutated the source backend")
+	}
+	if SelGreedy.String() != "greedy" || SelOptimal.String() != "optimal" {
+		t.Error("SelectorKind.String mismatch")
+	}
+}

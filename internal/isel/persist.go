@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"iselgen/internal/bv"
+	"iselgen/internal/cost"
 	"iselgen/internal/isa"
 	"iselgen/internal/pattern"
 	"iselgen/internal/rules"
@@ -20,7 +21,7 @@ import (
 //
 //	# comment
 //	#%inst <name> <fingerprint>
-//	<pattern-key> \t <sequence-spec> \t <operand-spec> [\t <leaf-consts>] \t <source>
+//	<pattern-key> \t <sequence-spec> \t <operand-spec> [\t <leaf-consts>] [\t cost:<lat>,<sz>] \t <source>
 //
 // using the same compact sequence/operand grammar as the manual-rule DSL
 // (MustSeq / MustRule), so saved rules are human-auditable. The "#%inst"
@@ -28,10 +29,14 @@ import (
 // fingerprint its semantics had at synthesis time (rules.InstFingerprint)
 // — the provenance an incremental resynthesis diffs against a new spec.
 // The trailing source field preserves each rule's proof origin (index vs
-// smt) across save/load cycles. Both extensions are backward compatible:
-// "#"-prefixed lines were always comments, and loaders distinguish the
-// optional leaf-consts field from the source field by the presence of
-// '='. Every rule is re-verified on load.
+// smt) across save/load cycles. The optional "cost:" field carries the
+// rule's model cost vector (rules.Rule.CostV) for libraries synthesized
+// under a cost table; cost-less lines load with the legacy operand-count
+// metric. All extensions are backward compatible: "#"-prefixed lines
+// were always comments, and loaders discriminate the trailing fields by
+// shape — the "cost:" prefix is checked before the '='-means-leaf-consts
+// test, since the cost field itself contains no '='. Every rule is
+// re-verified on load.
 
 // SaveLibrary serializes a library. The provenance header covers the
 // instructions the rules depend on; use SaveLibraryFor when the loaded
@@ -98,6 +103,9 @@ func RuleLine(r *rules.Rule) string {
 			lcs[i] = fmt.Sprintf("%d=%d", leaf, r.LeafConsts[leaf].Int64())
 		}
 		line += "\t" + strings.Join(lcs, ",")
+	}
+	if !r.CostV.IsZero() {
+		line += "\tcost:" + r.CostV.String()
 	}
 	src := r.Source
 	if src == "" {
@@ -193,11 +201,20 @@ func LoadRule(b *term.Builder, tgt *isa.Target, line string) (*rules.Rule, error
 	if opSpec == "-" {
 		opSpec = ""
 	}
-	// Trailing fields: leaf-consts contain '=', the source field does not.
+	// Trailing fields, discriminated by shape: "cost:" prefix first (the
+	// vector contains a ',' but never an '='), then '='-containing
+	// leaf-consts, then the bare source field.
 	var leafConsts []string
+	var costV cost.Vector
 	source := "loaded"
 	for _, f := range fields[3:] {
-		if strings.Contains(f, "=") {
+		if strings.HasPrefix(f, "cost:") {
+			v, err := cost.ParseVector(strings.TrimPrefix(f, "cost:"))
+			if err != nil {
+				return nil, err
+			}
+			costV = v
+		} else if strings.Contains(f, "=") {
 			leafConsts = strings.Split(f, ",")
 		} else if f != "" {
 			source = f
@@ -208,6 +225,10 @@ func LoadRule(b *term.Builder, tgt *isa.Target, line string) (*rules.Rule, error
 		return nil, err
 	}
 	r.Source = source
+	// The persisted model cost is preserved verbatim: the loading library
+	// may have no Model to restamp it from, and Save → Load → Save must
+	// reproduce the artifact byte-identically.
+	r.CostV = costV
 	return r, nil
 }
 

@@ -1,9 +1,11 @@
 package isel
 
 import (
+	"strings"
 	"testing"
 
 	"iselgen/internal/core"
+	"iselgen/internal/cost"
 	"iselgen/internal/gmir"
 	"iselgen/internal/isa"
 	"iselgen/internal/isa/aarch64"
@@ -89,4 +91,77 @@ func TestRoundTripX86(t *testing.T) {
 	lib := rules.NewLibrary("x86")
 	synth.Synthesize(pats, lib)
 	checkRoundTrip(t, b, tgt, lib)
+}
+
+// Cost-annotated libraries (synthesized under a cost table) must
+// round-trip byte-identically too: the loader has no Model to restamp
+// from, so the persisted "cost:" field is the only carrier.
+func TestRoundTripCostAnnotated(t *testing.T) {
+	b := term.NewBuilder()
+	tgt, err := aarch64.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := buildA64Handwritten(b, tgt, true)
+	lib := rules.NewLibrary(tgt.Name)
+	lib.Model = cost.FromTarget(tgt)
+	for _, r := range plain.Rules {
+		cp := *r
+		cp.CostV = cost.Vector{} // let Add stamp from the model
+		lib.Add(&cp)
+	}
+	text := SaveLibrary(lib)
+	if !strings.Contains(text, "\tcost:") {
+		t.Fatal("cost-annotated save carries no cost fields")
+	}
+	checkRoundTrip(t, b, tgt, lib)
+	loaded, err := LoadLibrary(b, tgt, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range loaded.Rules {
+		if r.CostV.IsZero() {
+			t.Fatalf("rule %s lost its cost vector on load", r.Seq)
+		}
+		if want := lib.Model.SeqVector(r.Seq); r.CostV != want {
+			t.Fatalf("rule %s cost %v, model says %v", r.Seq, r.CostV, want)
+		}
+	}
+}
+
+// Legacy cost-less artifacts must keep loading unchanged (missing cost
+// field ⇒ legacy operand-count metric, no error, no churn on re-save).
+func TestLegacyLinesLoadWithoutCost(t *testing.T) {
+	b := term.NewBuilder()
+	tgt, err := aarch64.Load(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := buildA64Handwritten(b, tgt, true)
+	text := SaveLibrary(lib)
+	if strings.Contains(text, "cost:") {
+		t.Fatal("model-less library must not emit cost fields")
+	}
+	loaded, err := LoadLibrary(b, tgt, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range loaded.Rules {
+		if !r.CostV.IsZero() {
+			t.Fatalf("legacy rule %s acquired a cost vector", r.Seq)
+		}
+	}
+	// A malformed cost field is a load error, not a silent fallback.
+	var line string
+	for _, l := range strings.Split(text, "\n") {
+		if l != "" && !strings.HasPrefix(l, "#") {
+			line = l
+			break
+		}
+	}
+	fields := strings.Split(line, "\t")
+	bad := strings.Join(append(fields[:len(fields)-1], "cost:banana", fields[len(fields)-1]), "\t")
+	if _, err := LoadRule(b, tgt, bad); err == nil {
+		t.Error("malformed cost field loaded without error")
+	}
 }

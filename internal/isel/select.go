@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"iselgen/internal/bv"
+	"iselgen/internal/cost"
 	"iselgen/internal/gmir"
 	"iselgen/internal/isa"
 	"iselgen/internal/mir"
@@ -44,6 +45,11 @@ type Backend struct {
 	ISA   *isa.Target
 	Lib   *rules.Library
 	Hooks Hooks
+	// Selector picks the engine (greedy by default). Model is the cost
+	// table SelOptimal plans and compares against; nil defaults to the
+	// target-derived table (see OptimalVariant in optimal.go).
+	Selector SelectorKind
+	Model    *cost.Table
 }
 
 // Report records selection outcomes for the coverage experiments.
@@ -53,6 +59,7 @@ type Report struct {
 	HookInsts      int      // instructions handled by hooks (C++ analog)
 	RuleInsts      int      // gMIR instructions covered by rules
 	RulesUsed      []string // sequence names, in emission order
+	Selector       string   // engine that produced the result ("greedy"/"optimal")
 }
 
 // Ctx is the per-function selection context passed to hooks.
@@ -69,6 +76,7 @@ type Ctx struct {
 
 	cur     []*mir.Inst // emission buffer for the current root
 	curRoot *gmir.Inst
+	plan    map[*gmir.Inst]*planChoice // optimal-selector root decisions (nil = greedy)
 	report  *Report
 	err     error
 }
@@ -76,9 +84,24 @@ type Ctx struct {
 // Select lowers a gMIR function to machine IR. On failure (no rule, no
 // hook) it returns a nil Func and a Report with Fallback set — the
 // caller substitutes the baseline backend, as LLVM falls back to
-// SelectionDAG (§VIII-A).
+// SelectionDAG (§VIII-A). With Selector == SelOptimal the lowering is
+// DP-planned first (optimal.go) and guaranteed statically no more
+// expensive than the greedy result under the backend's cost model.
 func (b *Backend) Select(f *gmir.Function) (*mir.Func, *Report) {
-	report := &Report{}
+	if b.Selector == SelOptimal {
+		return b.selectOptimal(f)
+	}
+	return b.selectWithPlan(f, nil)
+}
+
+// selectWithPlan is the shared emission pass: greedy when plan is nil,
+// otherwise each planned root commits to its DP-chosen rule before the
+// largest-pattern-first chain is consulted.
+func (b *Backend) selectWithPlan(f *gmir.Function, plan map[*gmir.Inst]*planChoice) (*mir.Func, *Report) {
+	report := &Report{Selector: "greedy"}
+	if plan != nil {
+		report.Selector = "optimal"
+	}
 	gmir.SplitCriticalEdges(f)
 	c := &Ctx{
 		B: b, F: f,
@@ -88,6 +111,7 @@ func (b *Backend) Select(f *gmir.Function) (*mir.Func, *Report) {
 		vreg:   map[gmir.Value]mir.Reg{},
 		cover:  map[*gmir.Inst]bool{},
 		pos:    map[*gmir.Inst]instPos{},
+		plan:   plan,
 		report: report,
 	}
 	for _, blk := range f.Blocks {
@@ -435,6 +459,15 @@ func (c *Ctx) tryRules(in *gmir.Inst) bool {
 	key := rules.RootKey{Op: int(in.Op), Bits: in.Ty.Bits, Pred: int(in.Pred), MemBits: in.MemBits}
 	if in.Op == gmir.GStore {
 		key.Bits = 0
+	}
+	// A DP plan overrides greedy dispatch: re-match at emission time (the
+	// cover state differs from plan time only for values the plan itself
+	// folded elsewhere, so a planned rule can only fail if a strictly
+	// better consumer already consumed this root — fall through then).
+	if pc, ok := c.plan[in]; ok {
+		if b, okm := c.matchPattern(pc.rule, in); okm && c.emitRule(pc.rule, in, b) {
+			return true
+		}
 	}
 	for _, r := range c.B.Lib.Candidates(key) {
 		if binding, ok := c.matchPattern(r, in); ok {

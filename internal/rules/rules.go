@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"iselgen/internal/bv"
+	"iselgen/internal/cost"
 	"iselgen/internal/isa"
 	"iselgen/internal/pattern"
 	"iselgen/internal/term"
@@ -112,10 +113,29 @@ type Rule struct {
 	// by Library.Add; the incremental planner reuses a rule only if every
 	// supporting fingerprint is unchanged in the new spec.
 	Prov []InstFP
+	// CostV is the model cost of the rule's sequence under the cost table
+	// the library was synthesized with (latency cycles, encoding bytes).
+	// Stamped by Library.Add when the library carries a Model, preserved
+	// verbatim across save/load; zero means "no model cost recorded" and
+	// every consumer falls back to the legacy operand-count metric.
+	CostV cost.Vector
 }
 
 // Cost is the paper's metric: total input operands over the sequence.
 func (r *Rule) Cost() int { return r.Seq.Cost() }
+
+// EffCost is the rule's effective cost vector: the model-stamped CostV
+// when present, else the legacy operand-count metric replicated into
+// both components. Within one library the two never mix scales in a
+// comparison-relevant way: either the library has a Model (every rule
+// stamped on Add) or it has none (every comparison is legacy-vs-legacy).
+func (r *Rule) EffCost() cost.Vector {
+	if !r.CostV.IsZero() {
+		return r.CostV
+	}
+	c := int64(r.Seq.Cost())
+	return cost.Vector{Latency: c, Size: c}
+}
 
 // String renders the rule in the TableGen-flavoured form of Listing 1.
 func (r *Rule) String() string {
@@ -176,6 +196,10 @@ type Library struct {
 	byRoot  map[RootKey][]*Rule
 	byKey   map[string][]*Rule // cost-sorted rules per pattern key
 	sortedQ bool
+	// Model, when set, is the cost table rules are ranked under: Add
+	// stamps each inserted rule's CostV from it. A nil Model keeps the
+	// paper's operand-count metric everywhere (legacy behavior).
+	Model *cost.Table
 }
 
 // maxRulesPerPattern caps constraint-variant chains per pattern.
@@ -195,6 +219,9 @@ func (l *Library) Add(r *Rule) {
 	if r.Prov == nil {
 		r.Prov = SupportOf(r.Seq)
 	}
+	if l.Model != nil && r.CostV.IsZero() {
+		r.CostV = l.Model.SeqVector(r.Seq)
+	}
 	key := r.Pattern.Key()
 	chain := l.byKey[key]
 	sig := ruleSig(r)
@@ -206,9 +233,14 @@ func (l *Library) Add(r *Rule) {
 	if len(chain) >= maxRulesPerPattern {
 		return
 	}
+	// Insertion point: effective cost, then content signature — equal-cost
+	// rules land in the same slot whatever order Add saw them in, so
+	// Lookup's winner never depends on worker scheduling.
 	pos := len(chain)
+	rc := r.EffCost()
 	for i, old := range chain {
-		if r.Cost() < old.Cost() {
+		oc := old.EffCost()
+		if rc.Less(oc) || (rc == oc && sig < ruleSig(old)) {
 			pos = i
 			break
 		}
@@ -277,10 +309,18 @@ func (l *Library) Freeze() {
 			if si != sj {
 				return si > sj
 			}
-			if ci, cj := rs[i].Cost(), rs[j].Cost(); ci != cj {
-				return ci < cj
+			if ci, cj := rs[i].EffCost(), rs[j].EffCost(); ci != cj {
+				return ci.Less(cj)
 			}
-			return immLeafCount(rs[i]) > immLeafCount(rs[j])
+			if ii, ij := immLeafCount(rs[i]), immLeafCount(rs[j]); ii != ij {
+				return ii > ij
+			}
+			// Full content order last: equal-rank rules dispatch in a
+			// stable order regardless of synthesis worker scheduling.
+			if ki, kj := rs[i].Pattern.Key(), rs[j].Pattern.Key(); ki != kj {
+				return ki < kj
+			}
+			return ruleSig(rs[i]) < ruleSig(rs[j])
 		})
 	}
 	l.sortedQ = true
@@ -305,7 +345,11 @@ func (l *Library) Emit() string {
 	fmt.Fprintf(&sb, "// Generated instruction selection rules for %s: %d rules.\n",
 		l.Target, len(l.Rules))
 	for _, r := range l.Rules {
-		fmt.Fprintf(&sb, "// cost %d, source %s\n%s\n", r.Cost(), r.Source, r)
+		fmt.Fprintf(&sb, "// cost %d", r.Cost())
+		if !r.CostV.IsZero() {
+			fmt.Fprintf(&sb, ", model %s", r.CostV)
+		}
+		fmt.Fprintf(&sb, ", source %s\n%s\n", r.Source, r)
 	}
 	return sb.String()
 }

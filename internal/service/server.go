@@ -10,6 +10,7 @@ import (
 
 	"iselgen/internal/bench"
 	"iselgen/internal/core"
+	"iselgen/internal/cost"
 	"iselgen/internal/gmir"
 	"iselgen/internal/harness"
 	"iselgen/internal/incr"
@@ -150,14 +151,28 @@ func (sv *Server) resolveTarget(name, inline string) (targetDef, error) {
 }
 
 // effectiveConfig resolves the server-wide synthesis config for one
-// target (wiring in the target's special sequences, §VII-A) and the
-// resulting content fingerprint. The deadline is deliberately not part
-// of the key: partial results are never cached, and a full result is
-// identical whatever budget it ran under.
-func (sv *Server) effectiveConfig(def targetDef) (core.Config, string) {
+// target (wiring in the target's special sequences, §VII-A, and — for
+// the builtin selection targets — the target-derived cost model) and
+// the resulting content fingerprint. The requested selector and the
+// cost-table version both flow into the fingerprint via the config's
+// CacheKey, so a greedy-selected artifact can never be answered from a
+// cache slot an optimal request populated (or vice versa), and editing
+// a cost table invalidates everything stamped under the old one. The
+// deadline is deliberately not part of the key: partial results are
+// never cached, and a full result is identical whatever budget it ran
+// under.
+func (sv *Server) effectiveConfig(def targetDef, selector string) (core.Config, string) {
 	cfg := sv.cfg.Synth
 	if cfg.ExtraSequences == nil {
 		cfg.ExtraSequences = harness.ExtraSequences(def.name)
+	}
+	if cfg.CostModel == nil && def.backend != nil {
+		if m, err := harness.CostModel(def.name); err == nil {
+			cfg.CostModel = m
+		}
+	}
+	if selector != "" {
+		cfg.Selector = selector
 	}
 	fp := rules.Fingerprint(fingerprintScheme, def.name, def.spec,
 		cfg.CacheKey(), fmt.Sprintf("maxpat=%d", sv.cfg.MaxPatterns))
@@ -324,6 +339,7 @@ func (sv *Server) runSynthesis(def targetDef, cfg core.Config, fp string, timeou
 	syn := core.New(b, tgt, cfg)
 	syn.BuildPool()
 	lib := rules.NewLibrary(def.name)
+	lib.Model = cfg.CostModel
 	pats := harness.CorpusPatterns(def.name, sv.cfg.MaxPatterns)
 	partial := syn.SynthesizeCtx(ctx, pats, lib)
 	lib.Freeze()
@@ -387,7 +403,7 @@ func (sv *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		sv.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	cfg, fp := sv.effectiveConfig(def)
+	cfg, fp := sv.effectiveConfig(def, "")
 	timeout := sv.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -425,6 +441,10 @@ type SelectRequest struct {
 	// TimeoutMS bounds the synthesis this request may trigger on a cold
 	// cache.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Selector picks the selection engine: "greedy" (default) or
+	// "optimal" (bottom-up DP tiling, statically never worse under the
+	// target's cost model). Part of the cache fingerprint.
+	Selector string `json:"selector,omitempty"`
 	// Emit asks for the selected MIR text in the response.
 	Emit bool `json:"emit,omitempty"`
 }
@@ -441,11 +461,17 @@ type SelectResponse struct {
 	RuleInsts      int      `json:"rule_insts"`
 	HookInsts      int      `json:"hook_insts"`
 	RulesUsed      []string `json:"rules_used"`
-	Cycles         int64    `json:"cycles,omitempty"`
-	Insts          int64    `json:"insts,omitempty"`
-	BinarySize     int      `json:"binary_size,omitempty"`
-	Checksum       string   `json:"checksum,omitempty"`
-	MIR            string   `json:"mir,omitempty"`
+	// Selector is the engine that produced the code; CostVersion the
+	// cost-table hash the request was keyed (and planned) under;
+	// StaticCost the model cost "latency,size" of the selected code.
+	Selector    string `json:"selector"`
+	CostVersion string `json:"cost_version,omitempty"`
+	StaticCost  string `json:"static_cost,omitempty"`
+	Cycles      int64  `json:"cycles,omitempty"`
+	Insts       int64  `json:"insts,omitempty"`
+	BinarySize  int    `json:"binary_size,omitempty"`
+	Checksum    string `json:"checksum,omitempty"`
+	MIR         string `json:"mir,omitempty"`
 }
 
 func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -483,7 +509,16 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		sv.fail(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q (have %v)", req.Workload, names))
 		return
 	}
-	cfg, fp := sv.effectiveConfig(def)
+	selector := req.Selector
+	if selector == "" {
+		selector = "greedy"
+	}
+	if selector != "greedy" && selector != "optimal" {
+		sv.fail(w, http.StatusBadRequest,
+			fmt.Errorf("unknown selector %q (have: greedy, optimal)", req.Selector))
+		return
+	}
+	cfg, fp := sv.effectiveConfig(def, selector)
 	timeout := sv.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -494,6 +529,9 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bk := def.backend(e.Target, e.Lib)
+	if selector == "optimal" {
+		bk = isel.OptimalVariant(bk, cfg.CostModel)
+	}
 	f := work.Build()
 	isel.Prepare(f, def.name)
 	mf, rep := bk.Select(f)
@@ -509,18 +547,21 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		RuleInsts:      rep.RuleInsts,
 		HookInsts:      rep.HookInsts,
 		RulesUsed:      rep.RulesUsed,
+		Selector:       selector,
+		CostVersion:    cfg.CostModel.Version(),
 	}
 	if !rep.Fallback {
 		mem := gmir.NewMemory()
 		if work.InitMem != nil {
 			work.InitMem(mem)
 		}
-		m := &sim.Machine{Mem: mem}
+		m := &sim.Machine{Mem: mem, Model: cfg.CostModel}
 		res, err := m.Run(mf, work.Args)
 		if err != nil {
 			sv.fail(w, http.StatusInternalServerError, fmt.Errorf("sim: %w", err))
 			return
 		}
+		resp.StaticCost = cost.StaticOf(mf, cfg.CostModel).String()
 		resp.Cycles = res.Cycles
 		resp.Insts = res.Insts
 		resp.BinarySize = mf.BinarySize()

@@ -408,3 +408,81 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("healthz status %d", resp.StatusCode)
 	}
 }
+
+// TestSelectorCacheIsolation exercises the selector knob on /v1/select:
+// greedy and optimal requests for the same target must key distinct
+// cache entries (the selector and cost-table version are part of the
+// library fingerprint), the optimal response must carry the cost
+// metadata, and its static cost must not exceed greedy's.
+func TestSelectorCacheIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full riscv synthesis in short mode")
+	}
+	cfg := testConfig()
+	cfg.Synth = core.Config{Workers: 4}
+	cfg.MaxPatterns = 0
+	_, ts := newTestServer(t, cfg)
+
+	sel := func(selector string) SelectResponse {
+		t.Helper()
+		status, body := postJSON(t, ts.URL+"/v1/select",
+			SelectRequest{Target: "riscv", Workload: "x264_sad", Selector: selector})
+		if status != http.StatusOK {
+			t.Fatalf("selector=%q: status %d: %s", selector, status, body)
+		}
+		var r SelectResponse
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatalf("selector=%q: bad response: %v", selector, err)
+		}
+		if r.Fallback {
+			t.Fatalf("selector=%q fell back: %s", selector, r.FallbackReason)
+		}
+		return r
+	}
+
+	greedy := sel("greedy")
+	optimal := sel("optimal")
+
+	if greedy.Selector != "greedy" || optimal.Selector != "optimal" {
+		t.Errorf("selector echo: greedy=%q optimal=%q", greedy.Selector, optimal.Selector)
+	}
+	if greedy.Fingerprint == optimal.Fingerprint {
+		t.Errorf("greedy and optimal share fingerprint %s; selector must isolate cache entries", greedy.Fingerprint)
+	}
+	if optimal.CostVersion == "" || optimal.CostVersion == "-" {
+		t.Errorf("optimal response missing cost-table version: %q", optimal.CostVersion)
+	}
+	if optimal.StaticCost == "" || greedy.StaticCost == "" {
+		t.Fatalf("static cost missing: greedy=%q optimal=%q", greedy.StaticCost, optimal.StaticCost)
+	}
+	var gl, gs, ol, osz int64
+	if _, err := fmt.Sscanf(greedy.StaticCost, "%d,%d", &gl, &gs); err != nil {
+		t.Fatalf("bad greedy static cost %q: %v", greedy.StaticCost, err)
+	}
+	if _, err := fmt.Sscanf(optimal.StaticCost, "%d,%d", &ol, &osz); err != nil {
+		t.Fatalf("bad optimal static cost %q: %v", optimal.StaticCost, err)
+	}
+	if ol > gl || (ol == gl && osz > gs) {
+		t.Errorf("optimal static cost %s exceeds greedy %s", optimal.StaticCost, greedy.StaticCost)
+	}
+
+	// Distinct cache entries: two synth runs, and repeating a selector
+	// hits its own entry.
+	if m := getMetrics(t, ts.URL); m.SynthRuns != 2 {
+		t.Errorf("synth_runs=%d, want 2 (one per selector)", m.SynthRuns)
+	}
+	again := sel("optimal")
+	if again.Fingerprint != optimal.Fingerprint {
+		t.Errorf("repeat optimal fingerprint %s != %s", again.Fingerprint, optimal.Fingerprint)
+	}
+	if m := getMetrics(t, ts.URL); m.SynthRuns != 2 || m.CacheHits == 0 {
+		t.Errorf("after repeat: synth_runs=%d cache_hits=%d, want 2 runs and a hit", m.SynthRuns, m.CacheHits)
+	}
+
+	// Unknown selector is a client error.
+	status, body := postJSON(t, ts.URL+"/v1/select",
+		SelectRequest{Target: "riscv", Workload: "x264_sad", Selector: "simulated-annealing"})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown selector: status %d, want 400 (%s)", status, body)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"iselgen/internal/bv"
+	"iselgen/internal/cost"
 	"iselgen/internal/gmir"
 	"iselgen/internal/mir"
 	"iselgen/internal/spec"
@@ -34,6 +35,11 @@ type Machine struct {
 	Mem *gmir.Memory
 	// MaxSteps bounds execution (default 200M instructions).
 	MaxSteps int64
+	// Model overrides per-instruction cycle charging. Nil keeps the ISA
+	// metadata latencies; the target-derived table (cost.FromTarget)
+	// reproduces them exactly, so dynamic cost under a custom table stays
+	// comparable with the static model the selectors optimize.
+	Model *cost.Table
 }
 
 type memAdapter struct{ m *gmir.Memory }
@@ -88,7 +94,11 @@ func (m *Machine) Run(f *mir.Func, args []bv.BV) (Result, error) {
 			if res.Insts++; res.Insts > maxSteps {
 				return res, fmt.Errorf("sim: %s: step limit exceeded", f.Name)
 			}
-			res.Cycles += int64(in.Latency())
+			if m.Model != nil {
+				res.Cycles += m.Model.InstVector(in).Latency
+			} else {
+				res.Cycles += int64(in.Latency())
+			}
 			switch {
 			case in.Pseudo == mir.PCopy:
 				regs[in.Dsts[0]] = regs[in.Args[0].Reg]

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"iselgen/internal/bv"
+	"iselgen/internal/cost"
 	"iselgen/internal/gmir"
 	"iselgen/internal/isa"
 	"iselgen/internal/mir"
@@ -194,5 +195,53 @@ func TestAdjust(t *testing.T) {
 	}
 	if got := Adjust(bv.BV{}, 32); !got.IsZero() || got.W() != 32 {
 		t.Errorf("unwritten register = %v", got)
+	}
+}
+
+// A cost table overrides cycle charging; the target-derived default
+// table reproduces the metadata latencies exactly, so switching the
+// accounting on changes nothing until the table is edited.
+func TestModelCycleAccounting(t *testing.T) {
+	_, tgt := target(t)
+	f := &mir.Func{Name: "f", NumRegs: 3, Params: []mir.Reg{0}}
+	f.Blocks = []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+		{Meta: tgt.ByName("LDR"), Dsts: []mir.Reg{1}, Args: []mir.Operand{mir.R(0), mir.I(bv.New(12, 0))}},
+		{Meta: tgt.ByName("ADD"), Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(1), mir.R(1)}},
+		{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(2)}},
+	}}}
+	mem := gmir.NewMemory()
+	mem.Store(0x100, bv.New(64, 21), 64)
+	args := []bv.BV{bv.New(64, 0x100)}
+
+	plain := &Machine{Mem: mem}
+	base, err := plain.Run(f, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != 3+1+1 {
+		t.Fatalf("metadata cycles = %d", base.Cycles)
+	}
+
+	derived := &Machine{Mem: mem, Model: cost.FromTarget(tgt)}
+	same, err := derived.Run(f, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Cycles != base.Cycles {
+		t.Errorf("derived table diverges: %d vs %d", same.Cycles, base.Cycles)
+	}
+
+	tab := cost.FromTarget(tgt)
+	tab.Latency["ADD"] = 10
+	bumped := &Machine{Mem: mem, Model: tab}
+	res, err := bumped.Run(f, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 3+10+1 {
+		t.Errorf("bumped cycles = %d, want 14", res.Cycles)
+	}
+	if res.Ret.Lo != 42 {
+		t.Errorf("result = %d", res.Ret.Lo)
 	}
 }
