@@ -17,6 +17,11 @@
 //	                 and dynamic cost per workload, geomean dynamic delta,
 //	                 and a selector-diff sweep of the checked-in fuzz corpus
 //	                 (-corpus); the BENCH_cost.json schema in EXPERIMENTS.md
+//	-trace FILE      record the run's pipeline spans as Chrome trace-event
+//	                 JSON (synthesis stages, per-pattern spans, selection)
+//	-obsjson         observability-overhead baseline (BENCH_obs.json):
+//	                 synthesis with observability off vs on, plus the
+//	                 estimated disabled-path overhead, guarded under 2%
 //
 // Usage: iselbench -target aarch64|riscv [-scale N] [-workers N] [-json] [...]
 package main
@@ -36,6 +41,7 @@ import (
 	"iselgen/internal/harness"
 	"iselgen/internal/incr"
 	"iselgen/internal/isel"
+	"iselgen/internal/obs"
 )
 
 func main() {
@@ -50,6 +56,8 @@ func main() {
 	withCost := flag.Bool("cost", false, "attach the target cost model (adds the synthopt backend)")
 	costJSON := flag.Bool("costjson", false, "emit the greedy-vs-optimal cost baseline JSON (both targets)")
 	corpus := flag.String("corpus", "internal/fuzz/testdata/corpus", "fuzz corpus swept by -costjson")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	obsJSON := flag.Bool("obsjson", false, "emit the observability-overhead baseline JSON (BENCH_obs.json) and enforce the disabled-overhead guard")
 	flag.Parse()
 
 	if *synthJSON {
@@ -58,6 +66,10 @@ func main() {
 	}
 	if *costJSON {
 		emitCostJSON(*workers, *corpus)
+		return
+	}
+	if *obsJSON {
+		emitObsJSON(*workers)
 		return
 	}
 
@@ -88,6 +100,13 @@ func main() {
 		}
 		cfg.CostModel = model
 	}
+	var o *obs.Obs
+	if *traceOut != "" {
+		o = obs.New()
+		obs.SetDefault(o) // spec parse/symexec spans
+		cfg.Obs = o
+		defer writeTrace(o, *traceOut)
+	}
 
 	if !*jsonOut {
 		fmt.Printf("synthesizing %s rule library...\n", s.Name)
@@ -95,6 +114,9 @@ func main() {
 	t0 := time.Now()
 	lib := s.Synthesize(cfg, 0)
 	synthElapsed := time.Since(t0)
+	if o != nil {
+		s.AttachObs(o) // selection spans + decision provenance too
+	}
 	if !*jsonOut {
 		fmt.Printf("%d rules\n\n", lib.Len())
 	}
@@ -429,6 +451,145 @@ func sweepCorpus(s *harness.Setup, dir string) (checked, skipped int) {
 		checked++
 	}
 	return checked, skipped
+}
+
+// obsGuardPct is the ceiling the disabled-instrumentation overhead
+// estimate must stay under (the ISSUE's acceptance criterion): when the
+// estimate reaches this, -obsjson exits nonzero, which is the CI guard.
+const obsGuardPct = 2.0
+
+// obsReport is one target of the -obsjson output (BENCH_obs.json): the
+// same synthesis run without and with observability attached, the event
+// volume the instrumented run produced, and the measured cost of one
+// disabled (nil-receiver) instrumentation operation — from which the
+// disabled-path overhead is estimated as nil_op_ns × 3 ops/event ×
+// events / baseline wall time.
+type obsReport struct {
+	Target          string  `json:"target"`
+	Rules           int     `json:"rules"`
+	BaselineSynthMS float64 `json:"baseline_synth_ms"`
+	TracedSynthMS   float64 `json:"traced_synth_ms"`
+	TracedOverPct   float64 `json:"traced_overhead_pct"`
+	Spans           int     `json:"spans_recorded"`
+	SpanStarts      uint64  `json:"span_starts"`
+	SMTProvEvents   int64   `json:"smt_prov_events"`
+	NilOpNS         float64 `json:"nil_op_ns"`
+	DisabledOverPct float64 `json:"disabled_overhead_pct"`
+	GuardPct        float64 `json:"guard_pct"`
+}
+
+// nilOpNS measures one fully disabled instrumentation operation: a span
+// start on a nil tracer, an attribute set, and an end — the exact calls
+// the pipeline makes when no Obs is attached.
+func nilOpNS() float64 {
+	var tr *obs.Tracer
+	var sink *obs.Span
+	const n = 1 << 21
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		sp := tr.Start("bench")
+		sp.SetInt("k", int64(i))
+		sp.End()
+		sink = sp
+	}
+	_ = sink
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// emitObsJSON measures, for both selection targets, the synthesis
+// pipeline with observability off (the baseline every other benchmark
+// runs) and on (full tracer + metrics + provenance), estimates the
+// disabled-path overhead from the nil-op microbenchmark scaled by the
+// observed event volume, and fails the run when that estimate breaks
+// the guard. The output is the BENCH_obs.json baseline.
+func emitObsJSON(workers int) {
+	load := func(name string) *harness.Setup {
+		var s *harness.Setup
+		var err error
+		if name == "aarch64" {
+			s, err = harness.NewAArch64()
+		} else {
+			s, err = harness.NewRISCV()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		return s
+	}
+	nilNS := nilOpNS()
+	var out []obsReport
+	for _, name := range []string{"aarch64", "riscv"} {
+		cfg := core.DefaultConfig()
+		if workers > 0 {
+			cfg.Workers = workers
+		}
+		s1 := load(name)
+		t0 := time.Now()
+		lib := s1.Synthesize(cfg, 0)
+		baseNS := time.Since(t0).Nanoseconds()
+
+		o := obs.New()
+		tcfg := cfg
+		tcfg.Obs = o
+		s2 := load(name)
+		t1 := time.Now()
+		lib2 := s2.Synthesize(tcfg, 0)
+		tracedNS := time.Since(t1).Nanoseconds()
+		if lib2.Len() != lib.Len() {
+			fmt.Fprintf(os.Stderr, "iselbench: traced synthesis found %d rules, baseline %d — observability must not change results\n",
+				lib2.Len(), lib.Len())
+			os.Exit(1)
+		}
+		smtEvents, _ := o.Prov.Totals()
+		// Each instrumentation site costs ~3 nil calls when disabled
+		// (start, attribute, end); the span-start count is the number of
+		// sites the traced run actually passed through.
+		events := float64(o.Trace.Started()) + float64(smtEvents)
+		disabledPct := 100 * events * 3 * nilNS / float64(baseNS)
+		rep := obsReport{
+			Target:          name,
+			Rules:           lib.Len(),
+			BaselineSynthMS: float64(baseNS) / 1e6,
+			TracedSynthMS:   float64(tracedNS) / 1e6,
+			TracedOverPct:   100 * (float64(tracedNS) - float64(baseNS)) / float64(baseNS),
+			Spans:           len(o.Trace.Snapshot()),
+			SpanStarts:      o.Trace.Started(),
+			SMTProvEvents:   smtEvents,
+			NilOpNS:         nilNS,
+			DisabledOverPct: disabledPct,
+			GuardPct:        obsGuardPct,
+		}
+		if disabledPct >= obsGuardPct {
+			fmt.Fprintf(os.Stderr,
+				"iselbench: %s: estimated disabled-instrumentation overhead %.3f%% breaks the %.1f%% guard\n",
+				name, disabledPct, obsGuardPct)
+			os.Exit(1)
+		}
+		out = append(out, rep)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+}
+
+// writeTrace dumps the recorded spans as Chrome trace-event JSON.
+func writeTrace(o *obs.Obs, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := o.Trace.WriteTraceJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "iselbench: wrote trace (%d spans) to %s\n",
+		len(o.Trace.Snapshot()), path)
 }
 
 func emitJSON(s *harness.Setup, rules int, synthElapsed time.Duration, scale int, rows []harness.Row) {

@@ -14,19 +14,29 @@
 //	                      selector keys its own cached library entry
 //	                      (the cost-table version rides in the
 //	                      fingerprint)
-//	GET  /v1/metrics      cache/queue counters and per-stage timings
+//	GET  /v1/metrics      cache/queue counters, per-stage timings, build
+//	                      info, and uptime (JSON)
+//	GET  /metrics         the same counters plus latency histograms in
+//	                      Prometheus text format
+//	GET  /v1/trace        recent pipeline spans as Chrome trace-event
+//	                      JSON (open in chrome://tracing or Perfetto)
+//	GET  /debug/pprof/    Go runtime profiles
 //	GET  /healthz         liveness
+//
+// Every response carries an X-Request-Id header that also appears in
+// the structured access log on stderr.
 //
 // Usage: iseld [-addr :8791] [-cache-dir DIR] [-cache-entries N]
 //
 //	[-workers N] [-queue N] [-patterns N] [-timeout D]
+//	[-trace-spans N] [-no-obs]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +44,7 @@ import (
 	"time"
 
 	"iselgen/internal/core"
+	"iselgen/internal/obs"
 	"iselgen/internal/service"
 )
 
@@ -46,7 +57,21 @@ func main() {
 	patterns := flag.Int("patterns", 0, "limit corpus patterns per synthesis (0 = all)")
 	timeout := flag.Duration("timeout", 0, "default per-job synthesis deadline (0 = none)")
 	inputs := flag.Int("inputs", 0, "test inputs per sequence (0 = default)")
+	traceSpans := flag.Int("trace-spans", 0, "span ring capacity for /v1/trace (0 = default)")
+	noObs := flag.Bool("no-obs", false, "disable tracing, histograms, and decision provenance")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var o *obs.Obs
+	if !*noObs {
+		o = obs.New()
+		if *traceSpans > 0 {
+			o.Trace = obs.NewTracer(*traceSpans)
+		}
+		// Deep layers (spec parse/symexec) pick the default up since
+		// their APIs carry no configuration.
+		obs.SetDefault(o)
+	}
 
 	cfg := core.DefaultConfig()
 	if *inputs > 0 {
@@ -60,6 +85,8 @@ func main() {
 		Synth:          cfg,
 		MaxPatterns:    *patterns,
 		DefaultTimeout: *timeout,
+		Obs:            o,
+		Logger:         logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iseld:", err)
@@ -69,14 +96,15 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: sv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("iseld listening on %s (workers=%d queue=%d cache=%q)",
-		*addr, *workers, *queue, *cacheDir)
+	logger.Info("iseld listening",
+		"addr", *addr, "workers", *workers, "queue", *queue,
+		"cache_dir", *cacheDir, "observability", !*noObs)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("iseld: %v, shutting down", sig)
+		logger.Info("iseld shutting down", "signal", sig.String())
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "iseld:", err)
 		os.Exit(1)
@@ -87,7 +115,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("iseld: shutdown: %v", err)
+		logger.Error("iseld shutdown", "err", err)
 	}
 	sv.Close()
 }

@@ -30,6 +30,7 @@ import (
 	"iselgen/internal/isa"
 	"iselgen/internal/isa/x86"
 	"iselgen/internal/isel"
+	"iselgen/internal/obs"
 	"iselgen/internal/pattern"
 	"iselgen/internal/rules"
 	"iselgen/internal/spec"
@@ -47,6 +48,7 @@ func main() {
 	summary := flag.Bool("summary", false, "print the library composition summary")
 	incremental := flag.Bool("incremental", false, "resynthesize incrementally from a prior artifact (-from)")
 	fromPath := flag.String("from", "", "prior rule-library artifact to diff against (with -incremental)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -55,6 +57,12 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *traceOut != "" {
+		o := obs.New()
+		obs.SetDefault(o) // spec parse/symexec spans
+		cfg.Obs = o
+		defer writeTrace(o, *traceOut)
 	}
 
 	if *incremental {
@@ -264,6 +272,20 @@ func x86Patterns(max int) []*pattern.Pattern {
 		out = out[:max]
 	}
 	return out
+}
+
+// writeTrace dumps the recorded spans as Chrome trace-event JSON
+// (chrome://tracing / Perfetto).
+func writeTrace(o *obs.Obs, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := o.Trace.WriteTraceJSON(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote trace (%d spans) to %s\n", len(o.Trace.Snapshot()), path)
 }
 
 func fatal(err error) {

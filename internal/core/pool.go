@@ -19,6 +19,7 @@ import (
 	"iselgen/internal/canon"
 	"iselgen/internal/cost"
 	"iselgen/internal/isa"
+	"iselgen/internal/obs"
 	"iselgen/internal/spec"
 	"iselgen/internal/term"
 	"iselgen/internal/trie"
@@ -72,6 +73,12 @@ type Config struct {
 	// so cached responses and artifacts are never shared across selector
 	// configurations (the service keys its caches on it).
 	Selector string
+	// Obs, when set, receives stage/pattern spans, latency histograms,
+	// and SMT decision-provenance events from the synthesis run. Purely
+	// observational — never part of CacheKey (it cannot change which
+	// rules are produced), and nil costs only a pointer check on the hot
+	// path.
+	Obs *obs.Obs
 }
 
 // EffSelector normalizes the Selector knob ("greedy" when unset).
@@ -161,16 +168,23 @@ type Stats struct {
 	EvalTime     time.Duration
 	InsertTime   time.Duration
 
-	Patterns       int
-	PatternGenTime time.Duration
-	LookupTime     time.Duration
-	IndexLookupT   time.Duration
-	ProbeTime      time.Duration
-	SMTTime        time.Duration
-	IndexRules     int
-	SMTRules       int
-	SMTQueries     int64
-	SMTTimeouts    int64
+	Patterns     int
+	LookupTime   time.Duration
+	IndexLookupT time.Duration
+	ProbeTime    time.Duration
+	SMTTime      time.Duration
+	IndexRules   int
+	SMTRules     int
+	SMTQueries   int64
+	SMTTimeouts  int64
+	// SAT-core work summed over every solver query of the run — the
+	// per-query distribution is in the provenance log; these totals ride
+	// the Table II snapshot (and /v1/metrics) so solver effort is visible
+	// without tracing enabled.
+	SATDecisions    int64
+	SATPropagations int64
+	SATConflicts    int64
+	SATRestarts     int64
 	// Curtailed records that a SynthesizeCtx deadline fired mid-run, so
 	// the produced library is partial: SMT-provable rules may be missing.
 	Curtailed bool
@@ -189,6 +203,11 @@ type StageStats struct {
 	SMTQueries   int64 `json:"smt_queries"`
 	SMTTimeouts  int64 `json:"smt_timeouts"`
 
+	SATDecisions    int64 `json:"sat_decisions"`
+	SATPropagations int64 `json:"sat_propagations"`
+	SATConflicts    int64 `json:"sat_conflicts"`
+	SATRestarts     int64 `json:"sat_restarts"`
+
 	InstrGenNS    int64 `json:"instr_gen_ns"`
 	CanonNS       int64 `json:"canonicalize_ns"`
 	EvalNS        int64 `json:"test_eval_ns"`
@@ -202,21 +221,25 @@ type StageStats struct {
 // Snapshot converts the internal stage timers into the exported form.
 func (st *Stats) Snapshot() StageStats {
 	return StageStats{
-		Sequences:     st.Sequences,
-		IndexEntries:  st.IndexEntries,
-		Patterns:      st.Patterns,
-		IndexRules:    st.IndexRules,
-		SMTRules:      st.SMTRules,
-		SMTQueries:    st.SMTQueries,
-		SMTTimeouts:   st.SMTTimeouts,
-		InstrGenNS:    st.InstrGenTime.Nanoseconds(),
-		CanonNS:       st.CanonTime.Nanoseconds(),
-		EvalNS:        st.EvalTime.Nanoseconds(),
-		InsertNS:      st.InsertTime.Nanoseconds(),
-		LookupWallNS:  st.LookupTime.Nanoseconds(),
-		IndexLookupNS: st.IndexLookupT.Nanoseconds(),
-		ProbeNS:       st.ProbeTime.Nanoseconds(),
-		SMTNS:         st.SMTTime.Nanoseconds(),
+		Sequences:       st.Sequences,
+		IndexEntries:    st.IndexEntries,
+		Patterns:        st.Patterns,
+		IndexRules:      st.IndexRules,
+		SMTRules:        st.SMTRules,
+		SMTQueries:      st.SMTQueries,
+		SMTTimeouts:     st.SMTTimeouts,
+		SATDecisions:    st.SATDecisions,
+		SATPropagations: st.SATPropagations,
+		SATConflicts:    st.SATConflicts,
+		SATRestarts:     st.SATRestarts,
+		InstrGenNS:      st.InstrGenTime.Nanoseconds(),
+		CanonNS:         st.CanonTime.Nanoseconds(),
+		EvalNS:          st.EvalTime.Nanoseconds(),
+		InsertNS:        st.InsertTime.Nanoseconds(),
+		LookupWallNS:    st.LookupTime.Nanoseconds(),
+		IndexLookupNS:   st.IndexLookupT.Nanoseconds(),
+		ProbeNS:         st.ProbeTime.Nanoseconds(),
+		SMTNS:           st.SMTTime.Nanoseconds(),
 	}
 }
 
@@ -230,6 +253,10 @@ func (ss *StageStats) Accumulate(o StageStats) {
 	ss.SMTRules += o.SMTRules
 	ss.SMTQueries += o.SMTQueries
 	ss.SMTTimeouts += o.SMTTimeouts
+	ss.SATDecisions += o.SATDecisions
+	ss.SATPropagations += o.SATPropagations
+	ss.SATConflicts += o.SATConflicts
+	ss.SATRestarts += o.SATRestarts
 	ss.InstrGenNS += o.InstrGenNS
 	ss.CanonNS += o.CanonNS
 	ss.EvalNS += o.EvalNS
@@ -283,16 +310,28 @@ func New(b *term.Builder, target *isa.Target, cfg Config) *Synthesizer {
 }
 
 // BuildPool runs stage 1: sequence enumeration, canonicalization, test
-// evaluation, and index insertion.
+// evaluation, and index insertion. Stage durations are read once each
+// (obs.Timed): the same measurement feeds both Stats and the trace, so
+// the Table II numbers and the exported spans can never drift.
 func (s *Synthesizer) BuildPool() {
-	t0 := time.Now()
+	tr := s.Cfg.Obs.TracerOrNil()
+	sp := tr.Start("synth/pool")
+	tm := obs.Timed(tr, "pool/enumerate")
 	seqs := s.enumerate()
-	s.Stats.InstrGenTime = time.Since(t0)
+	s.Stats.InstrGenTime = tm.Done()
 	s.Stats.Sequences = len(seqs)
 
+	esp := tr.Start("pool/entries")
 	for _, seq := range seqs {
 		s.addEntry(seq)
 	}
+	esp.SetInt("canonicalize_ns", s.Stats.CanonTime.Nanoseconds()).
+		SetInt("test_eval_ns", s.Stats.EvalTime.Nanoseconds()).
+		SetInt("index_insert_ns", s.Stats.InsertTime.Nanoseconds()).
+		End()
+	sp.SetInt("sequences", int64(s.Stats.Sequences)).
+		SetInt("index_entries", int64(s.Stats.IndexEntries)).
+		End()
 }
 
 // enumerate lists candidate sequences: singles, wired/flag-consuming

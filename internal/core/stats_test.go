@@ -1,0 +1,103 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestStatsSnapshotCoversEveryField fills every Stats field with a
+// distinct nonzero value and checks that Snapshot carries each one into
+// a nonzero StageStats field — so adding a Stats counter without wiring
+// it through the snapshot fails here instead of silently dropping data
+// (exactly how the SAT counters could have been lost).
+func TestStatsSnapshotCoversEveryField(t *testing.T) {
+	var st Stats
+	rv := reflect.ValueOf(&st).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int64:
+			f.SetInt(int64(i + 1)) // covers time.Duration too
+		case reflect.Bool:
+			f.SetBool(true)
+		default:
+			t.Fatalf("Stats field %s has unhandled kind %s — extend this test",
+				rv.Type().Field(i).Name, f.Kind())
+		}
+	}
+
+	ss := st.Snapshot()
+	sv := reflect.ValueOf(ss)
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		name := sv.Type().Field(i).Name
+		if f.Kind() != reflect.Int && f.Kind() != reflect.Int64 {
+			t.Fatalf("StageStats field %s has unhandled kind %s", name, f.Kind())
+		}
+		if f.Int() == 0 {
+			t.Errorf("StageStats.%s is zero after snapshotting a fully nonzero Stats — Snapshot misses it", name)
+		}
+	}
+	// Stats has exactly one field (Curtailed) that StageStats does not
+	// mirror; everything else must map 1:1.
+	if got, want := sv.NumField(), rv.NumField()-1; got != want {
+		t.Errorf("StageStats has %d fields, Stats has %d non-Curtailed fields — keep them in sync", got, want)
+	}
+}
+
+// TestStatsSnapshotValues pins the unit conversions: durations become
+// nanoseconds, counters copy verbatim.
+func TestStatsSnapshotValues(t *testing.T) {
+	st := Stats{
+		Sequences:       3,
+		SMTQueries:      7,
+		SATDecisions:    11,
+		SATPropagations: 13,
+		SATConflicts:    17,
+		SATRestarts:     19,
+		InstrGenTime:    2 * time.Millisecond,
+		SMTTime:         1500 * time.Nanosecond,
+	}
+	ss := st.Snapshot()
+	if ss.Sequences != 3 || ss.SMTQueries != 7 {
+		t.Errorf("counters not copied: %+v", ss)
+	}
+	if ss.SATDecisions != 11 || ss.SATPropagations != 13 || ss.SATConflicts != 17 || ss.SATRestarts != 19 {
+		t.Errorf("SAT counters not copied: %+v", ss)
+	}
+	if ss.InstrGenNS != 2_000_000 || ss.SMTNS != 1500 {
+		t.Errorf("durations not converted to ns: %+v", ss)
+	}
+}
+
+// TestStageStatsAccumulateCoversEveryField: accumulating a fully nonzero
+// snapshot into a zero one must leave no field zero, and accumulating it
+// twice must exactly double every field (i.e. Accumulate is addition,
+// not overwrite).
+func TestStageStatsAccumulateCoversEveryField(t *testing.T) {
+	var src StageStats
+	rv := reflect.ValueOf(&src).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetInt(int64(i + 1))
+	}
+
+	var acc StageStats
+	acc.Accumulate(src)
+	av := reflect.ValueOf(acc)
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Int() != rv.Field(i).Int() {
+			t.Errorf("StageStats.%s not accumulated: got %d, want %d — Accumulate misses it",
+				av.Type().Field(i).Name, av.Field(i).Int(), rv.Field(i).Int())
+		}
+	}
+
+	acc.Accumulate(src)
+	av = reflect.ValueOf(acc)
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Int() != 2*rv.Field(i).Int() {
+			t.Errorf("StageStats.%s after two Accumulates = %d, want %d",
+				av.Type().Field(i).Name, av.Field(i).Int(), 2*rv.Field(i).Int())
+		}
+	}
+}

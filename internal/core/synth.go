@@ -11,6 +11,7 @@ import (
 	"iselgen/internal/canon"
 	"iselgen/internal/cost"
 	"iselgen/internal/isa"
+	"iselgen/internal/obs"
 	"iselgen/internal/pattern"
 	"iselgen/internal/rules"
 	"iselgen/internal/smt"
@@ -53,10 +54,14 @@ type worker struct {
 
 func (s *Synthesizer) newWorker() *worker {
 	return &worker{
-		s:       s,
-		wb:      term.NewBuilder(),
-		wcx:     canon.NewCtx(),
-		checker: &smt.Checker{MaxConflicts: s.Cfg.SMTMaxConflicts},
+		s:   s,
+		wb:  term.NewBuilder(),
+		wcx: canon.NewCtx(),
+		checker: &smt.Checker{
+			MaxConflicts: s.Cfg.SMTMaxConflicts,
+			Obs:          s.Cfg.Obs,
+			Context:      "synthesis",
+		},
 	}
 }
 
@@ -75,7 +80,7 @@ func (s *Synthesizer) Synthesize(patterns []*pattern.Pattern, lib *rules.Library
 			maxSize = n
 		}
 	}
-	t0 := time.Now()
+	tm := obs.Timed(s.Cfg.Obs.TracerOrNil(), "synth/match")
 	for size := 1; size <= maxSize; size++ {
 		wave := bySize[size]
 		if len(wave) == 0 {
@@ -83,7 +88,8 @@ func (s *Synthesizer) Synthesize(patterns []*pattern.Pattern, lib *rules.Library
 		}
 		s.wave(wave, lib)
 	}
-	s.Stats.LookupTime += time.Since(t0)
+	tm.Span().SetInt("patterns", int64(len(patterns))).SetInt("max_size", int64(maxSize))
+	s.Stats.LookupTime += tm.Done()
 }
 
 // SynthesizeCtx runs Synthesize under a context. Cancellation is
@@ -150,6 +156,10 @@ func (s *Synthesizer) wave(wave []*pattern.Pattern, lib *rules.Library) {
 			s.Stats.SMTTime += w.smtT
 			s.Stats.SMTQueries += w.checker.Stats.Queries
 			s.Stats.SMTTimeouts += w.checker.Stats.TimedOut
+			s.Stats.SATDecisions += w.checker.Stats.Decisions
+			s.Stats.SATPropagations += w.checker.Stats.Propagations
+			s.Stats.SATConflicts += w.checker.Stats.Conflicts
+			s.Stats.SATRestarts += w.checker.Stats.Restarts
 			if w.curtailed {
 				s.Stats.Curtailed = true
 			}
@@ -189,9 +199,33 @@ func (s *Synthesizer) SynthesizeOne(p *pattern.Pattern) *rules.Rule {
 	return s.newWorker().synthesizeOne(p)
 }
 
-// synthesizeOne implements the per-pattern flow of Fig. 1: index lookup
-// (3a/3b), then the evaluation-probed SMT fallback (3c/3d).
+// synthesizeOne wraps the per-pattern flow with observability: a span
+// (pattern key, outcome source) and a latency histogram keyed by how the
+// rule was found. When no Obs is attached this is a single nil check.
 func (w *worker) synthesizeOne(p *pattern.Pattern) *rules.Rule {
+	o := w.s.Cfg.Obs
+	if o == nil || (o.Trace == nil && o.Metrics == nil) {
+		return w.synthesizeOneInner(p)
+	}
+	sp := o.Trace.Start("synth/pattern")
+	t0 := time.Now()
+	r := w.synthesizeOneInner(p)
+	d := time.Since(t0)
+	src := "none"
+	if r != nil {
+		src = r.Source
+	}
+	sp.SetStr("pattern", p.Key()).SetStr("source", src).EndWith(d)
+	if m := o.Metrics; m != nil {
+		m.Histogram("synth_pattern_ns",
+			"per-pattern synthesis latency by outcome", "source", src).Observe(d.Nanoseconds())
+	}
+	return r
+}
+
+// synthesizeOneInner implements the per-pattern flow of Fig. 1: index
+// lookup (3a/3b), then the evaluation-probed SMT fallback (3c/3d).
+func (w *worker) synthesizeOneInner(p *pattern.Pattern) *rules.Rule {
 	tp, err := p.Compile(w.wb)
 	if err != nil {
 		return nil

@@ -22,6 +22,7 @@ import (
 	"iselgen/internal/isa/aarch64"
 	"iselgen/internal/isa/riscv"
 	"iselgen/internal/isel"
+	"iselgen/internal/obs"
 	"iselgen/internal/pattern"
 	"iselgen/internal/rules"
 	"iselgen/internal/sim"
@@ -46,6 +47,23 @@ type Setup struct {
 	// model; Model is that table (nil means legacy metadata costs).
 	SynthOpt *isel.Backend
 	Model    *cost.Table
+}
+
+// AttachObs stamps the observability sink onto every backend the setup
+// holds (baselines, synthesized, optimal variant), so selection spans
+// and decision provenance from all engines land in one place. Call it
+// after Synthesize so the synthesized backends exist.
+func (s *Setup) AttachObs(o *obs.Obs) {
+	for _, b := range s.Baselines {
+		if b != nil {
+			b.Obs = o
+		}
+	}
+	for _, b := range []*isel.Backend{s.Synth, s.SynthOpt, s.Handwritten} {
+		if b != nil {
+			b.Obs = o
+		}
+	}
 }
 
 var (

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"iselgen/internal/bv"
+	"iselgen/internal/obs"
 	"iselgen/internal/spec"
 	"iselgen/internal/term"
 )
@@ -395,6 +396,9 @@ func LoadTarget(b *term.Builder, name, src string, latency map[string]int, size 
 	if err != nil {
 		return nil, fmt.Errorf("isa %s: %w", name, err)
 	}
+	sp := obs.DefaultTracer().Start("spec/symexec").
+		SetStr("target", name).SetInt("instructions", int64(len(f.Insts)))
+	defer sp.End()
 	t := &Target{Name: name}
 	for _, def := range f.Insts {
 		sem, err := spec.Symbolize(def, b, def.Name+".")

@@ -77,8 +77,11 @@ func (b *Backend) selectOptimal(f *gmir.Function) (*mir.Func, *Report) {
 	model := b.effModel()
 	gmir.SplitCriticalEdges(f) // idempotent; the plan must see final CFG shape
 	plan := b.buildPlan(f, model)
-	outP, repP := b.selectWithPlan(f, plan)
-	outG, repG := b.selectWithPlan(f, nil)
+	outP, repP := b.selectWithPlan(f, plan, b.Obs)
+	// The greedy pass here exists only as the cost-comparison baseline;
+	// it runs with observability silenced so one Select call does not
+	// record greedy-engine spans and decisions nobody asked for.
+	outG, repG := b.selectWithPlan(f, nil, nil)
 	switch {
 	case outP == nil && outG == nil:
 		repG.Selector = "optimal"
@@ -155,8 +158,8 @@ func (c *Ctx) planFor(in *gmir.Inst, model *cost.Table,
 	}
 	var best *planChoice
 	for _, r := range c.B.Lib.Candidates(key) {
-		bind, ok := c.matchPattern(r, in)
-		if !ok {
+		bind, okm := c.matchPattern(r, in)
+		if okm != matchOK {
 			continue
 		}
 		vec := model.SeqVector(r.Seq)

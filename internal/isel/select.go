@@ -20,6 +20,7 @@ import (
 	"iselgen/internal/gmir"
 	"iselgen/internal/isa"
 	"iselgen/internal/mir"
+	"iselgen/internal/obs"
 	"iselgen/internal/pattern"
 	"iselgen/internal/rules"
 	"iselgen/internal/spec"
@@ -50,6 +51,10 @@ type Backend struct {
 	// target-derived table (see OptimalVariant in optimal.go).
 	Selector SelectorKind
 	Model    *cost.Table
+	// Obs, when set, receives per-function selection spans, latency
+	// histograms, and per-root decision provenance (rule chosen,
+	// candidates rejected and why, hook and fallback outcomes).
+	Obs *obs.Obs
 }
 
 // Report records selection outcomes for the coverage experiments.
@@ -79,6 +84,17 @@ type Ctx struct {
 	plan    map[*gmir.Inst]*planChoice // optimal-selector root decisions (nil = greedy)
 	report  *Report
 	err     error
+
+	// obs is the observability sink for this emission pass — usually the
+	// backend's, but nil for the optimal selector's shadow greedy pass so
+	// the comparison run does not pollute greedy-engine metrics and
+	// provenance with events no caller asked for.
+	obs *obs.Obs
+
+	// lastRejected holds the candidates tryRules rejected at the current
+	// root when decision provenance is enabled, so a subsequent hook
+	// lowering (or terminal failure) can attach them to its event.
+	lastRejected []obs.RejectedCand
 }
 
 // Select lowers a gMIR function to machine IR. On failure (no rule, no
@@ -91,17 +107,40 @@ func (b *Backend) Select(f *gmir.Function) (*mir.Func, *Report) {
 	if b.Selector == SelOptimal {
 		return b.selectOptimal(f)
 	}
-	return b.selectWithPlan(f, nil)
+	return b.selectWithPlan(f, nil, b.Obs)
 }
 
 // selectWithPlan is the shared emission pass: greedy when plan is nil,
 // otherwise each planned root commits to its DP-chosen rule before the
-// largest-pattern-first chain is consulted.
-func (b *Backend) selectWithPlan(f *gmir.Function, plan map[*gmir.Inst]*planChoice) (*mir.Func, *Report) {
+// largest-pattern-first chain is consulted. o is the observability sink
+// for this pass (nil silences it — see Ctx.obs).
+func (b *Backend) selectWithPlan(f *gmir.Function, plan map[*gmir.Inst]*planChoice, o *obs.Obs) (*mir.Func, *Report) {
 	report := &Report{Selector: "greedy"}
 	if plan != nil {
 		report.Selector = "optimal"
 	}
+	tm := obs.Timed(o.TracerOrNil(), "isel/select")
+	tm.Span().SetStr("fn", f.Name).SetStr("engine", report.Selector)
+	defer func() {
+		sp := tm.Span()
+		sp.SetInt("rule_insts", int64(report.RuleInsts)).
+			SetInt("hook_insts", int64(report.HookInsts))
+		if report.Fallback {
+			sp.SetStr("fallback", report.FallbackReason)
+		}
+		d := tm.Done()
+		if m := o.MetricsOrNil(); m != nil {
+			m.Histogram("isel_select_ns",
+				"per-function selection latency by engine", "engine", report.Selector).
+				Observe(d.Nanoseconds())
+		}
+		if report.Fallback {
+			o.ProvOrNil().AddSel(obs.SelDecision{
+				Fn: f.Name, Engine: report.Selector,
+				Via: "fallback", Fallback: report.FallbackReason,
+			})
+		}
+	}()
 	gmir.SplitCriticalEdges(f)
 	c := &Ctx{
 		B: b, F: f,
@@ -113,6 +152,7 @@ func (b *Backend) selectWithPlan(f *gmir.Function, plan map[*gmir.Inst]*planChoi
 		pos:    map[*gmir.Inst]instPos{},
 		plan:   plan,
 		report: report,
+		obs:    o,
 	}
 	for _, blk := range f.Blocks {
 		for idx, in := range blk.Insts {
@@ -376,7 +416,21 @@ func (c *Ctx) selectRoot(blk *gmir.Block, in *gmir.Inst) {
 	}
 	if c.B.Hooks.LowerInst != nil && c.B.Hooks.LowerInst(c, in) {
 		c.report.HookInsts++
+		if prov := c.obs.ProvOrNil(); prov.Enabled() {
+			prov.AddSel(obs.SelDecision{
+				Fn: c.F.Name, Root: in.String(), Engine: c.report.Selector,
+				Via: "hook", Rejected: c.lastRejected,
+			})
+			c.lastRejected = nil
+		}
 		return
+	}
+	if prov := c.obs.ProvOrNil(); prov.Enabled() {
+		prov.AddSel(obs.SelDecision{
+			Fn: c.F.Name, Root: in.String(), Engine: c.report.Selector,
+			Via: "none", Rejected: c.lastRejected,
+		})
+		c.lastRejected = nil
 	}
 	c.failf("no rule for %s", in)
 }
@@ -454,33 +508,65 @@ func (c *Ctx) materializeConst(in *gmir.Inst) {
 
 // tryRules attempts rule-based selection at root `in`, largest pattern
 // first (greedy), falling through rule chains on failed immediate
-// constraints.
+// constraints. When decision provenance is enabled the rejected
+// candidates (and why each lost) are recorded alongside the winner;
+// with it disabled, no per-candidate bookkeeping is assembled at all.
 func (c *Ctx) tryRules(in *gmir.Inst) bool {
 	key := rules.RootKey{Op: int(in.Op), Bits: in.Ty.Bits, Pred: int(in.Pred), MemBits: in.MemBits}
 	if in.Op == gmir.GStore {
 		key.Bits = 0
+	}
+	prov := c.obs.ProvOrNil()
+	var rejected []obs.RejectedCand
+	reject := func(r *rules.Rule, why matchFail) {
+		if prov.Enabled() {
+			rejected = append(rejected, obs.RejectedCand{Rule: r.Seq.String(), Reason: why.String()})
+		}
+	}
+	chose := func(r *rules.Rule) {
+		if prov.Enabled() {
+			prov.AddSel(obs.SelDecision{
+				Fn: c.F.Name, Root: in.String(), Engine: c.report.Selector,
+				Chosen: r.Seq.String(), Via: "rule", Rejected: rejected,
+			})
+		}
 	}
 	// A DP plan overrides greedy dispatch: re-match at emission time (the
 	// cover state differs from plan time only for values the plan itself
 	// folded elsewhere, so a planned rule can only fail if a strictly
 	// better consumer already consumed this root — fall through then).
 	if pc, ok := c.plan[in]; ok {
-		if b, okm := c.matchPattern(pc.rule, in); okm && c.emitRule(pc.rule, in, b) {
-			return true
+		if b, okm := c.matchPattern(pc.rule, in); okm == matchOK {
+			if c.emitRule(pc.rule, in, b) {
+				chose(pc.rule)
+				return true
+			}
+			reject(pc.rule, failEmit)
+		} else {
+			reject(pc.rule, okm)
 		}
 	}
 	for _, r := range c.B.Lib.Candidates(key) {
-		if binding, ok := c.matchPattern(r, in); ok {
+		if binding, okm := c.matchPattern(r, in); okm == matchOK {
 			if c.emitRule(r, in, binding) {
+				chose(r)
 				return true
 			}
+			reject(r, failEmit)
+		} else {
+			reject(r, okm)
 		}
 	}
 	// Bool-valued roots (s1) have no direct rules (ISA registers are
 	// 32/64-bit): match as zext-to-32/64 and keep the 0/1 value.
 	if in.Ty == gmir.S1 && in.Op != gmir.GStore {
-		return c.tryBoolRoot(in)
+		if c.tryBoolRoot(in) {
+			return true
+		}
 	}
+	// No rule applied; remember why so the hook/failure path that follows
+	// can attach the rejections to its own event.
+	c.lastRejected = rejected
 	return false
 }
 
@@ -550,18 +636,48 @@ type matchBinding struct {
 	interior []*gmir.Inst
 }
 
+// matchFail classifies why a candidate rule did not match — a compact
+// enum so the hot path stays allocation-free; the string form is only
+// materialized when decision provenance is enabled.
+type matchFail int8
+
+const (
+	matchOK       matchFail = iota
+	failShape               // tree structure / op / type / predicate mismatch
+	failLeafConst           // exact-constant leaf constraint not satisfied
+	failImmDecode           // immediate leaf not constant or not encodable
+)
+
+func (m matchFail) String() string {
+	switch m {
+	case matchOK:
+		return "ok"
+	case failShape:
+		return "shape-mismatch"
+	case failLeafConst:
+		return "leaf-const-mismatch"
+	case failImmDecode:
+		return "imm-not-encodable"
+	default:
+		return "emit-failed"
+	}
+}
+
+// failEmit marks a rule that matched but whose emission bailed out.
+const failEmit matchFail = -1
+
 // matchPattern matches a rule's full pattern at root `in`.
-func (c *Ctx) matchPattern(r *rules.Rule, in *gmir.Inst) (*matchBinding, bool) {
+func (c *Ctx) matchPattern(r *rules.Rule, in *gmir.Inst) (*matchBinding, matchFail) {
 	b := &matchBinding{leafVals: make([]valOperand, len(r.Pattern.Leaves()))}
 	leafIdx := 0
 	if !c.matchTree(r.Pattern.Root, in, b, &leafIdx) {
-		return nil, false
+		return nil, failShape
 	}
 	// Exact-constant leaf constraints (manual rules like BIC's xor -1).
 	for leaf, want := range r.LeafConsts {
 		cv, ok := c.ConstOf(b.leafVals[leaf].val)
 		if !ok || cv != want {
-			return nil, false
+			return nil, failLeafConst
 		}
 	}
 	// Immediate constraints: every imm leaf must decode.
@@ -571,13 +687,13 @@ func (c *Ctx) matchPattern(r *rules.Rule, in *gmir.Inst) (*matchBinding, bool) {
 		}
 		cv, ok := c.ConstOf(b.leafVals[src.Leaf].val)
 		if !ok {
-			return nil, false
+			return nil, failImmDecode
 		}
 		if _, ok := src.Embed.Decode(cv); !ok {
-			return nil, false
+			return nil, failImmDecode
 		}
 	}
-	return b, true
+	return b, matchOK
 }
 
 // matchNode matches a pattern subtree against a value operand.

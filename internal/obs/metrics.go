@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. All accessors are idempotent: asking
+// for the same (name, labels) twice returns the same metric, so
+// call sites need no registration phase. A nil *Registry disables
+// every operation.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*family
+}
+
+// family groups all label variants of one metric name, with its type
+// and help string (Prometheus requires one TYPE/HELP per name).
+type family struct {
+	name, help, kind string // kind: counter | gauge | histogram
+	vars             map[string]any
+	order            []string
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*family{}}
+}
+
+// labelKey serializes a label pair list ("k1,v1,k2,v2,...") into a map
+// key; pairs must come in a fixed order at each call site.
+func labelKey(labels []string) string {
+	return strings.Join(labels, "\x00")
+}
+
+func (r *Registry) get(name, help, kind string, labels []string, mk func() any) any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.metrics[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, vars: map[string]any{}}
+		r.metrics[name] = f
+	}
+	k := labelKey(labels)
+	v := f.vars[k]
+	if v == nil {
+		v = mk()
+		f.vars[k] = v
+		f.order = append(f.order, k)
+	}
+	return v
+}
+
+// Counter is a monotonically increasing counter. Nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns (creating if needed) the counter with the given name
+// and label pairs (key, value, key, value, ...).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	v := r.get(name, help, "counter", labels, func() any { return &Counter{} })
+	if v == nil {
+		return nil
+	}
+	return v.(*Counter)
+}
+
+// Gauge is a value that can go up and down. Nil-safe.
+type Gauge struct {
+	v  atomic.Int64
+	fn func() int64 // callback gauge; nil for settable gauges
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge value.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (invoking the callback for GaugeFunc
+// gauges).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v.Load()
+}
+
+// Gauge returns (creating if needed) the settable gauge with the given
+// name and label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	v := r.get(name, help, "gauge", labels, func() any { return &Gauge{} })
+	if v == nil {
+		return nil
+	}
+	return v.(*Gauge)
+}
+
+// GaugeFunc registers a callback-backed gauge: its value is read at
+// exposition time. Useful for mirroring counters that live elsewhere
+// (the service's atomic counters) without double bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...string) {
+	r.get(name, help, "gauge", labels, func() any { return &Gauge{fn: fn} })
+}
+
+// histBuckets is the number of log-2 histogram buckets: bucket i counts
+// observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v <= 1),
+// which covers the full int64 range.
+const histBuckets = 64
+
+// Histogram is a log-2-bucketed histogram of non-negative int64
+// observations (typically nanoseconds). Observation is lock-free; the
+// exposition side reads the atomics with at-least-once consistency,
+// which is the usual Prometheus contract. Nil-safe.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketOf returns the bucket index for v: the bit length of v, so
+// bucket boundaries are powers of two.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v - 1))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (2^i).
+func BucketUpper(i int) int64 {
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the
+// bucket containing the target rank and interpolating linearly inside
+// it. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketUpper(i - 1)
+			}
+			hi := BucketUpper(i)
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// Snapshot returns (bucket counts, count, sum) as a consistent-enough
+// copy for exposition.
+func (h *Histogram) Snapshot() ([histBuckets]int64, int64, int64) {
+	var b [histBuckets]int64
+	if h == nil {
+		return b, 0, 0
+	}
+	for i := range b {
+		b[i] = h.buckets[i].Load()
+	}
+	return b, h.count.Load(), h.sum.Load()
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name and label pairs.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	v := r.get(name, help, "histogram", labels, func() any { return &Histogram{} })
+	if v == nil {
+		return nil
+	}
+	return v.(*Histogram)
+}
+
+// families returns the metric families sorted by name, for
+// deterministic exposition.
+func (r *Registry) families() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.metrics))
+	for _, f := range r.metrics {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SMTQuery is the decision-provenance record of one solver query: what
+// was asked, what came back, how long it took, and how hard the SAT
+// core worked (the per-query cost distribution Daly et al. identify as
+// the tuning signal synthesis needs).
+type SMTQuery struct {
+	// Context names the caller's purpose (e.g. "verify" or "fallback")
+	// plus any pattern identification the caller attaches.
+	Context string `json:"context,omitempty"`
+	// Result is the verdict: "equal", "not-equal", or "unknown".
+	Result string `json:"result"`
+	DurNS  int64  `json:"dur_ns"`
+	// SAT-core work counters for this query alone.
+	Decisions    int64 `json:"decisions"`
+	Conflicts    int64 `json:"conflicts"`
+	Propagations int64 `json:"propagations"`
+	Restarts     int64 `json:"restarts"`
+}
+
+// RejectedCand is one selection candidate that matched dispatch but was
+// not chosen, with the reason.
+type RejectedCand struct {
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+}
+
+// SelDecision is the decision-provenance record of one selection root:
+// which rule won, which candidates were rejected and why, or why the
+// selector fell back.
+type SelDecision struct {
+	// Fn and Root identify the instruction ("fn" and the gMIR text).
+	Fn   string `json:"fn"`
+	Root string `json:"root"`
+	// Engine is "greedy" or "optimal".
+	Engine string `json:"engine"`
+	// Chosen is the winning rule's sequence (empty on hook lowering or
+	// fallback); Via distinguishes "rule", "hook", "none" (a root no
+	// rule or hook could lower), and "fallback" (the function-level
+	// consequence of a "none" root).
+	Chosen   string         `json:"chosen,omitempty"`
+	Via      string         `json:"via"`
+	Rejected []RejectedCand `json:"rejected,omitempty"`
+	// Fallback is the function-level fallback reason when Via=="fallback".
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// ProvLog is a pair of bounded rings of provenance events. A nil
+// *ProvLog disables recording; Enabled lets instrumented code skip
+// event assembly entirely when off.
+type ProvLog struct {
+	mu      sync.Mutex
+	smt     []SMTQuery
+	smtHead int
+	smtN    int
+	sel     []SelDecision
+	selHead int
+	selN    int
+
+	smtTotal int64
+	selTotal int64
+}
+
+// DefaultProvCap bounds each provenance ring when NewProvLog is given 0.
+const DefaultProvCap = 4096
+
+// NewProvLog returns an enabled provenance log holding up to smtCap SMT
+// query records and selCap selection decisions (0 = DefaultProvCap).
+func NewProvLog(smtCap, selCap int) *ProvLog {
+	if smtCap <= 0 {
+		smtCap = DefaultProvCap
+	}
+	if selCap <= 0 {
+		selCap = DefaultProvCap
+	}
+	return &ProvLog{
+		smt: make([]SMTQuery, 0, smtCap),
+		sel: make([]SelDecision, 0, selCap),
+	}
+}
+
+// Enabled reports whether events should be assembled at all.
+func (p *ProvLog) Enabled() bool { return p != nil }
+
+// AddSMT records one solver query (nil-safe).
+func (p *ProvLog) AddSMT(q SMTQuery) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.smt) < cap(p.smt) {
+		p.smt = append(p.smt, q)
+		p.smtN++
+	} else {
+		p.smt[p.smtHead] = q
+		p.smtHead = (p.smtHead + 1) % cap(p.smt)
+	}
+	p.smtTotal++
+	p.mu.Unlock()
+}
+
+// AddSel records one selection decision (nil-safe).
+func (p *ProvLog) AddSel(d SelDecision) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.sel) < cap(p.sel) {
+		p.sel = append(p.sel, d)
+		p.selN++
+	} else {
+		p.sel[p.selHead] = d
+		p.selHead = (p.selHead + 1) % cap(p.sel)
+	}
+	p.selTotal++
+	p.mu.Unlock()
+}
+
+// SMTQueries returns the recorded SMT query events, oldest first.
+func (p *ProvLog) SMTQueries() []SMTQuery {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SMTQuery, 0, p.smtN)
+	out = append(out, p.smt[p.smtHead:]...)
+	if p.smtHead > 0 {
+		out = append(out, p.smt[:p.smtHead]...)
+	}
+	return out
+}
+
+// Selections returns the recorded selection decisions, oldest first.
+func (p *ProvLog) Selections() []SelDecision {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SelDecision, 0, p.selN)
+	out = append(out, p.sel[p.selHead:]...)
+	if p.selHead > 0 {
+		out = append(out, p.sel[:p.selHead]...)
+	}
+	return out
+}
+
+// Totals returns lifetime event counts (including overwritten ones).
+func (p *ProvLog) Totals() (smt, sel int64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.smtTotal, p.selTotal
+}
+
+// ObserveDur is a convenience for recording a duration into a histogram
+// (nil-safe on both sides).
+func ObserveDur(h *Histogram, d time.Duration) {
+	h.Observe(d.Nanoseconds())
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProvLogRecordsAndOrders(t *testing.T) {
+	p := NewProvLog(8, 8)
+	if !p.Enabled() {
+		t.Fatalf("non-nil ProvLog must report Enabled")
+	}
+	p.AddSMT(SMTQuery{Context: "synthesis", Result: "equal", DurNS: 100, Decisions: 5})
+	p.AddSMT(SMTQuery{Context: "synthesis", Result: "not-equal", DurNS: 200, Conflicts: 2})
+	p.AddSel(SelDecision{Fn: "f", Engine: "greedy", Via: "rule", Chosen: "add x,y",
+		Rejected: []RejectedCand{{Rule: "addi", Reason: "imm-decode"}}})
+
+	qs := p.SMTQueries()
+	if len(qs) != 2 || qs[0].Result != "equal" || qs[1].Result != "not-equal" {
+		t.Fatalf("SMT queries wrong: %+v", qs)
+	}
+	if qs[0].Decisions != 5 || qs[1].Conflicts != 2 {
+		t.Errorf("SAT counters lost: %+v", qs)
+	}
+	sels := p.Selections()
+	if len(sels) != 1 || sels[0].Via != "rule" || len(sels[0].Rejected) != 1 {
+		t.Fatalf("selection decision wrong: %+v", sels)
+	}
+	if smt, sel := p.Totals(); smt != 2 || sel != 1 {
+		t.Errorf("Totals = %d,%d, want 2,1", smt, sel)
+	}
+}
+
+// TestProvLogRingWrap: both rings overwrite oldest-first and Totals
+// keeps counting past the cap.
+func TestProvLogRingWrap(t *testing.T) {
+	p := NewProvLog(4, 4)
+	for i := 0; i < 10; i++ {
+		p.AddSMT(SMTQuery{DurNS: int64(i)})
+		p.AddSel(SelDecision{Fn: fmt.Sprintf("f%d", i)})
+	}
+	qs := p.SMTQueries()
+	if len(qs) != 4 {
+		t.Fatalf("got %d SMT records, want ring cap 4", len(qs))
+	}
+	for i, want := range []int64{6, 7, 8, 9} {
+		if qs[i].DurNS != want {
+			t.Errorf("qs[%d].DurNS = %d, want %d (oldest-first, newest kept)", i, qs[i].DurNS, want)
+		}
+	}
+	sels := p.Selections()
+	if len(sels) != 4 || sels[0].Fn != "f6" || sels[3].Fn != "f9" {
+		t.Errorf("selection ring wrong: %+v", sels)
+	}
+	if smt, sel := p.Totals(); smt != 10 || sel != 10 {
+		t.Errorf("Totals = %d,%d, want 10,10", smt, sel)
+	}
+}
+
+func TestNilProvLogSafe(t *testing.T) {
+	var p *ProvLog
+	if p.Enabled() {
+		t.Fatalf("nil ProvLog must report disabled")
+	}
+	p.AddSMT(SMTQuery{})
+	p.AddSel(SelDecision{})
+	if p.SMTQueries() != nil || p.Selections() != nil {
+		t.Errorf("nil ProvLog queries must be nil")
+	}
+	if smt, sel := p.Totals(); smt != 0 || sel != 0 {
+		t.Errorf("nil ProvLog totals must be 0")
+	}
+	ObserveDur(nil, time.Second) // must not panic
+}
+
+func TestObserveDur(t *testing.T) {
+	h := &Histogram{}
+	ObserveDur(h, 1500*time.Nanosecond)
+	if h.Count() != 1 || h.Sum() != 1500 {
+		t.Fatalf("ObserveDur recorded count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+// TestProvLogConcurrent exercises both rings from many goroutines under
+// -race (synthesis workers record SMT provenance concurrently).
+func TestProvLogConcurrent(t *testing.T) {
+	p := NewProvLog(32, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.AddSMT(SMTQuery{DurNS: int64(i)})
+				p.AddSel(SelDecision{Fn: "f"})
+				if i%100 == 0 {
+					p.SMTQueries()
+					p.Selections()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if smt, sel := p.Totals(); smt != 4000 || sel != 4000 {
+		t.Fatalf("Totals = %d,%d, want 4000,4000", smt, sel)
+	}
+	if len(p.SMTQueries()) != 32 || len(p.Selections()) != 32 {
+		t.Fatalf("rings should be full at cap 32")
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one Chrome/Perfetto trace-event object ("X" complete
+// events only). Timestamps and durations are microseconds, as the
+// trace-event format requires; fractional values keep nanosecond
+// precision.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the JSON Object Format of the Chrome trace-event
+// specification (the array format is its traceEvents field alone).
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceEvents converts the recorded spans to Chrome trace events,
+// ordered by start time. Each span's lane (the root span it descends
+// from) becomes the tid, so concurrent requests or workers render as
+// separate tracks.
+func (t *Tracer) TraceEvents() []TraceEvent {
+	recs := t.Snapshot()
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+	out := make([]TraceEvent, 0, len(recs))
+	for _, r := range recs {
+		ev := TraceEvent{
+			Name: r.Name,
+			Ph:   "X",
+			Ts:   float64(r.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  int64(r.Lane),
+		}
+		if len(r.Attrs) > 0 || r.Parent != 0 {
+			ev.Args = map[string]any{}
+			if r.Parent != 0 {
+				ev.Args["parent"] = r.Parent
+			}
+			ev.Args["span_id"] = r.ID
+			for _, a := range r.Attrs {
+				if a.IsInt {
+					ev.Args[a.Key] = a.Int
+				} else {
+					ev.Args[a.Key] = a.Str
+				}
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// WriteTraceJSON writes the recorded spans as a Chrome trace-event JSON
+// object (load it in chrome://tracing or ui.perfetto.dev).
+func (t *Tracer) WriteTraceJSON(w io.Writer) error {
+	f := TraceFile{TraceEvents: t.TraceEvents(), DisplayTimeUnit: "ms"}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}

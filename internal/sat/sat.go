@@ -121,6 +121,7 @@ type Solver struct {
 	Decisions    int64
 	Propagations int64
 	Learned      int64
+	Restarts     int64
 
 	unsat bool // established at level 0
 }
@@ -680,6 +681,7 @@ func (s *Solver) run(assumptions []Lit) Status {
 		}
 		if conflictsUntilRestart <= 0 {
 			restartNum++
+			s.Restarts++
 			conflictsUntilRestart = luby(restartNum) * 100
 			s.backtrack(len(assumptions))
 			continue

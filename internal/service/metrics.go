@@ -44,6 +44,8 @@ func (m *Metrics) Stages() core.StageStats {
 
 // MetricsSnapshot is the JSON shape of GET /v1/metrics.
 type MetricsSnapshot struct {
+	UptimeSec      float64         `json:"uptime_sec"`
+	Build          BuildInfo       `json:"build"`
 	CacheHits      uint64          `json:"cache_hits"`
 	DiskHits       uint64          `json:"disk_hits"`
 	Joins          uint64          `json:"joins"`

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo identifies the serving binary: Go toolchain version and,
+// when the binary was built inside a VCS checkout, the revision it was
+// built from. Reported in /v1/metrics so a scrape can always tell which
+// code produced the numbers.
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// readBuildInfo extracts build identity from the binary's embedded
+// build information (absent under `go test`, in which case only the
+// runtime version is filled in).
+func readBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.VCSRevision = s.Value
+		case "vcs.time":
+			bi.VCSTime = s.Value
+		case "vcs.modified":
+			bi.VCSModified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withObs is the request middleware: it assigns a request ID (echoed in
+// X-Request-Id), opens a per-request span, feeds the request-latency
+// histogram and request counter, and emits one structured access-log
+// line. Every piece degrades to a no-op when its sink is absent.
+func (sv *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("req-%06d", sv.reqID.Add(1))
+		w.Header().Set("X-Request-Id", rid)
+		sp := sv.obsv.TracerOrNil().Start("http "+r.Method+" "+r.URL.Path).
+			SetStr("request_id", rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		d := time.Since(t0)
+		sp.SetInt("status", int64(sw.status)).EndWith(d)
+		if m := sv.obsv.MetricsOrNil(); m != nil {
+			m.Histogram("http_request_duration_ns",
+				"HTTP request latency", "path", r.URL.Path).Observe(d.Nanoseconds())
+			m.Counter("http_requests_total",
+				"HTTP requests served", "path", r.URL.Path, "status", itoaStatus(sw.status)).Add(1)
+		}
+		if sv.logger != nil {
+			sv.logger.Info("request",
+				"id", rid,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"dur_ms", float64(d.Nanoseconds())/1e6,
+				"remote", r.RemoteAddr)
+		}
+	})
+}
+
+// itoaStatus formats the small set of HTTP statuses without fmt.
+func itoaStatus(s int) string {
+	b := [3]byte{byte('0' + s/100%10), byte('0' + s/10%10), byte('0' + s%10)}
+	return string(b[:])
+}
+
+// registerObsRoutes mounts the observability surface: Prometheus text
+// exposition, the Chrome trace-event dump of recent spans, and pprof.
+func (sv *Server) registerObsRoutes() {
+	sv.mux.HandleFunc("GET /metrics", sv.handleProm)
+	sv.mux.HandleFunc("GET /v1/trace", sv.handleTrace)
+	sv.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	sv.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	sv.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	sv.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	sv.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// handleProm serves the metrics registry in Prometheus text format
+// 0.0.4, histogram quantile gauges included. With no registry attached
+// the body is empty but still well-formed.
+func (sv *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := sv.obsv.MetricsOrNil()
+	if m == nil {
+		return
+	}
+	m.WriteProm(w)
+	m.WritePromQuantiles(w)
+}
+
+// handleTrace serves the tracer's recent spans as Chrome trace-event
+// JSON (load into chrome://tracing or Perfetto).
+func (sv *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := sv.obsv.TracerOrNil()
+	if tr == nil {
+		sv.fail(w, http.StatusNotFound, errNoTracer)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteTraceJSON(w)
+}
+
+// registerGauges mirrors the service's atomic counters into the
+// registry as callback gauges, so the Prometheus surface and the JSON
+// /v1/metrics snapshot read the same storage and cannot disagree.
+func (sv *Server) registerGauges() {
+	m := sv.obsv.MetricsOrNil()
+	if m == nil {
+		return
+	}
+	mirror := func(name, help string, fn func() int64) {
+		m.GaugeFunc("iseld_"+name, help, fn)
+	}
+	mirror("cache_hits", "requests served from the in-memory cache",
+		func() int64 { return int64(sv.metrics.CacheHits.Load()) })
+	mirror("disk_hits", "requests served from the disk artifact layer",
+		func() int64 { return int64(sv.metrics.DiskHits.Load()) })
+	mirror("joins", "requests deduplicated onto an in-flight synthesis",
+		func() int64 { return int64(sv.metrics.Joins.Load()) })
+	mirror("synth_runs", "full synthesis executions",
+		func() int64 { return int64(sv.metrics.SynthRuns.Load()) })
+	mirror("incr_runs", "incremental resyntheses served from shards",
+		func() int64 { return int64(sv.metrics.IncrRuns.Load()) })
+	mirror("partial_results", "deadline-curtailed synthesis results",
+		func() int64 { return int64(sv.metrics.PartialRes.Load()) })
+	mirror("errors", "requests answered with an error status",
+		func() int64 { return int64(sv.metrics.Errors.Load()) })
+	mirror("selections", "programs lowered by /v1/select",
+		func() int64 { return int64(sv.metrics.Selections.Load()) })
+	mirror("cached_entries", "libraries resident in the memory cache",
+		func() int64 { return int64(sv.store.MemLen()) })
+	mirror("queue_depth", "synthesis jobs waiting in the queue",
+		func() int64 { return int64(sv.sched.QueueDepth()) })
+	mirror("in_flight", "synthesis jobs running now",
+		func() int64 { return sv.sched.InFlight() })
+	mirror("uptime_seconds", "seconds since the server started",
+		func() int64 { return int64(time.Since(sv.start).Seconds()) })
+}

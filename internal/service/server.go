@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"iselgen/internal/bench"
@@ -19,6 +21,7 @@ import (
 	"iselgen/internal/isa/riscv"
 	"iselgen/internal/isa/x86"
 	"iselgen/internal/isel"
+	"iselgen/internal/obs"
 	"iselgen/internal/rules"
 	"iselgen/internal/sim"
 	"iselgen/internal/spec"
@@ -51,6 +54,14 @@ type Config struct {
 	// DefaultTimeout is the per-job synthesis deadline applied when a
 	// request does not set timeout_ms (0 = no deadline).
 	DefaultTimeout time.Duration
+	// Obs, when set, enables the observability surface: per-request
+	// spans (GET /v1/trace), the Prometheus registry (GET /metrics), and
+	// decision provenance. It is threaded into every synthesis job and
+	// selection backend. Purely observational — never fingerprinted.
+	Obs *obs.Obs
+	// Logger, when set, receives one structured access-log line per
+	// request (with request IDs) plus server lifecycle events.
+	Logger *slog.Logger
 }
 
 // Server is the selection service: HTTP handlers over the artifact
@@ -63,11 +74,20 @@ type Server struct {
 	metrics Metrics
 	mux     *http.ServeMux
 
+	obsv   *obs.Obs
+	logger *slog.Logger
+	start  time.Time
+	build  BuildInfo
+	reqID  atomic.Uint64
+
 	// testJobGate, when set, is invoked at the start of every scheduled
 	// job — the in-package tests use it to hold jobs in a deterministic
 	// "running" state while they assert on singleflight and backpressure.
 	testJobGate func()
 }
+
+// errNoTracer answers GET /v1/trace on a server started without one.
+var errNoTracer = errors.New("no tracer attached (start the server with observability enabled)")
 
 // New builds a Server (and its store and scheduler) from cfg.
 func New(cfg Config) (*Server, error) {
@@ -81,22 +101,34 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Thread the observability sink into every synthesis job the server
+	// runs (safe: Obs is not part of any cache fingerprint).
+	if cfg.Synth.Obs == nil {
+		cfg.Synth.Obs = cfg.Obs
+	}
 	sv := &Server{
 		cfg:    cfg,
 		store:  store,
 		shards: NewShardStore(),
 		sched:  NewScheduler(cfg.Workers, cfg.QueueDepth),
 		mux:    http.NewServeMux(),
+		obsv:   cfg.Obs,
+		logger: cfg.Logger,
+		start:  time.Now(),
+		build:  readBuildInfo(),
 	}
 	sv.mux.HandleFunc("POST /v1/synthesize", sv.handleSynthesize)
 	sv.mux.HandleFunc("POST /v1/select", sv.handleSelect)
 	sv.mux.HandleFunc("GET /v1/metrics", sv.handleMetrics)
 	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	sv.registerObsRoutes()
+	sv.registerGauges()
 	return sv, nil
 }
 
-// Handler returns the HTTP handler tree.
-func (sv *Server) Handler() http.Handler { return sv.mux }
+// Handler returns the HTTP handler tree, wrapped in the request
+// middleware (request IDs, per-request spans, access log).
+func (sv *Server) Handler() http.Handler { return sv.withObs(sv.mux) }
 
 // Close drains the scheduler: queued and in-flight synthesis jobs finish
 // (completing their flights) before Close returns.
@@ -529,6 +561,7 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bk := def.backend(e.Target, e.Lib)
+	bk.Obs = sv.obsv
 	if selector == "optimal" {
 		bk = isel.OptimalVariant(bk, cfg.CostModel)
 	}
@@ -576,6 +609,8 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	lineages, shards := sv.shards.Counts()
 	writeJSON(w, http.StatusOK, MetricsSnapshot{
+		UptimeSec:      time.Since(sv.start).Seconds(),
+		Build:          sv.build,
 		CacheHits:      sv.metrics.CacheHits.Load(),
 		DiskHits:       sv.metrics.DiskHits.Load(),
 		Joins:          sv.metrics.Joins.Load(),

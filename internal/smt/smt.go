@@ -18,8 +18,10 @@ package smt
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"iselgen/internal/bitblast"
+	"iselgen/internal/obs"
 	"iselgen/internal/sat"
 	"iselgen/internal/term"
 )
@@ -46,13 +48,20 @@ func (r Result) String() string {
 	}
 }
 
-// Stats accumulates query statistics across a Checker's lifetime.
+// Stats accumulates query statistics across a Checker's lifetime,
+// including the SAT-core work counters (decisions, propagations,
+// conflicts, restarts) summed over every query the checker ran.
 type Stats struct {
 	Queries   int64
 	Proved    int64
 	Refuted   int64
 	TimedOut  int64
 	Conflicts int64
+
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	SolveTime    time.Duration
 }
 
 // Checker decides term equivalence. The zero value uses a default budget.
@@ -61,6 +70,11 @@ type Checker struct {
 	// (200000 conflicts, roughly the work Z3 does in the paper's 500 ms).
 	MaxConflicts int64
 	Stats        Stats
+	// Obs, when set, receives per-query provenance events (result,
+	// duration, SAT work counters) and latency histogram observations.
+	// Context labels the events with the caller's purpose.
+	Obs     *obs.Obs
+	Context string
 }
 
 // defaultMaxConflicts bounds one query at roughly the work a tuned SMT
@@ -157,19 +171,43 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 	}
 	s.AddClause(diffs...)
 	before := s.Conflicts
+	t0 := time.Now()
 	st := s.Solve()
+	dur := time.Since(t0)
 	c.Stats.Conflicts += s.Conflicts - before
+	c.Stats.Decisions += s.Decisions
+	c.Stats.Propagations += s.Propagations
+	c.Stats.Restarts += s.Restarts
+	c.Stats.SolveTime += dur
+
+	var res Result
 	switch st {
 	case sat.Unsat:
 		c.Stats.Proved++
-		return Equal
+		res = Equal
 	case sat.Sat:
 		c.Stats.Refuted++
-		return NotEqual
+		res = NotEqual
 	default:
 		c.Stats.TimedOut++
-		return Unknown
+		res = Unknown
 	}
+	if c.Obs != nil {
+		c.Obs.Prov.AddSMT(obs.SMTQuery{
+			Context:      c.Context,
+			Result:       res.String(),
+			DurNS:        dur.Nanoseconds(),
+			Decisions:    s.Decisions,
+			Conflicts:    s.Conflicts - before,
+			Propagations: s.Propagations,
+			Restarts:     s.Restarts,
+		})
+		if m := c.Obs.Metrics; m != nil {
+			m.Histogram("smt_query_duration_ns",
+				"per-SMT-query solve latency", "result", res.String()).Observe(dur.Nanoseconds())
+		}
+	}
+	return res
 }
 
 func (c *Checker) unsupported(err error) Result {

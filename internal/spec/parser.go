@@ -4,12 +4,19 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"iselgen/internal/obs"
 )
 
-// Parse parses a specification source file.
+// Parse parses a specification source file. Parsing is traced through
+// the process-wide default tracer (obs.SetDefault) because Parse's API
+// carries no configuration.
 func Parse(src string) (*File, error) {
+	sp := obs.DefaultTracer().Start("spec/parse").SetInt("bytes", int64(len(src)))
+	defer sp.End()
 	toks, err := lex(src)
 	if err != nil {
+		sp.SetStr("error", "lex")
 		return nil, err
 	}
 	p := &parser{toks: toks}
@@ -17,10 +24,12 @@ func Parse(src string) (*File, error) {
 	for !p.at(tEOF) {
 		inst, err := p.parseInst()
 		if err != nil {
+			sp.SetStr("error", "parse")
 			return nil, err
 		}
 		f.Insts = append(f.Insts, inst)
 	}
+	sp.SetInt("instructions", int64(len(f.Insts)))
 	return f, nil
 }
 
