@@ -22,11 +22,17 @@
 //	-obsjson         observability-overhead baseline (BENCH_obs.json):
 //	                 synthesis with observability off vs on, plus the
 //	                 estimated disabled-path overhead, guarded under 2%
+//	-encjson         machine-encoding baseline (BENCH_enc.json): per target,
+//	                 the workload suite is selected and assembled to bytes,
+//	                 every instruction is round-trip-verified (decode +
+//	                 re-encode byte identity), and encode/decode throughput
+//	                 is measured in MB/s
 //
 // Usage: iselbench -target aarch64|riscv [-scale N] [-workers N] [-json] [...]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,7 +42,9 @@ import (
 
 	"math"
 
+	"iselgen/internal/bench"
 	"iselgen/internal/core"
+	"iselgen/internal/enc"
 	"iselgen/internal/fuzz"
 	"iselgen/internal/harness"
 	"iselgen/internal/incr"
@@ -58,6 +66,7 @@ func main() {
 	corpus := flag.String("corpus", "internal/fuzz/testdata/corpus", "fuzz corpus swept by -costjson")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	obsJSON := flag.Bool("obsjson", false, "emit the observability-overhead baseline JSON (BENCH_obs.json) and enforce the disabled-overhead guard")
+	encJSON := flag.Bool("encjson", false, "emit the machine-encoding baseline JSON (BENCH_enc.json): round-trip counts and encode/decode throughput")
 	flag.Parse()
 
 	if *synthJSON {
@@ -70,6 +79,10 @@ func main() {
 	}
 	if *obsJSON {
 		emitObsJSON(*workers)
+		return
+	}
+	if *encJSON {
+		emitEncJSON()
 		return
 	}
 
@@ -571,6 +584,136 @@ func emitObsJSON(workers int) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+}
+
+// encReport is one target of the -encjson output (BENCH_enc.json): the
+// workload suite assembled to machine bytes, with every instruction
+// round-trip-verified, and the raw encoder/decoder throughput.
+type encReport struct {
+	Target     string  `json:"target"`
+	Workloads  int     `json:"workloads"`
+	Insts      int     `json:"insts"`
+	CodeBytes  int     `json:"code_bytes"`
+	RoundTrips int     `json:"round_trips"`
+	EncodeMBps float64 `json:"encode_mbps"`
+	DecodeMBps float64 `json:"decode_mbps"`
+}
+
+// emitEncJSON selects and assembles the full workload suite for both
+// selection targets, demands a byte-identical decode/re-encode round
+// trip for every emitted instruction (any divergence exits nonzero),
+// and then measures raw encode and decode throughput over the
+// assembled images. The output is the BENCH_enc.json baseline.
+func emitEncJSON() {
+	load := func(name string) *harness.Setup {
+		var s *harness.Setup
+		var err error
+		if name == "aarch64" {
+			s, err = harness.NewAArch64()
+		} else {
+			s, err = harness.NewRISCV()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		return s
+	}
+	var out []encReport
+	for _, name := range []string{"aarch64", "riscv"} {
+		s := load(name)
+		c, err := enc.NewCodec(s.ISA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		a := enc.NewAssembler(c)
+		rep := encReport{Target: name}
+		var imgs []*enc.Image
+		for _, w := range bench.Suite(1) {
+			f := w.Build()
+			isel.Prepare(f, s.Name)
+			mf, r := s.Handwritten.Select(f)
+			if r.Fallback {
+				fmt.Fprintf(os.Stderr, "iselbench: %s: %s: selection fell back (%s), excluded from the encoding baseline\n",
+					name, w.Name, r.FallbackReason)
+				continue
+			}
+			img, aerr := a.Assemble(mf)
+			if aerr != nil {
+				fmt.Fprintf(os.Stderr, "iselbench: %s: %s: assemble: %v\n", name, w.Name, aerr)
+				os.Exit(1)
+			}
+			imgs = append(imgs, img)
+			rep.Workloads++
+			rep.Insts += len(img.Units)
+			rep.CodeBytes += len(img.Code)
+		}
+
+		// Round-trip verification: decode each image and demand byte
+		// identity against what was assembled, instruction by instruction.
+		for _, img := range imgs {
+			listing := c.Disassemble(img.Code, img.Base)
+			if len(listing) != len(img.Units) {
+				fmt.Fprintf(os.Stderr, "iselbench: %s: %d units decoded as %d lines\n", name, len(img.Units), len(listing))
+				os.Exit(1)
+			}
+			for i, ln := range listing {
+				u := img.Units[i]
+				re, rerr := ln.Inst.Encode(ln.Ops)
+				if rerr != nil || ln.Inst != u.IC || !bytes.Equal(re, u.Bytes) {
+					fmt.Fprintf(os.Stderr, "iselbench: %s: unit %d (%s) does not round-trip\n", name, i, u.IC.Inst.Name)
+					os.Exit(1)
+				}
+				rep.RoundTrips++
+			}
+		}
+
+		// Encoder throughput: re-encode every assembled unit from its
+		// operands, repeatedly, for a fixed wall-time budget.
+		const budget = 300 * time.Millisecond
+		encoded := 0
+		t0 := time.Now()
+		for time.Since(t0) < budget {
+			for _, img := range imgs {
+				for i := range img.Units {
+					b, eerr := img.Units[i].IC.Encode(img.Units[i].Ops)
+					if eerr != nil {
+						fmt.Fprintln(os.Stderr, "iselbench:", eerr)
+						os.Exit(1)
+					}
+					encoded += len(b)
+				}
+			}
+		}
+		rep.EncodeMBps = float64(encoded) / 1e6 / time.Since(t0).Seconds()
+
+		// Decoder throughput: walk the images through the decode trie
+		// (field extraction included, text formatting not).
+		decoded := 0
+		t1 := time.Now()
+		for time.Since(t1) < budget {
+			for _, img := range imgs {
+				for off := 0; off < len(img.Code); {
+					_, _, size, derr := c.DecodeAt(img.Code, off)
+					if derr != nil {
+						fmt.Fprintln(os.Stderr, "iselbench:", derr)
+						os.Exit(1)
+					}
+					off += size
+				}
+				decoded += len(img.Code)
+			}
+		}
+		rep.DecodeMBps = float64(decoded) / 1e6 / time.Since(t1).Seconds()
+		out = append(out, rep)
+	}
+	je := json.NewEncoder(os.Stdout)
+	je.SetIndent("", "  ")
+	if err := je.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}

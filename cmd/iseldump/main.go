@@ -8,8 +8,15 @@
 //	iseldump -target aarch64 -canon ADDXrs_lsl     # canonical form
 //	iseldump -target riscv -corpus 30              # top corpus patterns
 //	iseldump -target aarch64 -mir x264_sad         # selected machine code
+//	iseldump -target riscv -mir x264_sad -disasm   # ... plus encoded bytes
 //	iseldump -target riscv -provenance             # per-rule provenance
 //	iseldump -target aarch64 -rules                # per-rule cost table
+//
+// -disasm assembles the selected function with the spec-derived encoder
+// and prints, per emitted instruction, its address, machine bytes, and
+// the decoded mnemonic as the disassembler reads it back — so what the
+// selector emitted and what the bytes say can be eyeballed side by
+// side.
 //
 // -provenance synthesizes the target's library and prints one line per
 // rule — pattern key, proof origin, and each supporting instruction with
@@ -31,6 +38,7 @@ import (
 	"iselgen/internal/bench"
 	"iselgen/internal/canon"
 	"iselgen/internal/core"
+	"iselgen/internal/enc"
 	"iselgen/internal/harness"
 	"iselgen/internal/isa"
 	"iselgen/internal/isel"
@@ -44,6 +52,7 @@ func main() {
 	mirOf := flag.String("mir", "", "print the handwritten backend's machine code for a workload")
 	provenance := flag.Bool("provenance", false, "synthesize and print each rule's provenance (stable order)")
 	rulesDump := flag.Bool("rules", false, "synthesize and print each rule's legacy + model cost (stable order)")
+	disasm := flag.Bool("disasm", false, "with -mir: assemble the selection and print bytes + decoded mnemonics")
 	patterns := flag.Int("patterns", 0, "limit corpus patterns for -provenance (0 = all)")
 	flag.Parse()
 
@@ -141,6 +150,20 @@ func main() {
 				fatal(fmt.Errorf("fallback: %s", rep.FallbackReason))
 			}
 			fmt.Print(mf)
+			if *disasm {
+				c, cerr := enc.NewCodec(s.ISA)
+				if cerr != nil {
+					fatal(cerr)
+				}
+				img, aerr := enc.NewAssembler(c).Assemble(mf)
+				if aerr != nil {
+					fatal(aerr)
+				}
+				fmt.Printf("\n; %d bytes at %#x\n", len(img.Code), img.Base)
+				for _, ln := range c.Disassemble(img.Code, img.Base) {
+					fmt.Printf("%#8x:  %-12s %s\n", ln.Addr, enc.HexBytes(ln.Bytes), ln.Text)
+				}
+			}
 			return
 		}
 		fatal(fmt.Errorf("unknown workload %q", *mirOf))

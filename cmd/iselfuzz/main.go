@@ -26,7 +26,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "root random seed; every iteration derives from it deterministically")
 		n         = flag.Int("n", 500, "iterations per oracle")
 		target    = flag.String("target", "aarch64", "select-diff/selector-diff target: aarch64 or riscv")
-		oracle    = flag.String("oracle", "select-diff", "oracle to run: select-diff, selector-diff, spec, smt, or all")
+		oracle    = flag.String("oracle", "select-diff", "oracle to run: select-diff, selector-diff, encode, spec, smt, or all")
 		budget    = flag.Duration("budget", 0, "wall-clock budget (0 = unlimited)")
 		corpus    = flag.String("corpus", "", "directory for shrunk reproducers (also replayed by go test)")
 		synth     = flag.Bool("synth", true, "select against a freshly synthesized library (handwritten fallback)")

@@ -28,37 +28,37 @@ import (
 // shift-or, compare-into-register, and auto-scaling loads. Nobody ever
 // wrote an instruction selector for it — the synthesizer will.
 const zetaSpec = `
-inst zadd(a: reg64, b: reg64)    { rd = a + b; }
-inst zaddk(a: reg64, k: imm16)   { rd = a + zext(k, 64); }
-inst zrsub(a: reg64, b: reg64)   { rd = b - a; }
-inst zmul(a: reg64, b: reg64)    { rd = a * b; }
-inst zand(a: reg64, b: reg64)    { rd = a & b; }
-inst zandk(a: reg64, k: imm16)   { rd = a & zext(k, 64); }
-inst zor(a: reg64, b: reg64)     { rd = a | b; }
-inst zxor(a: reg64, b: reg64)    { rd = a ^ b; }
-inst zshl(a: reg64, s: imm6)     { rd = a << zext(s, 64); }
-inst zshr(a: reg64, s: imm6)     { rd = a >> zext(s, 64); }
-inst zsar(a: reg64, s: imm6)     { rd = ashr(a, zext(s, 64)); }
-inst zshlv(a: reg64, b: reg64)   { rd = a << (b % 64:64); }
-inst zshrv(a: reg64, b: reg64)   { rd = a >> (b % 64:64); }
-inst zsarv(a: reg64, b: reg64)   { rd = ashr(a, b % 64:64); }
-inst zshor(a: reg64, b: reg64, s: imm6) { rd = a | (b << zext(s, 64)); }
-inst zshadd(a: reg64, b: reg64, s: imm6) { rd = a + (b << zext(s, 64)); }
-inst zsetlt(a: reg64, b: reg64)  { rd = zext(slt(a, b), 64); }
-inst zsetltu(a: reg64, b: reg64) { rd = zext(ult(a, b), 64); }
-inst zsetnz(a: reg64)            { rd = zext(a != 0, 64); }
-inst zsetz(a: reg64)             { rd = zext(a == 0, 64); }
-inst zdiv(a: reg64, b: reg64)    { rd = udiv(a, b); }
-inst zdivs(a: reg64, b: reg64)   { rd = sdiv(a, b); }
-inst zld(a: reg64, k: imm12)     { rd = load(a + zext(k, 64), 64); }
-inst zld1(a: reg64, k: imm12)    { rd = zext(load(a + zext(k, 64), 8), 64); }
-inst zld1s(a: reg64, k: imm12)   { rd = sext(load(a + zext(k, 64), 8), 64); }
-inst zldx(a: reg64, b: reg64)    { rd = load(a + b, 64); }
-inst zst(v: reg64, a: reg64, k: imm12)  { mem[a + zext(k, 64), 64] = v; }
-inst zst1(v: reg64, a: reg64, k: imm12) { mem[a + zext(k, 64), 8] = trunc(v, 8); }
-inst zjmp(off: imm20)            { pc = pc + sext(off, 64); }
-inst zbnz(c: reg64, off: imm16)  { if (c != 0) { pc = pc + sext(off, 64); } }
-inst zbz(c: reg64, off: imm16)   { if (c == 0) { pc = pc + sext(off, 64); } }
+inst zadd(a: reg64, b: reg64)    { rd = a + b; } enc(32) { [5:0]=0x01; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zaddk(a: reg64, k: imm16)   { rd = a + zext(k, 64); } enc(32) { [5:0]=0x02; [10:6]=rd; [15:11]=a; [31:16]=k; }
+inst zrsub(a: reg64, b: reg64)   { rd = b - a; } enc(32) { [5:0]=0x03; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zmul(a: reg64, b: reg64)    { rd = a * b; } enc(32) { [5:0]=0x04; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zand(a: reg64, b: reg64)    { rd = a & b; } enc(32) { [5:0]=0x05; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zandk(a: reg64, k: imm16)   { rd = a & zext(k, 64); } enc(32) { [5:0]=0x06; [10:6]=rd; [15:11]=a; [31:16]=k; }
+inst zor(a: reg64, b: reg64)     { rd = a | b; } enc(32) { [5:0]=0x07; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zxor(a: reg64, b: reg64)    { rd = a ^ b; } enc(32) { [5:0]=0x08; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zshl(a: reg64, s: imm6)     { rd = a << zext(s, 64); } enc(32) { [5:0]=0x09; [10:6]=rd; [15:11]=a; [21:16]=s; [31:22]=0; }
+inst zshr(a: reg64, s: imm6)     { rd = a >> zext(s, 64); } enc(32) { [5:0]=0x0a; [10:6]=rd; [15:11]=a; [21:16]=s; [31:22]=0; }
+inst zsar(a: reg64, s: imm6)     { rd = ashr(a, zext(s, 64)); } enc(32) { [5:0]=0x0b; [10:6]=rd; [15:11]=a; [21:16]=s; [31:22]=0; }
+inst zshlv(a: reg64, b: reg64)   { rd = a << (b % 64:64); } enc(32) { [5:0]=0x0c; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zshrv(a: reg64, b: reg64)   { rd = a >> (b % 64:64); } enc(32) { [5:0]=0x0d; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zsarv(a: reg64, b: reg64)   { rd = ashr(a, b % 64:64); } enc(32) { [5:0]=0x0e; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zshor(a: reg64, b: reg64, s: imm6) { rd = a | (b << zext(s, 64)); } enc(32) { [5:0]=0x0f; [10:6]=rd; [15:11]=a; [20:16]=b; [26:21]=s; [31:27]=0; }
+inst zshadd(a: reg64, b: reg64, s: imm6) { rd = a + (b << zext(s, 64)); } enc(32) { [5:0]=0x10; [10:6]=rd; [15:11]=a; [20:16]=b; [26:21]=s; [31:27]=0; }
+inst zsetlt(a: reg64, b: reg64)  { rd = zext(slt(a, b), 64); } enc(32) { [5:0]=0x11; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zsetltu(a: reg64, b: reg64) { rd = zext(ult(a, b), 64); } enc(32) { [5:0]=0x12; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zsetnz(a: reg64)            { rd = zext(a != 0, 64); } enc(32) { [5:0]=0x13; [10:6]=rd; [15:11]=a; [31:16]=0; }
+inst zsetz(a: reg64)             { rd = zext(a == 0, 64); } enc(32) { [5:0]=0x14; [10:6]=rd; [15:11]=a; [31:16]=0; }
+inst zdiv(a: reg64, b: reg64)    { rd = udiv(a, b); } enc(32) { [5:0]=0x15; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zdivs(a: reg64, b: reg64)   { rd = sdiv(a, b); } enc(32) { [5:0]=0x16; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zld(a: reg64, k: imm12)     { rd = load(a + zext(k, 64), 64); } enc(32) { [5:0]=0x17; [10:6]=rd; [15:11]=a; [27:16]=k; [31:28]=0; }
+inst zld1(a: reg64, k: imm12)    { rd = zext(load(a + zext(k, 64), 8), 64); } enc(32) { [5:0]=0x18; [10:6]=rd; [15:11]=a; [27:16]=k; [31:28]=0; }
+inst zld1s(a: reg64, k: imm12)   { rd = sext(load(a + zext(k, 64), 8), 64); } enc(32) { [5:0]=0x19; [10:6]=rd; [15:11]=a; [27:16]=k; [31:28]=0; }
+inst zldx(a: reg64, b: reg64)    { rd = load(a + b, 64); } enc(32) { [5:0]=0x1a; [10:6]=rd; [15:11]=a; [20:16]=b; [31:21]=0; }
+inst zst(v: reg64, a: reg64, k: imm12)  { mem[a + zext(k, 64), 64] = v; } enc(32) { [5:0]=0x1b; [10:6]=v; [15:11]=a; [27:16]=k; [31:28]=0; }
+inst zst1(v: reg64, a: reg64, k: imm12) { mem[a + zext(k, 64), 8] = trunc(v, 8); } enc(32) { [5:0]=0x1c; [10:6]=v; [15:11]=a; [27:16]=k; [31:28]=0; }
+inst zjmp(off: imm20)            { pc = pc + sext(off, 64); } enc(32) { [5:0]=0x1d; [25:6]=off; [31:26]=0; }
+inst zbnz(c: reg64, off: imm16)  { if (c != 0) { pc = pc + sext(off, 64); } } enc(32) { [5:0]=0x1e; [10:6]=c; [26:11]=off; [31:27]=0; }
+inst zbz(c: reg64, off: imm16)   { if (c == 0) { pc = pc + sext(off, 64); } } enc(32) { [5:0]=0x1f; [10:6]=c; [26:11]=off; [31:27]=0; }
 `
 
 func main() {

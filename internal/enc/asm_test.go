@@ -1,0 +1,310 @@
+package enc_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/enc"
+	"iselgen/internal/gmir"
+	"iselgen/internal/isa"
+	"iselgen/internal/isa/riscv"
+	"iselgen/internal/mir"
+	"iselgen/internal/sim"
+	"iselgen/internal/term"
+)
+
+func riscvAsm(t *testing.T) (*isa.Target, *enc.Codec, *enc.Assembler) {
+	t.Helper()
+	tgt, err := riscv.Load(term.NewBuilder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := enc.NewCodec(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt, c, enc.NewAssembler(c)
+}
+
+// runBoth executes a MIR function on the MIR simulator and, assembled,
+// on the machine-code emulator, and requires identical results.
+func runBoth(t *testing.T, tgt *isa.Target, c *enc.Codec, a *enc.Assembler, f *mir.Func, args []bv.BV) bv.BV {
+	t.Helper()
+	img, err := a.Assemble(f)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := &sim.Machine{Mem: gmir.NewMemory()}
+	sres, err := m.Run(f, args)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	e := &enc.Emulator{Codec: c, Mem: gmir.NewMemory()}
+	eres, err := e.Run(img, args)
+	if err != nil {
+		t.Fatalf("emu: %v", err)
+	}
+	if sres.HasRet != eres.HasRet {
+		t.Fatalf("HasRet: sim %v, emu %v", sres.HasRet, eres.HasRet)
+	}
+	if sim.Adjust(sres.Ret, 64) != sim.Adjust(eres.Ret, 64) {
+		t.Fatalf("ret: sim %s, emu %s", sres.Ret, eres.Ret)
+	}
+	return eres.Ret
+}
+
+func TestAssembleStraightLine(t *testing.T) {
+	tgt, c, a := riscvAsm(t)
+	add := tgt.ByName("ADD")
+	f := &mir.Func{
+		Name: "sum", Params: []mir.Reg{0, 1}, NumRegs: 3,
+		Blocks: []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+			{Meta: add, Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(0), mir.R(1)}},
+			{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(2)}},
+		}}},
+	}
+	got := runBoth(t, tgt, c, a, f, []bv.BV{bv.New(64, 40), bv.New(64, 2)})
+	if got.Uint64() != 42 {
+		t.Fatalf("ret = %s", got)
+	}
+	// The image ends in a move to the return register and no jump (the
+	// return already falls off the end).
+	img, _ := a.Assemble(f)
+	if n := len(img.Units); n != 2 {
+		t.Fatalf("unit count = %d", n)
+	}
+	listing := c.Disassemble(img.Code, img.Base)
+	if len(listing) != 2 || listing[0].Name != "ADD" || listing[1].Name != "MV" {
+		t.Fatalf("listing: %+v", listing)
+	}
+}
+
+func TestAssembleLoop(t *testing.T) {
+	tgt, c, a := riscvAsm(t)
+	mvzero, add, addi, bne := tgt.ByName("MVZERO"), tgt.ByName("ADD"), tgt.ByName("ADDI"), tgt.ByName("BNE")
+	// r0 = n, r1 = step; r2 accumulates step n times.
+	f := &mir.Func{
+		Name: "mulloop", Params: []mir.Reg{0, 1}, NumRegs: 4,
+		Blocks: []*mir.Block{
+			{ID: 0, Insts: []*mir.Inst{
+				{Meta: mvzero, Dsts: []mir.Reg{2}},
+				{Meta: mvzero, Dsts: []mir.Reg{3}},
+			}},
+			{ID: 1, Insts: []*mir.Inst{
+				{Meta: add, Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(2), mir.R(1)}},
+				{Meta: addi, Dsts: []mir.Reg{0}, Args: []mir.Operand{mir.R(0), mir.I(bv.NewInt(12, -1))}},
+				{Meta: bne, Args: []mir.Operand{mir.R(0), mir.R(3), mir.I(bv.Zero(12))}, Succs: []int{1}},
+			}},
+			{ID: 2, Insts: []*mir.Inst{
+				{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(2)}},
+			}},
+		},
+	}
+	got := runBoth(t, tgt, c, a, f, []bv.BV{bv.New(64, 5), bv.New(64, 7)})
+	if got.Uint64() != 35 {
+		t.Fatalf("5*7 = %s", got)
+	}
+	// The backward branch must have solved to a negative displacement.
+	img, _ := a.Assemble(f)
+	var bneOps enc.Operands
+	found := false
+	for _, u := range img.Units {
+		if u.IC.Inst.Name == "BNE" {
+			bneOps, found = u.Ops, true
+		}
+	}
+	if !found || bneOps.Imms["imm"].Int64() >= 0 {
+		t.Fatalf("BNE displacement: %+v (found=%v)", bneOps.Imms, found)
+	}
+}
+
+func TestAssembleMidFunctionRet(t *testing.T) {
+	tgt, c, a := riscvAsm(t)
+	beq := tgt.ByName("BEQ")
+	f := &mir.Func{
+		Name: "pick", Params: []mir.Reg{0, 1}, NumRegs: 2,
+		Blocks: []*mir.Block{
+			{ID: 0, Insts: []*mir.Inst{
+				{Meta: beq, Args: []mir.Operand{mir.R(0), mir.R(1), mir.I(bv.Zero(12))}, Succs: []int{2}},
+			}},
+			{ID: 1, Insts: []*mir.Inst{
+				{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(0)}},
+			}},
+			{ID: 2, Insts: []*mir.Inst{
+				{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(1)}},
+			}},
+		},
+	}
+	if got := runBoth(t, tgt, c, a, f, []bv.BV{bv.New(64, 9), bv.New(64, 4)}); got.Uint64() != 9 {
+		t.Fatalf("unequal args: ret %s", got)
+	}
+	if got := runBoth(t, tgt, c, a, f, []bv.BV{bv.New(64, 4), bv.New(64, 4)}); got.Uint64() != 4 {
+		t.Fatalf("equal args: ret %s", got)
+	}
+	// The mid-function return must expand to MV + J; the final one to MV.
+	img, _ := a.Assemble(f)
+	names := []string{}
+	for _, u := range img.Units {
+		names = append(names, u.IC.Inst.Name)
+	}
+	if strings.Join(names, " ") != "BEQ MV J MV" {
+		t.Fatalf("units: %v", names)
+	}
+}
+
+func TestAssembleCopyAndMemory(t *testing.T) {
+	tgt, c, a := riscvAsm(t)
+	sd, ld, addi := tgt.ByName("SD"), tgt.ByName("LD"), tgt.ByName("ADDI")
+	// Store r1 at [r0+8], reload it, add 1, return.
+	f := &mir.Func{
+		Name: "spill", Params: []mir.Reg{0, 1}, NumRegs: 3,
+		Blocks: []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+			{Pseudo: mir.PCopy, Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(1)}},
+			{Meta: sd, Args: []mir.Operand{mir.R(2), mir.R(0), mir.I(bv.New(12, 8))}},
+			{Meta: ld, Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(0), mir.I(bv.New(12, 8))}},
+			{Meta: addi, Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(2), mir.I(bv.New(12, 1))}},
+			{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(2)}},
+		}}},
+	}
+	args := []bv.BV{bv.New(64, 0x1000), bv.New(64, 77)}
+	if got := runBoth(t, tgt, c, a, f, args); got.Uint64() != 78 {
+		t.Fatalf("ret = %s", got)
+	}
+	// Final memory must match between simulator and emulator too.
+	img, _ := a.Assemble(f)
+	simMem, emuMem := gmir.NewMemory(), gmir.NewMemory()
+	if _, err := (&sim.Machine{Mem: simMem}).Run(f, args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&enc.Emulator{Codec: c, Mem: emuMem}).Run(img, args); err != nil {
+		t.Fatal(err)
+	}
+	sSnap, eSnap := simMem.Snapshot(), emuMem.Snapshot()
+	if len(sSnap) == 0 || len(sSnap) != len(eSnap) {
+		t.Fatalf("memory snapshots differ: %d vs %d bytes", len(sSnap), len(eSnap))
+	}
+	for k, v := range sSnap {
+		if eSnap[k] != v {
+			t.Fatalf("memory[%#x]: sim %#x, emu %#x", k, v, eSnap[k])
+		}
+	}
+}
+
+func TestAssembleRejects(t *testing.T) {
+	tgt, _, a := riscvAsm(t)
+	// Many dead virtual registers compact through the renaming allocator
+	// rather than being rejected: only r39 is live, so 40 names fit 32
+	// registers easily.
+	f := &mir.Func{Name: "big", NumRegs: 40, Blocks: []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+		{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(39)}},
+	}}}}
+	if _, err := a.Assemble(f); err != nil {
+		t.Fatalf("40 sparse registers should compact: %v", err)
+	}
+	// Genuine pressure — 40 simultaneously-live values — cannot fit a
+	// 5-bit register field and must be rejected (no spilling).
+	mvzero, add := tgt.ByName("MVZERO"), tgt.ByName("ADD")
+	var insts []*mir.Inst
+	for r := 0; r < 40; r++ {
+		insts = append(insts, &mir.Inst{Meta: mvzero, Dsts: []mir.Reg{mir.Reg(r)}})
+	}
+	acc := mir.Reg(40)
+	insts = append(insts, &mir.Inst{Meta: mvzero, Dsts: []mir.Reg{acc}})
+	for r := 0; r < 40; r++ {
+		insts = append(insts, &mir.Inst{Meta: add, Dsts: []mir.Reg{acc}, Args: []mir.Operand{mir.R(acc), mir.R(mir.Reg(r))}})
+	}
+	insts = append(insts, &mir.Inst{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(acc)}})
+	f3 := &mir.Func{Name: "pressure", NumRegs: 41, Blocks: []*mir.Block{{ID: 0, Insts: insts}}}
+	if _, err := a.Assemble(f3); err == nil {
+		t.Fatal("41 simultaneously-live registers assembled for a 5-bit register field")
+	}
+	// PC-reading semantics outside the PC effect (AUIPC) are rejected.
+	auipc := tgt.ByName("AUIPC")
+	f2 := &mir.Func{Name: "pcread", NumRegs: 1, Blocks: []*mir.Block{{ID: 0, Insts: []*mir.Inst{
+		{Meta: auipc, Dsts: []mir.Reg{0}, Args: []mir.Operand{mir.I(bv.New(20, 1))}},
+		{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(0)}},
+	}}}}
+	if _, err := a.Assemble(f2); err == nil {
+		t.Fatal("AUIPC assembled despite reading the nominal PC")
+	}
+}
+
+// TestAllocateRegsChain: a function naming 65 virtual registers in a
+// dependency chain compacts through the renaming allocator into the
+// 32-register file and still matches the MIR simulator, which runs the
+// original (unrenamed) function.
+func TestAllocateRegsChain(t *testing.T) {
+	tgt, c, a := riscvAsm(t)
+	addi := tgt.ByName("ADDI")
+	insts := []*mir.Inst{}
+	for r := 1; r <= 64; r++ {
+		insts = append(insts, &mir.Inst{
+			Meta: addi, Dsts: []mir.Reg{mir.Reg(r)},
+			Args: []mir.Operand{mir.R(mir.Reg(r - 1)), mir.I(bv.New(12, 1))},
+		})
+	}
+	insts = append(insts, &mir.Inst{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(64)}})
+	f := &mir.Func{Name: "chain", Params: []mir.Reg{0}, NumRegs: 65,
+		Blocks: []*mir.Block{{ID: 0, Insts: insts}}}
+	if got := runBoth(t, tgt, c, a, f, []bv.BV{bv.New(64, 100)}); got.Uint64() != 164 {
+		t.Fatalf("chain(100) = %s", got)
+	}
+	img, err := a.Assemble(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range img.Units {
+		if u.Ops.Rd >= 32 {
+			t.Fatalf("allocated register %d escapes the 5-bit field", u.Ops.Rd)
+		}
+	}
+}
+
+// TestImageRoundTrip: the full select-side invariant, inst by inst —
+// disassembling an assembled image reproduces every unit byte for byte
+// and re-assembles identically through the textual assembler.
+func TestImageRoundTrip(t *testing.T) {
+	tgt, c, a := riscvAsm(t)
+	mvzero, add, addi, bne := tgt.ByName("MVZERO"), tgt.ByName("ADD"), tgt.ByName("ADDI"), tgt.ByName("BNE")
+	f := &mir.Func{
+		Name: "mulloop", Params: []mir.Reg{0, 1}, NumRegs: 4,
+		Blocks: []*mir.Block{
+			{ID: 0, Insts: []*mir.Inst{
+				{Meta: mvzero, Dsts: []mir.Reg{2}},
+				{Meta: mvzero, Dsts: []mir.Reg{3}},
+			}},
+			{ID: 1, Insts: []*mir.Inst{
+				{Meta: add, Dsts: []mir.Reg{2}, Args: []mir.Operand{mir.R(2), mir.R(1)}},
+				{Meta: addi, Dsts: []mir.Reg{0}, Args: []mir.Operand{mir.R(0), mir.I(bv.NewInt(12, -1))}},
+				{Meta: bne, Args: []mir.Operand{mir.R(0), mir.R(3), mir.I(bv.Zero(12))}, Succs: []int{1}},
+			}},
+			{ID: 2, Insts: []*mir.Inst{{Pseudo: mir.PRet, Args: []mir.Operand{mir.R(2)}}}},
+		},
+	}
+	img, err := a.Assemble(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := c.Disassemble(img.Code, img.Base)
+	if len(listing) != len(img.Units) {
+		t.Fatalf("listing has %d lines for %d units", len(listing), len(img.Units))
+	}
+	var asmSrc strings.Builder
+	for i, ln := range listing {
+		u := img.Units[i]
+		if ln.Inst != u.IC || !bytes.Equal(ln.Bytes, u.Bytes) {
+			t.Fatalf("unit %d: disassembled %s % x, assembled %s % x", i, ln.Name, ln.Bytes, u.IC.Inst.Name, u.Bytes)
+		}
+		asmSrc.WriteString(ln.Text + "\n")
+	}
+	// Textual round trip: the printed listing assembles to the same bytes.
+	img2, err := enc.ParseAsm(c, asmSrc.String(), img.Base)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, asmSrc.String())
+	}
+	if !bytes.Equal(img2.Code, img.Code) {
+		t.Fatalf("textual round trip changed bytes:\n%s\n%s", enc.HexBytes(img.Code), enc.HexBytes(img2.Code))
+	}
+}

@@ -1,0 +1,95 @@
+package enc
+
+import (
+	"fmt"
+	"strings"
+
+	"iselgen/internal/spec"
+)
+
+// Line is one disassembled unit: an instruction, a reserved pattern, or
+// an undecodable byte.
+type Line struct {
+	Addr  uint64
+	Bytes []byte
+	// Name is the instruction mnemonic, ".reserved" or ".byte".
+	Name string
+	Text string
+	Inst *InstCodec // nil for non-instruction lines
+	Ops  Operands
+}
+
+// Format renders one decoded instruction in canonical assembly form:
+// mnemonic, destination register(s) first, then the declared operands
+// in order — registers as rN, immediates as signed decimal when the
+// semantics consume them sign-extended and hex otherwise. The same form
+// is what the textual assembler parses back.
+func (c *Codec) Format(ic *InstCodec, ops Operands) string {
+	var parts []string
+	if ic.hasRd {
+		parts = append(parts, fmt.Sprintf("r%d", ops.Rd))
+	}
+	if ic.hasRd2 {
+		parts = append(parts, fmt.Sprintf("r%d", ops.Rd2))
+	}
+	for _, op := range ic.Inst.Operands {
+		switch {
+		case op.Kind != spec.OpImm:
+			parts = append(parts, fmt.Sprintf("r%d", ops.Regs[op.Name]))
+		case ic.Inst.SignedImms[op.Name]:
+			parts = append(parts, fmt.Sprintf("%d", ops.Imms[op.Name].Int64()))
+		default:
+			parts = append(parts, fmt.Sprintf("%#x", ops.Imms[op.Name].Uint64()))
+		}
+	}
+	if len(parts) == 0 {
+		return ic.Inst.Name
+	}
+	return ic.Inst.Name + " " + strings.Join(parts, ", ")
+}
+
+// Disassemble decodes a byte stream into lines. Undecodable bytes are
+// consumed one at a time as ".byte" (or ".reserved" when a reserved
+// pattern matches) so that disassembly always makes progress.
+func (c *Codec) Disassemble(code []byte, base uint64) []Line {
+	var out []Line
+	for off := 0; off < len(code); {
+		ic, ops, size, err := c.DecodeAt(code, off)
+		if err != nil {
+			name := ".byte"
+			if strings.Contains(err.Error(), ErrReserved.Error()) {
+				name = ".reserved"
+			}
+			out = append(out, Line{
+				Addr:  base + uint64(off),
+				Bytes: code[off : off+1],
+				Name:  name,
+				Text:  fmt.Sprintf("%s %#02x", name, code[off]),
+			})
+			off++
+			continue
+		}
+		out = append(out, Line{
+			Addr:  base + uint64(off),
+			Bytes: code[off : off+size],
+			Name:  ic.Inst.Name,
+			Text:  c.Format(ic, ops),
+			Inst:  ic,
+			Ops:   ops,
+		})
+		off += size
+	}
+	return out
+}
+
+// HexBytes renders bytes as space-separated hex pairs.
+func HexBytes(b []byte) string {
+	var sb strings.Builder
+	for i, by := range b {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%02x", by)
+	}
+	return sb.String()
+}

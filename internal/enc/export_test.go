@@ -1,0 +1,31 @@
+package enc
+
+// Test-only windows into unexported machinery: the trie-free reference
+// decoder and the full match set (for uniqueness sweeps).
+
+// DecodeLinear exposes the linear reference decoder.
+func (c *Codec) DecodeLinear(code []byte, off int) (*InstCodec, int) {
+	return c.decodeLinear(code, off)
+}
+
+// AllMatches returns every instruction whose fixed bits match a prefix
+// of code — more than one element means an ambiguous opcode space.
+func (c *Codec) AllMatches(code []byte) []*InstCodec {
+	var out []*InstCodec
+	for _, ic := range c.Insts {
+		if ic.Size <= len(code) && matches(wordPair(code[:ic.Size]), ic.Mask, ic.Val) {
+			out = append(out, ic)
+		}
+	}
+	return out
+}
+
+// MatchesReserved reports whether a reserved pattern matches a prefix.
+func (c *Codec) MatchesReserved(code []byte) bool {
+	for _, r := range c.resPats {
+		if r.size <= len(code) && matches(wordPair(code[:r.size]), r.mask, r.val) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+package enc
+
+import (
+	"fmt"
+
+	"iselgen/internal/mir"
+)
+
+// A renaming-only register allocator: the selection pipeline works on
+// unbounded virtual registers (its simulator has an unbounded file),
+// but machine encodings admit only 2^RegNumBits register numbers. Most
+// selected functions use far fewer registers *simultaneously* than they
+// name, so compacting names by liveness — classic graph coloring, no
+// spilling — lets the assembler encode them faithfully. Functions whose
+// true register pressure exceeds the file are rejected (the encode
+// oracle skips them); inventing spill slots would change the memory
+// trace the differential oracle compares.
+
+// AllocateRegs returns a copy of f with virtual registers renamed to at
+// most max distinct numbers, or an error when the function's live
+// pressure genuinely exceeds max.
+func AllocateRegs(f *mir.Func, max int) (*mir.Func, error) {
+	n := f.NumRegs
+	nb := len(f.Blocks)
+
+	uses := func(in *mir.Inst) []mir.Reg {
+		var out []mir.Reg
+		for _, a := range in.Args {
+			if !a.IsImm {
+				out = append(out, a.Reg)
+			}
+		}
+		return out
+	}
+
+	// Backward liveness to a fixpoint. Control flow is overapproximated:
+	// every block may fall through to the next in layout in addition to
+	// its branch targets — extra liveness only adds interference, never
+	// unsoundness.
+	layout := map[int]int{}
+	for i, b := range f.Blocks {
+		layout[b.ID] = i
+	}
+	succs := make([][]int, nb)
+	for i, b := range f.Blocks {
+		set := map[int]bool{}
+		ret := false
+		for _, in := range b.Insts {
+			if in.Pseudo == mir.PRet {
+				ret = true
+			}
+			for _, s := range in.Succs {
+				if si, ok := layout[s]; ok {
+					set[si] = true
+				}
+			}
+		}
+		if i+1 < nb && !ret {
+			set[i+1] = true
+		}
+		for si := range set {
+			succs[i] = append(succs[i], si)
+		}
+	}
+	liveIn := make([][]bool, nb)
+	liveOut := make([][]bool, nb)
+	for i := range liveIn {
+		liveIn[i] = make([]bool, n)
+		liveOut[i] = make([]bool, n)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			out := make([]bool, n)
+			for _, si := range succs[i] {
+				for r, v := range liveIn[si] {
+					if v {
+						out[r] = true
+					}
+				}
+			}
+			in := make([]bool, n)
+			copy(in, out)
+			for k := len(f.Blocks[i].Insts) - 1; k >= 0; k-- {
+				inst := f.Blocks[i].Insts[k]
+				for _, d := range inst.Dsts {
+					in[d] = false
+				}
+				for _, u := range uses(inst) {
+					in[u] = true
+				}
+			}
+			for r := 0; r < n; r++ {
+				if out[r] != liveOut[i][r] || in[r] != liveIn[i][r] {
+					changed = true
+				}
+			}
+			liveOut[i], liveIn[i] = out, in
+		}
+	}
+
+	// Interference: at each definition, the defined registers conflict
+	// with everything live after the instruction (and with each other);
+	// parameters conflict pairwise (they arrive simultaneously).
+	adj := make([]map[mir.Reg]bool, n)
+	interfere := func(a, b mir.Reg) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = map[mir.Reg]bool{}
+		}
+		if adj[b] == nil {
+			adj[b] = map[mir.Reg]bool{}
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	for i, p := range f.Params {
+		for _, q := range f.Params[i+1:] {
+			interfere(p, q)
+		}
+	}
+	for i, b := range f.Blocks {
+		live := make([]bool, n)
+		copy(live, liveOut[i])
+		for k := len(b.Insts) - 1; k >= 0; k-- {
+			inst := b.Insts[k]
+			for _, d := range inst.Dsts {
+				for r := 0; r < n; r++ {
+					if live[r] {
+						interfere(d, mir.Reg(r))
+					}
+				}
+			}
+			for di, d := range inst.Dsts {
+				for _, d2 := range inst.Dsts[di+1:] {
+					interfere(d, d2)
+				}
+				live[d] = false
+			}
+			for _, u := range uses(inst) {
+				live[u] = true
+			}
+		}
+	}
+
+	// Greedy coloring in register order (deterministic). Parameters are
+	// colored first so entry state stays compact.
+	color := make([]int, n)
+	for r := range color {
+		color[r] = -1
+	}
+	pick := func(r mir.Reg) error {
+		taken := make([]bool, max)
+		for nb := range adj[r] {
+			if c := color[nb]; c >= 0 && c < max {
+				taken[c] = true
+			}
+		}
+		for c := 0; c < max; c++ {
+			if !taken[c] {
+				color[r] = c
+				return nil
+			}
+		}
+		return fmt.Errorf("enc: %s: register pressure exceeds %d encodable registers", f.Name, max)
+	}
+	for _, p := range f.Params {
+		if color[p] < 0 {
+			if err := pick(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		if color[r] < 0 {
+			if err := pick(mir.Reg(r)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	maxColor := 0
+	for _, c := range color {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+
+	// Rewrite a copy of the function.
+	nf := &mir.Func{Name: f.Name, NumRegs: maxColor + 1}
+	for _, p := range f.Params {
+		nf.Params = append(nf.Params, mir.Reg(color[p]))
+	}
+	for _, b := range f.Blocks {
+		nb := &mir.Block{ID: b.ID}
+		for _, in := range b.Insts {
+			ni := &mir.Inst{Meta: in.Meta, Pseudo: in.Pseudo}
+			for _, d := range in.Dsts {
+				ni.Dsts = append(ni.Dsts, mir.Reg(color[d]))
+			}
+			for _, a := range in.Args {
+				if a.IsImm {
+					ni.Args = append(ni.Args, a)
+				} else {
+					ni.Args = append(ni.Args, mir.R(mir.Reg(color[a.Reg])))
+				}
+			}
+			ni.Succs = append(ni.Succs, in.Succs...)
+			nb.Insts = append(nb.Insts, ni)
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf, nil
+}

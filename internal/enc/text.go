@@ -1,0 +1,161 @@
+package enc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/spec"
+)
+
+// The textual assembler: parses the same canonical form the
+// disassembler prints (mnemonic, rd/rd2 first, then declared operands;
+// registers as rN, immediates as decimal or hex), plus labels. An
+// immediate operand written as an identifier is a label reference and
+// is solved into a PC-relative displacement through the instruction's
+// own PC effect — the assembler never hard-codes a branch format.
+//
+//	loop:
+//	  ADDI r1, r1, -1
+//	  BNE r1, r0, loop
+//	  MV r2, r1
+
+type asmLine struct {
+	num    int
+	ic     *InstCodec
+	fields []string
+	addr   uint64
+}
+
+// ParseAsm assembles a textual program at the given base address.
+func ParseAsm(c *Codec, src string, base uint64) (*Image, error) {
+	labels := map[string]uint64{}
+	var lines []asmLine
+	addr := base
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if j := strings.IndexAny(line, ";#"); j >= 0 {
+			line = line[:j]
+		}
+		if j := strings.Index(line, "//"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			j := strings.Index(line, ":")
+			label := strings.TrimSpace(line[:j])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("asm:%d: malformed label %q", i+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("asm:%d: duplicate label %q", i+1, label)
+			}
+			labels[label] = addr
+			line = strings.TrimSpace(line[j+1:])
+		}
+		if line == "" {
+			continue
+		}
+		name, rest, _ := strings.Cut(line, " ")
+		ic := c.ByName[name]
+		if ic == nil {
+			return nil, fmt.Errorf("asm:%d: unknown instruction %q", i+1, name)
+		}
+		var fields []string
+		if rest = strings.TrimSpace(rest); rest != "" {
+			for _, f := range strings.Split(rest, ",") {
+				fields = append(fields, strings.TrimSpace(f))
+			}
+		}
+		lines = append(lines, asmLine{num: i + 1, ic: ic, fields: fields, addr: addr})
+		addr += uint64(ic.Size)
+	}
+
+	img := &Image{Base: base, RetReg: -1, BlockAddrs: map[int]uint64{}}
+	for _, ln := range lines {
+		ops, err := parseOperands(ln, labels)
+		if err != nil {
+			return nil, err
+		}
+		bytes, err := ln.ic.Encode(ops)
+		if err != nil {
+			return nil, fmt.Errorf("asm:%d: %w", ln.num, err)
+		}
+		img.Units = append(img.Units, Unit{Addr: ln.addr, IC: ln.ic, Ops: ops, Bytes: bytes})
+		img.Code = append(img.Code, bytes...)
+	}
+	return img, nil
+}
+
+func parseOperands(ln asmLine, labels map[string]uint64) (Operands, error) {
+	ic := ln.ic
+	ops := Operands{Rd: -1, Rd2: -1, Regs: map[string]int{}, Imms: map[string]bv.BV{}}
+	want := 0
+	if ic.hasRd {
+		want++
+	}
+	if ic.hasRd2 {
+		want++
+	}
+	want += len(ic.Inst.Operands)
+	if len(ln.fields) != want {
+		return ops, fmt.Errorf("asm:%d: %s takes %d operands, got %d", ln.num, ic.Inst.Name, want, len(ln.fields))
+	}
+	fi := 0
+	next := func() string { f := ln.fields[fi]; fi++; return f }
+	parseReg := func(f string) (int, error) {
+		if !strings.HasPrefix(f, "r") {
+			return 0, fmt.Errorf("asm:%d: expected register, got %q", ln.num, f)
+		}
+		n, err := strconv.Atoi(f[1:])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("asm:%d: bad register %q", ln.num, f)
+		}
+		return n, nil
+	}
+	var err error
+	if ic.hasRd {
+		if ops.Rd, err = parseReg(next()); err != nil {
+			return ops, err
+		}
+	}
+	if ic.hasRd2 {
+		if ops.Rd2, err = parseReg(next()); err != nil {
+			return ops, err
+		}
+	}
+	for i := range ic.Inst.Operands {
+		op := &ic.Inst.Operands[i]
+		f := next()
+		if op.Kind != spec.OpImm {
+			n, rerr := parseReg(f)
+			if rerr != nil {
+				return ops, rerr
+			}
+			ops.Regs[op.Name] = n
+			continue
+		}
+		if target, ok := labels[f]; ok {
+			imm, derr := SolveDisp(ic, op, ln.addr, target)
+			if derr != nil {
+				return ops, fmt.Errorf("asm:%d: %w", ln.num, derr)
+			}
+			ops.Imms[op.Name] = imm
+			continue
+		}
+		v, perr := strconv.ParseInt(f, 0, 64)
+		if perr != nil {
+			if u, uerr := strconv.ParseUint(f, 0, 64); uerr == nil {
+				ops.Imms[op.Name] = bv.New(op.Width, u)
+				continue
+			}
+			return ops, fmt.Errorf("asm:%d: bad immediate or unknown label %q", ln.num, f)
+		}
+		ops.Imms[op.Name] = bv.NewInt(op.Width, v)
+	}
+	return ops, nil
+}

@@ -1,0 +1,59 @@
+package enc_test
+
+import (
+	"testing"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/enc"
+	"iselgen/internal/gmir"
+)
+
+// TestParseAsmLabels assembles a hand-written loop with labels and runs
+// it on the emulator: sum of 1..n via countdown.
+func TestParseAsmLabels(t *testing.T) {
+	_, c, _ := riscvAsm(t)
+	src := `
+; r0 = n on entry; returns n*(n+1)/2 in r1
+  MVZERO r1
+loop:
+  ADD r1, r1, r0        // acc += n
+  ADDI r0, r0, -1       # n--
+  BNE r0, r2, loop      ; r2 is never written: zero
+`
+	img, err := enc.ParseAsm(c, src, enc.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.ParamRegs = []int{0}
+	img.RetReg = 1
+	e := &enc.Emulator{Codec: c, Mem: gmir.NewMemory()}
+	res, err := e.Run(img, []bv.BV{bv.New(64, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret.Uint64() != 55 {
+		t.Fatalf("sum(1..10) = %s", res.Ret)
+	}
+	// The backward branch solved to a negative displacement.
+	last := img.Units[len(img.Units)-1]
+	if last.IC.Inst.Name != "BNE" || last.Ops.Imms["imm"].Int64() >= 0 {
+		t.Fatalf("BNE unit: %+v", last)
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	_, c, _ := riscvAsm(t)
+	cases := []struct{ name, src string }{
+		{"unknown inst", "FROB r1, r2"},
+		{"operand count", "ADD r1, r2"},
+		{"bad register", "ADD r1, r2, x3"},
+		{"unknown label", "J nowhere"},
+		{"duplicate label", "a:\na:\nMVZERO r1"},
+		{"register out of range", "ADD r1, r2, r40"},
+	}
+	for _, tc := range cases {
+		if _, err := enc.ParseAsm(c, tc.src, enc.Base); err == nil {
+			t.Errorf("%s: assembled %q", tc.name, tc.src)
+		}
+	}
+}

@@ -101,7 +101,7 @@ func NewPipeline(target string, synth bool) (*Pipeline, error) {
 // pipeline (with the synthesized backend as primary when synth is set —
 // the caller must have run Synthesize).
 func SetupPipeline(set *harness.Setup, synth bool) *Pipeline {
-	pl := &Pipeline{Name: set.Name, Primary: set.Handwritten}
+	pl := &Pipeline{Name: set.Name, Primary: set.Handwritten, ISA: set.ISA}
 	if set.Name == "riscv" {
 		// RV64 backends are 64-bit only (32-bit ops are the W forms the
 		// synthesizer discovers, not a legal scalar type of their own).
@@ -127,7 +127,7 @@ func Run(opts Options) (*Summary, error) {
 	}
 	oracles := []string{opts.Oracle}
 	if opts.Oracle == "" || opts.Oracle == "all" {
-		oracles = []string{"select-diff", "selector-diff", "spec", "smt"}
+		oracles = []string{"select-diff", "selector-diff", "encode", "spec", "smt"}
 	}
 	for _, oracle := range oracles {
 		var err error
@@ -136,6 +136,8 @@ func Run(opts Options) (*Summary, error) {
 			err = runSelectDiff(&opts, sum, over)
 		case "selector-diff":
 			err = runSelectorDiff(&opts, sum, over)
+		case "encode":
+			err = runEncode(&opts, sum, over)
 		case "spec":
 			err = runSpec(&opts, sum, over)
 		case "smt":
@@ -313,7 +315,7 @@ func firstLine(s string) string {
 // verdict, and a rejected spec mutant is the contract working).
 func ReplayRepro(r *Repro, pipelines map[string]*Pipeline) error {
 	switch r.Oracle {
-	case "select-diff", "selector-diff":
+	case "select-diff", "selector-diff", "encode":
 		p, err := ParseProg(r.Prog)
 		if err != nil {
 			return err
@@ -323,8 +325,11 @@ func ReplayRepro(r *Repro, pipelines map[string]*Pipeline) error {
 			return fmt.Errorf("fuzz: no pipeline for target %q", r.Target)
 		}
 		check := CheckProg
-		if r.Oracle == "selector-diff" {
+		switch r.Oracle {
+		case "selector-diff":
 			check = CheckSelectorDiff
+		case "encode":
+			check = CheckEncode
 		}
 		if cerr := check(pl, p, VectorsFor(r.Seed, p, 5)); IsFailure(cerr) {
 			return cerr

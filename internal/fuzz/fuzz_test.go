@@ -288,6 +288,29 @@ func TestSmokeOracles(t *testing.T) {
 	}
 }
 
+// TestEncodeSmoke runs the machine-encoding round-trip oracle on a
+// burst of generated programs per target: every program must select,
+// assemble, decode back byte-identically, and execute on the decoding
+// emulator exactly as on the MIR simulator. The renaming register
+// allocator means none of them should be skipped for pressure.
+func TestEncodeSmoke(t *testing.T) {
+	for _, tgt := range []string{"aarch64", "riscv"} {
+		sum, err := Run(Options{Seed: 5, N: 150, Target: tgt, Oracle: "encode"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Failed != 0 {
+			t.Errorf("%s: %d encode failures", tgt, sum.Failed)
+		}
+		if sum.PerOracle["encode"] != 150 {
+			t.Errorf("%s: ran %d iterations", tgt, sum.PerOracle["encode"])
+		}
+		if sum.Skipped != 0 {
+			t.Errorf("%s: %d programs skipped the machine round-trip", tgt, sum.Skipped)
+		}
+	}
+}
+
 // TestSpecMutantSynthesis exercises the expensive accepted-mutant path
 // (synthesize + differential-check) on a handful of iterations.
 func TestSpecMutantSynthesis(t *testing.T) {

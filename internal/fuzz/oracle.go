@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"iselgen/internal/bv"
+	"iselgen/internal/enc"
 	"iselgen/internal/gmir"
+	"iselgen/internal/isa"
 	"iselgen/internal/isel"
 	"iselgen/internal/sim"
 )
@@ -26,8 +28,13 @@ type Pipeline struct {
 	Fallback *isel.Backend
 	// MinWidth is the legalization floor (0 = 32).
 	MinWidth int
+	// ISA enables the encode oracle (machine round-trip); nil or a
+	// target without encoding clauses skips it.
+	ISA *isa.Target
 
-	opt *isel.Backend // cached optimal-selector twin (selector-diff oracle)
+	opt   *isel.Backend  // cached optimal-selector twin (selector-diff oracle)
+	codec *enc.Codec     // cached encoder/decoder tables (encode oracle)
+	asm   *enc.Assembler // cached MIR assembler (encode oracle)
 }
 
 // Vectors derives n deterministic argument vectors for a program.
@@ -79,41 +86,11 @@ func CheckProg(pl *Pipeline, p *Prog, vectors [][]bv.BV) (err error) {
 		refs[i] = refRun{ret: ret, mem: mem.Snapshot()}
 	}
 
-	// Candidate side: legalize, prepare, select.
-	minW := pl.MinWidth
-	if minW == 0 {
-		minW = 32
-	}
-	f2, berr := p.Build()
-	if berr != nil {
-		return fmt.Errorf("rebuild: %w", berr)
-	}
-	if lerr := gmir.Legalize(f2, minW); lerr != nil {
-		return fmt.Errorf("legalize: %w", lerr)
-	}
-	isel.Prepare(f2, pl.Name)
-	mf, rep := pl.Primary.Select(f2)
-	usedBackend := pl.Primary.Name
-	if rep.Fallback {
-		if pl.Fallback == nil || pl.Fallback == pl.Primary {
-			return fmt.Errorf("%w (%s)", ErrSkip, rep.FallbackReason)
-		}
-		f3, berr := p.Build()
-		if berr != nil {
-			return fmt.Errorf("rebuild: %w", berr)
-		}
-		if lerr := gmir.Legalize(f3, minW); lerr != nil {
-			return fmt.Errorf("legalize: %w", lerr)
-		}
-		isel.Prepare(f3, pl.Name)
-		mf, rep = pl.Fallback.Select(f3)
-		usedBackend = pl.Fallback.Name
-		if rep.Fallback {
-			return fmt.Errorf("%w (%s)", ErrSkip, rep.FallbackReason)
-		}
-	}
-	if mf == nil {
-		return fmt.Errorf("%s: Select returned nil function without fallback", usedBackend)
+	// Candidate side: legalize, prepare, select (shared with the encode
+	// oracle).
+	mf, usedBackend, serr := selectProg(pl, p)
+	if serr != nil {
+		return serr
 	}
 
 	for i, args := range vectors {

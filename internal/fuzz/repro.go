@@ -10,10 +10,10 @@ import (
 )
 
 // Repro is a self-contained failure reproducer in the corpus format.
-// Select-diff entries carry the shrunk program text; spec entries carry
-// the mutated specification verbatim; smt entries are regenerated
-// deterministically from (seed, iter), since random terms have no stable
-// text form worth inventing.
+// Select-diff, selector-diff, and encode entries carry the shrunk
+// program text; spec entries carry the mutated specification verbatim;
+// smt entries are regenerated deterministically from (seed, iter),
+// since random terms have no stable text form worth inventing.
 type Repro struct {
 	Oracle string // "select-diff", "spec", or "smt"
 	Target string // pipeline name (select-diff only)
@@ -110,9 +110,9 @@ func ParseRepro(src string) (*Repro, error) {
 		}
 	}
 	switch r.Oracle {
-	case "select-diff":
+	case "select-diff", "selector-diff", "encode":
 		if strings.TrimSpace(r.Prog) == "" {
-			return nil, fmt.Errorf("repro: select-diff entry has no program body")
+			return nil, fmt.Errorf("repro: %s entry has no program body", r.Oracle)
 		}
 		if _, err := ParseProg(r.Prog); err != nil {
 			return nil, err

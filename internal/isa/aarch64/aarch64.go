@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"iselgen/internal/isa"
+	"iselgen/internal/spec"
 	"iselgen/internal/term"
 )
 
@@ -41,10 +42,82 @@ var widths = []struct {
 	{"X", 64},
 }
 
+// bodyWrites reports whether a statement list (transitively) assigns
+// rd / rd2.
+func bodyWrites(stmts []spec.Stmt) (rd, rd2 bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *spec.AssignStmt:
+			if st.Target == "rd" {
+				rd = true
+			}
+			if st.Target == "rd2" {
+				rd2 = true
+			}
+		case *spec.IfStmt:
+			for _, blk := range [][]spec.Stmt{st.Then, st.Else} {
+				r, r2 := bodyWrites(blk)
+				rd = rd || r
+				rd2 = rd2 || r2
+			}
+		}
+	}
+	return rd, rd2
+}
+
+// autoEnc computes a mechanical encoding clause for one instruction
+// definition: a 9-bit opcode in bits [8:0] (the decoder's common
+// discriminator across all word sizes), then the destination register
+// number, then each operand packed in declaration order (5-bit register
+// numbers, full-width immediates), zero-filled up to the next byte
+// boundary. The result is not the architectural AArch64 encoding — the
+// paper's pipeline only needs encodings that are *derived from the
+// spec* and unambiguous, and a mechanical allocation keeps the several
+// hundred expanded variants manageable. Word sizes consequently vary
+// (2..11 bytes) with the operand payload, which also exercises the
+// variable-length paths of the assembler and decoder.
+func autoEnc(instSrc string, opcode int) string {
+	f, err := spec.Parse(instSrc)
+	if err != nil || len(f.Insts) != 1 {
+		panic(fmt.Sprintf("aarch64 generator produced unparsable instruction: %v\n%s", err, instSrc))
+	}
+	def := f.Insts[0]
+	var fields []string
+	p := 9
+	field := func(bits int, name string) {
+		fields = append(fields, fmt.Sprintf("[%d:%d]=%s", p+bits-1, p, name))
+		p += bits
+	}
+	writesRd, writesRd2 := bodyWrites(def.Body)
+	if writesRd {
+		field(5, "rd")
+	}
+	if writesRd2 {
+		field(5, "rd2")
+	}
+	for _, op := range def.Operands {
+		if op.Kind == spec.OpImm {
+			field(op.Width, op.Name)
+		} else {
+			field(5, op.Name)
+		}
+	}
+	width := (p + 7) / 8 * 8
+	if p < width {
+		fields = append(fields, fmt.Sprintf("[%d:%d]=0", width-1, p))
+	}
+	return fmt.Sprintf("enc(%d) { [8:0]=0x%03x; %s; }", width, opcode, strings.Join(fields, "; "))
+}
+
 // Spec returns the full specification source.
 func Spec() string {
 	var sb strings.Builder
-	w := func(format string, args ...any) { fmt.Fprintf(&sb, format+"\n", args...) }
+	opcode := 0
+	w := func(format string, args ...any) {
+		inst := fmt.Sprintf(format, args...)
+		fmt.Fprintf(&sb, "%s %s\n", inst, autoEnc(inst, opcode))
+		opcode++
+	}
 
 	for _, v := range widths {
 		s, n := v.suffix, v.bits
@@ -161,33 +234,30 @@ func Spec() string {
 		}
 	}
 
-	// Sign/zero extensions between register widths.
-	sb.WriteString(`
-inst UXTBW(rn: reg32) { rd = zext(trunc(rn, 8), 32); }
-inst UXTHW(rn: reg32) { rd = zext(trunc(rn, 16), 32); }
-inst SXTBW(rn: reg32) { rd = sext(trunc(rn, 8), 32); }
-inst SXTHW(rn: reg32) { rd = sext(trunc(rn, 16), 32); }
-inst SXTBX(rn: reg64) { rd = sext(trunc(rn, 8), 64); }
-inst SXTHX(rn: reg64) { rd = sext(trunc(rn, 16), 64); }
-inst SXTWX(rn: reg32) { rd = sext(rn, 64); }
-inst UXTWX(rn: reg32) { rd = zext(rn, 64); }
-inst TRUNCWX(rn: reg64) { rd = trunc(rn, 32); }
-
-// Extended-register additions (register + extended narrower register).
-inst ADDXrx_sxtw(rn: reg64, rm: reg32) { rd = rn + sext(rm, 64); }
-inst ADDXrx_uxtw(rn: reg64, rm: reg32) { rd = rn + zext(rm, 64); }
-inst SUBXrx_sxtw(rn: reg64, rm: reg32) { rd = rn - sext(rm, 64); }
-inst SUBXrx_uxtw(rn: reg64, rm: reg32) { rd = rn - zext(rm, 64); }
-
-// Widening multiplies.
-inst SMULL(rn: reg32, rm: reg32) { rd = sext(rn, 64) * sext(rm, 64); }
-inst UMULL(rn: reg32, rm: reg32) { rd = zext(rn, 64) * zext(rm, 64); }
-inst SMULH(rn: reg64, rm: reg64) { rd = trunc(ashr(sext(rn, 128) * sext(rm, 128), 64:128), 64); }
-inst UMULH(rn: reg64, rm: reg64) { rd = trunc((zext(rn, 128) * zext(rm, 128)) >> 64:128, 64); }
-
-// PC-relative address.
-inst ADR(imm: imm21) { rd = pc + sext(imm, 64); }
-`)
+	// Sign/zero extensions between register widths, extended-register
+	// additions, widening multiplies, and the PC-relative address.
+	for _, def := range []string{
+		"inst UXTBW(rn: reg32) { rd = zext(trunc(rn, 8), 32); }",
+		"inst UXTHW(rn: reg32) { rd = zext(trunc(rn, 16), 32); }",
+		"inst SXTBW(rn: reg32) { rd = sext(trunc(rn, 8), 32); }",
+		"inst SXTHW(rn: reg32) { rd = sext(trunc(rn, 16), 32); }",
+		"inst SXTBX(rn: reg64) { rd = sext(trunc(rn, 8), 64); }",
+		"inst SXTHX(rn: reg64) { rd = sext(trunc(rn, 16), 64); }",
+		"inst SXTWX(rn: reg32) { rd = sext(rn, 64); }",
+		"inst UXTWX(rn: reg32) { rd = zext(rn, 64); }",
+		"inst TRUNCWX(rn: reg64) { rd = trunc(rn, 32); }",
+		"inst ADDXrx_sxtw(rn: reg64, rm: reg32) { rd = rn + sext(rm, 64); }",
+		"inst ADDXrx_uxtw(rn: reg64, rm: reg32) { rd = rn + zext(rm, 64); }",
+		"inst SUBXrx_sxtw(rn: reg64, rm: reg32) { rd = rn - sext(rm, 64); }",
+		"inst SUBXrx_uxtw(rn: reg64, rm: reg32) { rd = rn - zext(rm, 64); }",
+		"inst SMULL(rn: reg32, rm: reg32) { rd = sext(rn, 64) * sext(rm, 64); }",
+		"inst UMULL(rn: reg32, rm: reg32) { rd = zext(rn, 64) * zext(rm, 64); }",
+		"inst SMULH(rn: reg64, rm: reg64) { rd = trunc(ashr(sext(rn, 128) * sext(rm, 128), 64:128), 64); }",
+		"inst UMULH(rn: reg64, rm: reg64) { rd = trunc((zext(rn, 128) * zext(rm, 128)) >> 64:128, 64); }",
+		"inst ADR(imm: imm21) { rd = pc + sext(imm, 64); }",
+	} {
+		w("%s", def)
+	}
 
 	// Loads: unsigned-scaled (LDR*ui), unscaled signed offset (LDUR*),
 	// register offset, shifted register offset, post-index.
@@ -228,22 +298,17 @@ inst ADR(imm: imm21) { rd = pc + sext(imm, 64); }
 		}
 		w("inst %s(rn: reg64, simm: imm9) { rd = %s; }", uname, uval)
 	}
-	sb.WriteString(`
-inst LDRXroX(rn: reg64, rm: reg64) { rd = load(rn + rm, 64); }
-inst LDRXroX_s3(rn: reg64, rm: reg64) { rd = load(rn + (rm << 3:64), 64); }
-inst LDRWroX(rn: reg64, rm: reg64) { rd = load(rn + rm, 32); }
-inst LDRWroX_s2(rn: reg64, rm: reg64) { rd = load(rn + (rm << 2:64), 32); }
-inst LDRBBroX(rn: reg64, rm: reg64) { rd = zext(load(rn + rm, 8), 32); }
-inst LDRXpost(rn: reg64, simm: imm9) {
-  rd = load(rn, 64);
-  rn = rn + sext(simm, 64);
-}
-inst LDRXpre(rn: reg64, simm: imm9) {
-  let addr = rn + sext(simm, 64);
-  rd = load(addr, 64);
-  rn = addr;
-}
-`)
+	for _, def := range []string{
+		"inst LDRXroX(rn: reg64, rm: reg64) { rd = load(rn + rm, 64); }",
+		"inst LDRXroX_s3(rn: reg64, rm: reg64) { rd = load(rn + (rm << 3:64), 64); }",
+		"inst LDRWroX(rn: reg64, rm: reg64) { rd = load(rn + rm, 32); }",
+		"inst LDRWroX_s2(rn: reg64, rm: reg64) { rd = load(rn + (rm << 2:64), 32); }",
+		"inst LDRBBroX(rn: reg64, rm: reg64) { rd = zext(load(rn + rm, 8), 32); }",
+		"inst LDRXpost(rn: reg64, simm: imm9) { rd = load(rn, 64); rn = rn + sext(simm, 64); }",
+		"inst LDRXpre(rn: reg64, simm: imm9) { let addr = rn + sext(simm, 64); rd = load(addr, 64); rn = addr; }",
+	} {
+		w("%s", def)
+	}
 
 	// Stores.
 	type st struct {
@@ -273,37 +338,36 @@ inst LDRXpre(rn: reg64, simm: imm9) {
 		w("inst %s(rt: reg%d, rn: reg64, simm: imm9) { mem[rn + sext(simm, 64), %d] = %s; }",
 			uname, s.reg, s.bits, val)
 	}
-	sb.WriteString(`
-inst STRXroX(rt: reg64, rn: reg64, rm: reg64) { mem[rn + rm, 64] = rt; }
-inst STRXroX_s3(rt: reg64, rn: reg64, rm: reg64) { mem[rn + (rm << 3:64), 64] = rt; }
-inst STRXpost(rt: reg64, rn: reg64, simm: imm9) {
-  mem[rn, 64] = rt;
-  rn = rn + sext(simm, 64);
-}
-`)
+	for _, def := range []string{
+		"inst STRXroX(rt: reg64, rn: reg64, rm: reg64) { mem[rn + rm, 64] = rt; }",
+		"inst STRXroX_s3(rt: reg64, rn: reg64, rm: reg64) { mem[rn + (rm << 3:64), 64] = rt; }",
+		"inst STRXpost(rt: reg64, rn: reg64, simm: imm9) { mem[rn, 64] = rt; rn = rn + sext(simm, 64); }",
+	} {
+		w("%s", def)
+	}
 
 	// Branches: unconditional, conditional (per condition code), and
-	// compare-and-branch.
-	w("inst B(imm: imm26) { pc = pc + sext(concat(imm, 0:2), 64); }")
+	// compare-and-branch. Displacements are byte-granular (architectural
+	// AArch64 scales by 4), because the mechanical encodings above are
+	// variable-length and cannot keep targets 4-byte aligned.
+	w("inst B(imm: imm26) { pc = pc + sext(imm, 64); }")
 	for _, c := range conds {
-		w("inst Bcond_%s(imm: imm19) { if (%s) { pc = pc + sext(concat(imm, 0:2), 64); } }", c.name, c.expr)
+		w("inst Bcond_%s(imm: imm19) { if (%s) { pc = pc + sext(imm, 64); } }", c.name, c.expr)
 	}
 	for _, v := range widths {
-		w("inst CBZ%s(rt: reg%d, imm: imm19) { if (rt == 0) { pc = pc + sext(concat(imm, 0:2), 64); } }", v.suffix, v.bits)
-		w("inst CBNZ%s(rt: reg%d, imm: imm19) { if (rt != 0) { pc = pc + sext(concat(imm, 0:2), 64); } }", v.suffix, v.bits)
+		w("inst CBZ%s(rt: reg%d, imm: imm19) { if (rt == 0) { pc = pc + sext(imm, 64); } }", v.suffix, v.bits)
+		w("inst CBNZ%s(rt: reg%d, imm: imm19) { if (rt != 0) { pc = pc + sext(imm, 64); } }", v.suffix, v.bits)
 	}
 
 	// A 64-bit Neon subset: lane-wise integer arithmetic on vec64
 	// (8x8, 4x16, 2x32) plus popcount on bytes.
-	sb.WriteString(vectorSpec())
+	vectorSpec(w)
 	return sb.String()
 }
 
 // vectorSpec emits lane-wise 64-bit vector instructions, expanding each
 // lane into extract/concat arithmetic.
-func vectorSpec() string {
-	var sb strings.Builder
-	w := func(format string, args ...any) { fmt.Fprintf(&sb, format+"\n", args...) }
+func vectorSpec(w func(format string, args ...any)) {
 	type shape struct {
 		name  string
 		lanes int
@@ -357,7 +421,6 @@ func vectorSpec() string {
 		w("inst VCNT_8b(rn: vec64) { rd = %s; }", expr)
 	}
 	emit2()
-	return sb.String()
 }
 
 // Latencies for the simulator cost model (cycles); unlisted = 1.
@@ -389,9 +452,12 @@ func latencies() map[string]int {
 	return lat
 }
 
-// Load builds the AArch64 target in the given term builder.
+// Load builds the AArch64 target in the given term builder. Sizes are
+// derived per instruction from the mechanical encodings (the old
+// uniform declared size of 4 contradicts the variable-width words and
+// is now rejected by LoadTarget).
 func Load(b *term.Builder) (*isa.Target, error) {
-	return isa.LoadTarget(b, "aarch64", Spec(), latencies(), 4)
+	return isa.LoadTarget(b, "aarch64", Spec(), latencies(), 0)
 }
 
 // AuxImmediates lists instructions whose immediate uses the §V-D1

@@ -26,9 +26,16 @@ type Instruction struct {
 	Name     string
 	Operands []spec.Operand
 	Effects  []spec.Effect // over unprefixed operand variables
-	// Latency is the simulator cost in cycles; Size the encoding bytes.
+	// Latency is the simulator cost in cycles; Size the encoding bytes
+	// (derived from Enc when the spec declares an encoding clause).
 	Latency int
 	Size    int
+	// Enc is the machine encoding from the spec's enc clause, nil when
+	// the spec declares none (such targets cannot be assembled).
+	Enc *spec.Encoding
+	// SignedImms marks immediate operands consumed under sext in the
+	// semantics; disassembly renders them as signed. Nil when Enc is nil.
+	SignedImms map[string]bool
 }
 
 // NumInputs returns the operand count — the unit of the paper's cost
@@ -376,6 +383,22 @@ func findOperand(inst *Instruction, name string) (spec.Operand, bool) {
 type Target struct {
 	Name  string
 	Insts []*Instruction
+	// Reserved holds the spec's reserved opcode-space patterns and
+	// RegNumBits the register-number field width shared by all
+	// encodings (0 when the spec declares no encodings).
+	Reserved   []*spec.Encoding
+	RegNumBits int
+}
+
+// HasEncodings reports whether every instruction carries an encoding
+// clause, i.e. the target can be assembled and disassembled.
+func (t *Target) HasEncodings() bool {
+	for _, i := range t.Insts {
+		if i.Enc == nil {
+			return false
+		}
+	}
+	return len(t.Insts) > 0
 }
 
 // ByName returns the instruction with the given name.
@@ -389,8 +412,12 @@ func (t *Target) ByName(name string) *Instruction {
 }
 
 // LoadTarget parses and symbolizes a spec source into a Target. latency
-// maps instruction names to cycle costs (default 1); size is the uniform
-// encoding size in bytes.
+// maps instruction names to cycle costs (default 1). size is the
+// declared uniform size in bytes for instructions without an encoding
+// clause (0 defaults to 4); when an instruction declares an encoding,
+// its size is *derived* from the encoding width, and a non-zero
+// declared size that contradicts any derived size is rejected — the
+// spec, not the metadata, is the source of truth.
 func LoadTarget(b *term.Builder, name, src string, latency map[string]int, size int) (*Target, error) {
 	f, err := spec.Parse(src)
 	if err != nil {
@@ -399,24 +426,43 @@ func LoadTarget(b *term.Builder, name, src string, latency map[string]int, size 
 	sp := obs.DefaultTracer().Start("spec/symexec").
 		SetStr("target", name).SetInt("instructions", int64(len(f.Insts)))
 	defer sp.End()
-	t := &Target{Name: name}
+	t := &Target{Name: name, Reserved: f.Reserved}
+	var sems []*spec.Sem
 	for _, def := range f.Insts {
 		sem, err := spec.Symbolize(def, b, def.Name+".")
 		if err != nil {
 			return nil, fmt.Errorf("isa %s: %w", name, err)
 		}
+		sems = append(sems, sem)
 		lat := latency[def.Name]
 		if lat == 0 {
 			lat = 1
 		}
-		t.Insts = append(t.Insts, &Instruction{
+		in := &Instruction{
 			Name:     def.Name,
 			Operands: sem.Operands,
 			Effects:  sem.Effects,
 			Latency:  lat,
 			Size:     size,
-		})
+			Enc:      def.Enc,
+		}
+		if def.Enc != nil {
+			derived := def.Enc.SizeBytes()
+			if size != 0 && size != derived {
+				return nil, fmt.Errorf("isa %s: %s: declared size %d contradicts %d-byte encoding",
+					name, def.Name, size, derived)
+			}
+			in.Size = derived
+			in.SignedImms = spec.SignedImms(sem)
+		} else if size == 0 {
+			in.Size = 4
+		}
+		t.Insts = append(t.Insts, in)
 	}
+	if err := spec.CheckEncodings(f, sems); err != nil {
+		return nil, fmt.Errorf("isa %s: %w", name, err)
+	}
+	t.RegNumBits = spec.RegNumBits(f)
 	return t, nil
 }
 

@@ -3,6 +3,11 @@
 // §IX discussion experiment: their four-day synthesis covers basic
 // arithmetic, mov, and control flow only — notably no multiplication and
 // no 64-bit arithmetic).
+//
+// Encodings are synthetic but x86-flavored: byte-oriented variable
+// length words (2..7 bytes), a one-byte opcode, one byte per register
+// number, and little-endian byte-aligned immediates. The old uniform
+// "size 3" metadata was a fiction the derived sizes replace.
 package x86
 
 import (
@@ -13,44 +18,46 @@ import (
 // Spec returns the x86-32 subset specification.
 func Spec() string {
 	return `
-inst ADDrr(a: reg32, b: reg32) { rd = a + b; }
-inst ADDri(a: reg32, imm: imm32) { rd = a + imm; }
-inst SUBrr(a: reg32, b: reg32) { rd = a - b; }
-inst SUBri(a: reg32, imm: imm32) { rd = a - imm; }
-inst ANDrr(a: reg32, b: reg32) { rd = a & b; }
-inst ANDri(a: reg32, imm: imm32) { rd = a & imm; }
-inst ORrr(a: reg32, b: reg32) { rd = a | b; }
-inst ORri(a: reg32, imm: imm32) { rd = a | imm; }
-inst XORrr(a: reg32, b: reg32) { rd = a ^ b; }
-inst XORri(a: reg32, imm: imm32) { rd = a ^ imm; }
-inst NOTr(a: reg32) { rd = ~a; }
-inst NEGr(a: reg32) { rd = -a; }
-inst INCr(a: reg32) { rd = a + 1; }
-inst DECr(a: reg32) { rd = a - 1; }
-inst MOVri(imm: imm32) { rd = imm; }
-inst MOVrr(a: reg32) { rd = a; }
-inst SHLri(a: reg32, sh: imm5) { rd = a << zext(sh, 32); }
-inst SHRri(a: reg32, sh: imm5) { rd = a >> zext(sh, 32); }
-inst SARri(a: reg32, sh: imm5) { rd = ashr(a, zext(sh, 32)); }
-inst LEA_bi(base: reg32, idx: reg32) { rd = base + idx; }
-inst LEA_bis4(base: reg32, idx: reg32) { rd = base + (idx << 2:32); }
-inst LEA_bd(base: reg32, disp: imm32) { rd = base + disp; }
+inst ADDrr(a: reg32, b: reg32) { rd = a + b; } enc(32) { [7:0]=0x01; [15:8]=rd; [23:16]=a; [31:24]=b; }
+inst ADDri(a: reg32, imm: imm32) { rd = a + imm; } enc(56) { [7:0]=0x02; [15:8]=rd; [23:16]=a; [55:24]=imm; }
+inst SUBrr(a: reg32, b: reg32) { rd = a - b; } enc(32) { [7:0]=0x03; [15:8]=rd; [23:16]=a; [31:24]=b; }
+inst SUBri(a: reg32, imm: imm32) { rd = a - imm; } enc(56) { [7:0]=0x04; [15:8]=rd; [23:16]=a; [55:24]=imm; }
+inst ANDrr(a: reg32, b: reg32) { rd = a & b; } enc(32) { [7:0]=0x05; [15:8]=rd; [23:16]=a; [31:24]=b; }
+inst ANDri(a: reg32, imm: imm32) { rd = a & imm; } enc(56) { [7:0]=0x06; [15:8]=rd; [23:16]=a; [55:24]=imm; }
+inst ORrr(a: reg32, b: reg32) { rd = a | b; } enc(32) { [7:0]=0x07; [15:8]=rd; [23:16]=a; [31:24]=b; }
+inst ORri(a: reg32, imm: imm32) { rd = a | imm; } enc(56) { [7:0]=0x08; [15:8]=rd; [23:16]=a; [55:24]=imm; }
+inst XORrr(a: reg32, b: reg32) { rd = a ^ b; } enc(32) { [7:0]=0x09; [15:8]=rd; [23:16]=a; [31:24]=b; }
+inst XORri(a: reg32, imm: imm32) { rd = a ^ imm; } enc(56) { [7:0]=0x0a; [15:8]=rd; [23:16]=a; [55:24]=imm; }
+inst NOTr(a: reg32) { rd = ~a; } enc(24) { [7:0]=0x0b; [15:8]=rd; [23:16]=a; }
+inst NEGr(a: reg32) { rd = -a; } enc(24) { [7:0]=0x0c; [15:8]=rd; [23:16]=a; }
+inst INCr(a: reg32) { rd = a + 1; } enc(24) { [7:0]=0x0d; [15:8]=rd; [23:16]=a; }
+inst DECr(a: reg32) { rd = a - 1; } enc(24) { [7:0]=0x0e; [15:8]=rd; [23:16]=a; }
+inst MOVri(imm: imm32) { rd = imm; } enc(48) { [7:0]=0x0f; [15:8]=rd; [47:16]=imm; }
+inst MOVrr(a: reg32) { rd = a; } enc(24) { [7:0]=0x10; [15:8]=rd; [23:16]=a; }
+inst SHLri(a: reg32, sh: imm5) { rd = a << zext(sh, 32); } enc(32) { [7:0]=0x11; [15:8]=rd; [23:16]=a; [28:24]=sh; [31:29]=0; }
+inst SHRri(a: reg32, sh: imm5) { rd = a >> zext(sh, 32); } enc(32) { [7:0]=0x12; [15:8]=rd; [23:16]=a; [28:24]=sh; [31:29]=0; }
+inst SARri(a: reg32, sh: imm5) { rd = ashr(a, zext(sh, 32)); } enc(32) { [7:0]=0x13; [15:8]=rd; [23:16]=a; [28:24]=sh; [31:29]=0; }
+inst LEA_bi(base: reg32, idx: reg32) { rd = base + idx; } enc(32) { [7:0]=0x14; [15:8]=rd; [23:16]=base; [31:24]=idx; }
+inst LEA_bis4(base: reg32, idx: reg32) { rd = base + (idx << 2:32); } enc(32) { [7:0]=0x15; [15:8]=rd; [23:16]=base; [31:24]=idx; }
+inst LEA_bd(base: reg32, disp: imm32) { rd = base + disp; } enc(56) { [7:0]=0x16; [15:8]=rd; [23:16]=base; [55:24]=disp; }
 inst CMPrr(a: reg32, b: reg32) {
   let res = a - b;
   flags.Z = res == 0;
   flags.N = extract(res, 31, 31);
   flags.C = uge(a, b);
   flags.V = extract((a ^ b) & (a ^ res), 31, 31);
-}
-inst SETEr() { rd = zext(flags.Z, 32); }
-inst SETNEr() { rd = zext(!flags.Z, 32); }
-inst JMP(imm: imm32) { pc = pc + sext(imm, 64); }
-inst JE(imm: imm32) { if (flags.Z) { pc = pc + sext(imm, 64); } }
-inst JNE(imm: imm32) { if (!flags.Z) { pc = pc + sext(imm, 64); } }
+} enc(24) { [7:0]=0x17; [15:8]=a; [23:16]=b; }
+inst SETEr() { rd = zext(flags.Z, 32); } enc(16) { [7:0]=0x18; [15:8]=rd; }
+inst SETNEr() { rd = zext(!flags.Z, 32); } enc(16) { [7:0]=0x19; [15:8]=rd; }
+inst JMP(imm: imm32) { pc = pc + sext(imm, 64); } enc(40) { [7:0]=0x1a; [39:8]=imm; }
+inst JE(imm: imm32) { if (flags.Z) { pc = pc + sext(imm, 64); } } enc(40) { [7:0]=0x1b; [39:8]=imm; }
+inst JNE(imm: imm32) { if (!flags.Z) { pc = pc + sext(imm, 64); } } enc(40) { [7:0]=0x1c; [39:8]=imm; }
+reserved(8) { [7:0]=0x00; }
 `
 }
 
-// Load builds the x86-32 target in the given term builder.
+// Load builds the x86-32 target in the given term builder; instruction
+// sizes are derived from the per-instruction encodings.
 func Load(b *term.Builder) (*isa.Target, error) {
-	return isa.LoadTarget(b, "x86", Spec(), nil, 3)
+	return isa.LoadTarget(b, "x86", Spec(), nil, 0)
 }

@@ -34,7 +34,12 @@ func TestLoadAndSemantics(t *testing.T) {
 	if flagCount != 4 {
 		t.Errorf("CMPrr flags = %d", flagCount)
 	}
+	// Sizes derive from the encodings: CMPrr is opcode + two register
+	// bytes, ADDri adds a 4-byte immediate after opcode/rd/a.
 	if tgt.ByName("CMPrr").Size != 3 {
-		t.Errorf("x86 size = %d", tgt.ByName("CMPrr").Size)
+		t.Errorf("x86 CMPrr size = %d", tgt.ByName("CMPrr").Size)
+	}
+	if tgt.ByName("ADDri").Size != 7 {
+		t.Errorf("x86 ADDri size = %d", tgt.ByName("ADDri").Size)
 	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"iselgen/internal/bench"
 	"iselgen/internal/core"
 	"iselgen/internal/cost"
+	"iselgen/internal/enc"
 	"iselgen/internal/gmir"
 	"iselgen/internal/harness"
 	"iselgen/internal/incr"
@@ -477,8 +479,38 @@ type SelectRequest struct {
 	// "optimal" (bottom-up DP tiling, statically never worse under the
 	// target's cost model). Part of the cache fingerprint.
 	Selector string `json:"selector,omitempty"`
-	// Emit asks for the selected MIR text in the response.
-	Emit bool `json:"emit,omitempty"`
+	// Emit asks for the selected code in the response: "mir" for the
+	// selected MIR text (JSON true is accepted as a legacy alias) or
+	// "bytes" for assembled machine code (hex plus a decoded listing)
+	// through the spec-derived encoder.
+	Emit EmitMode `json:"emit,omitempty"`
+}
+
+// EmitMode is the select endpoint's emit knob: "", "mir", or "bytes".
+// It unmarshals from either a string or the legacy boolean form (true
+// meaning "mir").
+type EmitMode string
+
+// UnmarshalJSON accepts `"mir"`, `"bytes"`, `""`, `true`, and `false`.
+func (m *EmitMode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case "true":
+		*m = "mir"
+		return nil
+	case "false":
+		*m = ""
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("emit must be \"mir\", \"bytes\", or a boolean")
+	}
+	switch s {
+	case "", "mir", "bytes":
+		*m = EmitMode(s)
+		return nil
+	}
+	return fmt.Errorf("unknown emit mode %q (have: mir, bytes)", s)
 }
 
 // SelectResponse is the body answering POST /v1/select.
@@ -504,6 +536,10 @@ type SelectResponse struct {
 	BinarySize  int    `json:"binary_size,omitempty"`
 	Checksum    string `json:"checksum,omitempty"`
 	MIR         string `json:"mir,omitempty"`
+	// Bytes is the assembled machine code (hex) and Listing its decoded
+	// disassembly, present with emit="bytes".
+	Bytes   string   `json:"bytes,omitempty"`
+	Listing []string `json:"listing,omitempty"`
 }
 
 func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -599,8 +635,24 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		resp.Insts = res.Insts
 		resp.BinarySize = mf.BinarySize()
 		resp.Checksum = res.Ret.String()
-		if req.Emit {
+		switch req.Emit {
+		case "mir":
 			resp.MIR = mf.String()
+		case "bytes":
+			c, cerr := enc.NewCodec(e.Target)
+			if cerr != nil {
+				sv.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("emit=bytes: %w", cerr))
+				return
+			}
+			img, aerr := enc.NewAssembler(c).Assemble(mf)
+			if aerr != nil {
+				sv.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("emit=bytes: %w", aerr))
+				return
+			}
+			resp.Bytes = hex.EncodeToString(img.Code)
+			for _, ln := range c.Disassemble(img.Code, img.Base) {
+				resp.Listing = append(resp.Listing, fmt.Sprintf("%#x: %s", ln.Addr, ln.Text))
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

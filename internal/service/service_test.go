@@ -347,7 +347,7 @@ func TestSelectEndpoint(t *testing.T) {
 	cfg.MaxPatterns = 0
 	_, ts := newTestServer(t, cfg)
 
-	req := SelectRequest{Target: "riscv", Workload: "x264_sad", Emit: true}
+	req := SelectRequest{Target: "riscv", Workload: "x264_sad", Emit: "mir"}
 	status, body := postJSON(t, ts.URL+"/v1/select", req)
 	if status != http.StatusOK {
 		t.Fatalf("status %d: %s", status, body)
@@ -375,6 +375,48 @@ func TestSelectEndpoint(t *testing.T) {
 	}
 	if m := getMetrics(t, ts.URL); m.SynthRuns != 1 || m.CacheHits != 1 || m.Selections != 2 {
 		t.Errorf("synth_runs=%d cache_hits=%d selections=%d, want 1/1/2", m.SynthRuns, m.CacheHits, m.Selections)
+	}
+
+	// emit="bytes" assembles the selection through the spec-derived
+	// encoder: hex code plus a decoded listing, one line per instruction.
+	status, body = postJSON(t, ts.URL+"/v1/select",
+		SelectRequest{Target: "riscv", Workload: "x264_sad", Emit: "bytes"})
+	if status != http.StatusOK {
+		t.Fatalf("emit=bytes: status %d: %s", status, body)
+	}
+	sel = SelectResponse{}
+	if err := json.Unmarshal(body, &sel); err != nil {
+		t.Fatalf("bad emit=bytes response: %v", err)
+	}
+	if sel.Bytes == "" || len(sel.Listing) == 0 {
+		t.Fatalf("emit=bytes returned no code: bytes=%q listing=%d", sel.Bytes, len(sel.Listing))
+	}
+	if len(sel.Bytes)%2 != 0 {
+		t.Errorf("bytes is not even-length hex: %q", sel.Bytes)
+	}
+	if sel.MIR != "" {
+		t.Error("emit=bytes also returned MIR text")
+	}
+
+	// The legacy boolean emit form still means "mir".
+	status, body = postJSON(t, ts.URL+"/v1/select",
+		map[string]any{"target": "riscv", "workload": "x264_sad", "emit": true})
+	if status != http.StatusOK {
+		t.Fatalf("emit=true: status %d: %s", status, body)
+	}
+	sel = SelectResponse{}
+	if err := json.Unmarshal(body, &sel); err != nil {
+		t.Fatalf("bad emit=true response: %v", err)
+	}
+	if sel.MIR == "" || sel.Bytes != "" {
+		t.Errorf("legacy emit=true: mir=%d bytes=%q, want MIR only", len(sel.MIR), sel.Bytes)
+	}
+
+	// An unknown emit mode is a 400.
+	status, body = postJSON(t, ts.URL+"/v1/select",
+		map[string]any{"target": "riscv", "workload": "x264_sad", "emit": "elf"})
+	if status != http.StatusBadRequest {
+		t.Errorf("emit=elf: status %d, want 400 (%s)", status, body)
 	}
 }
 

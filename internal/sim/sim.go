@@ -201,7 +201,7 @@ func (m *Machine) step(in *mir.Inst, regs []bv.BV, flags map[string]bv.BV) (bool
 			r2 := e.T.Eval(env)
 			if r1 != r2 {
 				branchTaken = true
-			} else if r1.Lo != pcBase+4 {
+			} else if r1.Lo != pcBase+uint64(in.Size()) {
 				branchTaken = true // displacement-independent jump (e.g. JALR)
 			}
 		}

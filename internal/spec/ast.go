@@ -2,9 +2,11 @@ package spec
 
 // AST for the specification language.
 
-// File is a parsed specification file: a list of instruction definitions.
+// File is a parsed specification file: a list of instruction
+// definitions plus any top-level reserved encoding patterns.
 type File struct {
-	Insts []*InstDef
+	Insts    []*InstDef
+	Reserved []*Encoding
 }
 
 // OperandKind classifies instruction operands.
@@ -35,11 +37,13 @@ type Operand struct {
 	Width int
 }
 
-// InstDef is one instruction definition.
+// InstDef is one instruction definition. Enc is the optional machine
+// encoding clause following the semantics block.
 type InstDef struct {
 	Name     string
 	Operands []Operand
 	Body     []Stmt
+	Enc      *Encoding
 	Line     int
 }
 

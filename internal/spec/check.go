@@ -22,16 +22,22 @@ func Check(src string) ([]string, error) {
 	}
 	b := term.NewBuilder()
 	names := make([]string, 0, len(f.Insts))
+	sems := make([]*Sem, 0, len(f.Insts))
 	seen := map[string]bool{}
 	for _, inst := range f.Insts {
 		if seen[inst.Name] {
 			return nil, fmt.Errorf("spec:%d: duplicate instruction %q", inst.Line, inst.Name)
 		}
 		seen[inst.Name] = true
-		if _, err := Symbolize(inst, b, inst.Name+"."); err != nil {
+		sem, err := Symbolize(inst, b, inst.Name+".")
+		if err != nil {
 			return nil, err
 		}
+		sems = append(sems, sem)
 		names = append(names, inst.Name)
+	}
+	if err := CheckEncodings(f, sems); err != nil {
+		return nil, err
 	}
 	return names, nil
 }

@@ -83,7 +83,7 @@ inst A(a: reg64, b: reg64) { rd = a - b; }`,
   rd = a + 3:;
 }`,
 			pos:  "spec:2:",
-			want: "missing width after ':'",
+			want: `expected ";", found ":"`,
 		},
 		{
 			name: "unexpected character",

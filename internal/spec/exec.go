@@ -378,8 +378,14 @@ func (ex *executor) execIf(st *state, s *IfStmt) error {
 					st.eff[k] = ex.b.Ite(cond, prev, v)
 				}
 			} else if k == "pc" {
-				// A conditional branch falls through to pc+4.
-				fall := ex.b.Add(ex.pcVar(), ex.b.Const(64, 4))
+				// A conditional branch falls through to the next
+				// instruction: pc plus this instruction's encoded size
+				// (4 when the spec declares no encoding).
+				size := uint64(4)
+				if ex.inst.Enc != nil {
+					size = uint64(ex.inst.Enc.SizeBytes())
+				}
+				fall := ex.b.Add(ex.pcVar(), ex.b.Const(64, size))
 				if tok {
 					st.eff[k] = ex.b.Ite(cond, v, fall)
 				} else {

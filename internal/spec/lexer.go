@@ -43,8 +43,11 @@ type token struct {
 	kind tokKind
 	text string
 	num  uint64
-	// width of a number literal written as N:w (0 if unspecified)
+	// width of a number literal written as N:w (0 if unspecified).
+	// hasWidth distinguishes an explicit N:0 — which only encoding bit
+	// ranges like [6:0] may produce — from no suffix at all.
 	numWidth int
+	hasWidth bool
 	line     int
 }
 
@@ -131,23 +134,29 @@ done:
 		return fmt.Errorf("spec:%d: malformed number %q", l.line, l.src[start:l.pos])
 	}
 	tok := token{kind: tNumber, num: v, line: l.line, text: l.src[start:l.pos]}
-	// Optional :width suffix.
-	if l.pos < len(l.src) && l.src[l.pos] == ':' {
+	// Optional :width suffix. A ':' not followed by a digit is left for
+	// the punctuation lexer. An explicit 0 suffix is tolerated here
+	// (hasWidth distinguishes it) because encoding bit ranges like
+	// [6:0] lex the hi:lo pair as one suffixed number; the expression
+	// parser still rejects width-0 literals.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == ':' && isDigit(l.src[l.pos+1]) {
 		l.pos++
-		w := 0
+		w, digits := 0, 0
 		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
 			if w <= 128 { // saturate instead of overflowing on absurd suffixes
 				w = w*10 + int(l.src[l.pos]-'0')
 			}
+			digits++
 			l.pos++
 		}
-		if w == 0 {
+		if digits == 0 {
 			return fmt.Errorf("spec:%d: missing width after ':'", l.line)
 		}
 		if w > 128 {
 			return fmt.Errorf("spec:%d: width %d out of range (1..128)", l.line, w)
 		}
 		tok.numWidth = w
+		tok.hasWidth = true
 	}
 	l.toks = append(l.toks, tok)
 	return nil

@@ -22,6 +22,15 @@ func Parse(src string) (*File, error) {
 	p := &parser{toks: toks}
 	f := &File{}
 	for !p.at(tEOF) {
+		if p.atIdent("reserved") {
+			enc, err := p.parseEncoding("reserved")
+			if err != nil {
+				sp.SetStr("error", "parse")
+				return nil, err
+			}
+			f.Reserved = append(f.Reserved, enc)
+			continue
+		}
 		inst, err := p.parseInst()
 		if err != nil {
 			sp.SetStr("error", "parse")
@@ -118,7 +127,96 @@ func (p *parser) parseInst() (*InstDef, error) {
 		return nil, err
 	}
 	inst.Body = body
+	if p.atIdent("enc") {
+		enc, err := p.parseEncoding("enc")
+		if err != nil {
+			return nil, err
+		}
+		inst.Enc = enc
+	}
 	return inst, nil
+}
+
+// parseEncoding parses `enc(width) { fields }` after an instruction
+// body, or a top-level `reserved(width) { fields }` pattern. A field is
+//
+//	[hi:lo] = value ;
+//
+// where value is a number (fixed bits), an operand/rd/rd2 name, or an
+// immediate-operand slice `name[hi:lo]`. `[n]` abbreviates `[n:n]`.
+func (p *parser) parseEncoding(kw string) (*Encoding, error) {
+	line := p.cur().line
+	p.pos++ // 'enc' / 'reserved'
+	if err := p.eatPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.at(tNumber) {
+		return nil, p.errf("expected %s width", kw)
+	}
+	enc := &Encoding{Width: int(p.next().num), Line: line}
+	if err := p.eatPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.eatPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atPunct("}") {
+		f, err := p.parseEncField()
+		if err != nil {
+			return nil, err
+		}
+		enc.Fields = append(enc.Fields, f)
+	}
+	p.pos++ // '}'
+	return enc, nil
+}
+
+// parseRange parses `[hi:lo]` or `[n]`, positioned at '['. The lexer
+// folds `hi:lo` into one width-suffixed number token, so both shapes
+// are a single tNumber here.
+func (p *parser) parseRange() (hi, lo int, err error) {
+	if err := p.eatPunct("["); err != nil {
+		return 0, 0, err
+	}
+	if !p.at(tNumber) {
+		return 0, 0, p.errf("expected bit range")
+	}
+	t := p.next()
+	hi = int(t.num)
+	lo = hi
+	if t.hasWidth {
+		lo = t.numWidth
+	}
+	if err := p.eatPunct("]"); err != nil {
+		return 0, 0, err
+	}
+	return hi, lo, nil
+}
+
+func (p *parser) parseEncField() (EncField, error) {
+	f := EncField{SrcHi: -1, SrcLo: -1, Line: p.cur().line}
+	var err error
+	if f.Hi, f.Lo, err = p.parseRange(); err != nil {
+		return f, err
+	}
+	if err := p.eatPunct("="); err != nil {
+		return f, err
+	}
+	switch {
+	case p.at(tNumber):
+		f.Fixed = true
+		f.Val = p.next().num
+	case p.at(tIdent):
+		f.Name = p.next().text
+		if p.atPunct("[") {
+			if f.SrcHi, f.SrcLo, err = p.parseRange(); err != nil {
+				return f, err
+			}
+		}
+	default:
+		return f, p.errf("expected field value, found %q", p.cur().text)
+	}
+	return f, p.eatPunct(";")
 }
 
 func parseOperandType(name, ty string) (Operand, error) {
@@ -350,6 +448,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 
 	case t.kind == tNumber:
 		p.pos++
+		if t.hasWidth && t.numWidth == 0 {
+			return nil, p.errf("width 0 out of range (1..128)")
+		}
 		return &Num{Val: t.num, Width: t.numWidth, Line: t.line}, nil
 
 	case t.kind == tIdent && t.text == "flags":
