@@ -7,13 +7,22 @@
 //
 //	POST /v1/synthesize   synthesize (or fetch) a library for a builtin
 //	                      target or an inline DSL spec
-//	POST /v1/select       lower a benchmark gMIR program with a target's
-//	                      synthesized backend and simulate it; the
-//	                      "selector" field picks the engine ("greedy" or
-//	                      "optimal" — the cost-model DP tiler), and each
-//	                      selector keys its own cached library entry
-//	                      (the cost-table version rides in the
-//	                      fingerprint)
+//	POST /v1/select       lower a benchmark gMIR program (or an inline
+//	                      "program") with a target's synthesized backend
+//	                      and simulate it; the "selector" field picks
+//	                      the engine ("greedy" or "optimal" — the
+//	                      cost-model DP tiler), and each selector keys
+//	                      its own cached library entry (the cost-table
+//	                      version rides in the fingerprint)
+//	POST /v1/select/batch lower many inline programs in one request
+//	                      against one library acquisition
+//	POST /v1/jobs         submit a synthesis asynchronously: answers 202
+//	                      with a job ID to poll
+//	GET  /v1/jobs/{id}    job progress and, when done, the result
+//	POST /v1/artifact     serve (or produce) a serialized library for a
+//	                      peer replica's cache fill
+//	GET  /v1/cluster      ring membership and per-peer breaker state
+//	                      (clustered mode only)
 //	GET  /v1/metrics      cache/queue counters, per-stage timings, build
 //	                      info, and uptime (JSON)
 //	GET  /metrics         the same counters plus latency histograms in
@@ -29,7 +38,18 @@
 // Usage: iseld [-addr :8791] [-cache-dir DIR] [-cache-entries N]
 //
 //	[-workers N] [-queue N] [-patterns N] [-timeout D]
-//	[-trace-spans N] [-no-obs]
+//	[-trace-spans N] [-no-obs] [-max-jobs N]
+//	[-peers URL,URL,...] [-self URL] [-cluster-mode fill|forward]
+//	[-hedge D] [-breaker-failures N] [-breaker-cooldown D]
+//	[-drain-timeout D]
+//
+// With -peers set, replicas form a consistent-hash ring over cache
+// fingerprints: a miss is filled from its ring owner over HTTP (so a
+// cold key is synthesized once fleet-wide), reads are hedged, per-peer
+// circuit breakers isolate dead replicas, and everything degrades to
+// local-only service when the fleet is unreachable. On SIGTERM the
+// daemon stops accepting, drains in-flight work under -drain-timeout,
+// and flushes the disk cache before exiting.
 package main
 
 import (
@@ -40,9 +60,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"iselgen/internal/cluster"
 	"iselgen/internal/core"
 	"iselgen/internal/obs"
 	"iselgen/internal/service"
@@ -59,6 +81,14 @@ func main() {
 	inputs := flag.Int("inputs", 0, "test inputs per sequence (0 = default)")
 	traceSpans := flag.Int("trace-spans", 0, "span ring capacity for /v1/trace (0 = default)")
 	noObs := flag.Bool("no-obs", false, "disable tracing, histograms, and decision provenance")
+	maxJobs := flag.Int("max-jobs", 0, "cap on async jobs queued+running via POST /v1/jobs (0 = default)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every replica, self included (empty = standalone)")
+	self := flag.String("self", "", "this replica's base URL as it appears in -peers")
+	clusterMode := flag.String("cluster-mode", cluster.ModeFill, "cluster mode: fill (peer cache fills) or forward (proxy to owner)")
+	hedge := flag.Duration("hedge", 150*time.Millisecond, "delay before hedging a cache-only probe to the next replica (<0 = off)")
+	breakerFailures := flag.Int("breaker-failures", 3, "consecutive peer failures that open its circuit")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: drain in-flight work and flush the disk cache")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -85,6 +115,7 @@ func main() {
 		Synth:          cfg,
 		MaxPatterns:    *patterns,
 		DefaultTimeout: *timeout,
+		MaxJobs:        *maxJobs,
 		Obs:            o,
 		Logger:         logger,
 	})
@@ -93,7 +124,44 @@ func main() {
 		os.Exit(1)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: sv.Handler()}
+	// With peers configured, wrap the service in the cluster layer: the
+	// ring routes cache-fill ownership, and the handler gains forwarding
+	// (in forward mode) plus GET /v1/cluster.
+	handler := http.Handler(nil)
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "iseld: -peers requires -self (this replica's URL in the peer list)")
+			os.Exit(1)
+		}
+		node, err := cluster.New(sv, cluster.Config{
+			Self:             strings.TrimRight(*self, "/"),
+			Peers:            peerList,
+			Mode:             *clusterMode,
+			HedgeDelay:       *hedge,
+			BreakerThreshold: *breakerFailures,
+			BreakerCooldown:  *breakerCooldown,
+			Obs:              o,
+			Logger:           logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iseld:", err)
+			os.Exit(1)
+		}
+		sv.SetFiller(node)
+		handler = node.Handler()
+		logger.Info("iseld clustered",
+			"self", *self, "peers", len(peerList), "mode", *clusterMode)
+	} else {
+		handler = sv.Handler()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	logger.Info("iseld listening",
@@ -110,12 +178,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Stop accepting connections, then drain queued and in-flight
-	// synthesis jobs so every accepted request gets its answer.
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Graceful drain under one budget: stop accepting connections, let
+	// in-flight requests (async jobs included) finish, then flush the
+	// disk-cache persist queue — so a SIGTERM'd replica leaves nothing
+	// half-answered and nothing uncached.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		logger.Error("iseld shutdown", "err", err)
 	}
+	if err := sv.Shutdown(ctx); err != nil {
+		logger.Error("iseld drain", "err", err)
+	}
 	sv.Close()
+	logger.Info("iseld stopped")
 }

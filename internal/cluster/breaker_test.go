@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("closed after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state=%d after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures opened the circuit")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state=%d during probe, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+
+	// Probe failure re-opens immediately...
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+	// ...and a later successful probe closes it.
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe window rejected")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the circuit")
+	}
+}

@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"time"
+
+	"iselgen/internal/obs"
+	"iselgen/internal/service"
+)
+
+// Modes select what a non-owning replica does with a request it can
+// serve but does not own.
+const (
+	// ModeFill (the default): serve every request locally; on a library
+	// cache miss, fetch the artifact from the fingerprint's ring owner
+	// and verify it into the local cache. Selection stays local — only
+	// the expensive synthesis is deduplicated fleet-wide.
+	ModeFill = "fill"
+	// ModeForward: proxy select requests to the fingerprint's owner and
+	// relay its response, falling back to local service when the owner
+	// is unreachable. Concentrates each library's working set on its
+	// owner at the price of a network hop per request.
+	ModeForward = "forward"
+)
+
+// Config configures a cluster node.
+type Config struct {
+	// Self is this replica's base URL as it appears in Peers.
+	Self string
+	// Peers are the base URLs of every replica, self included.
+	Peers []string
+	// Mode is ModeFill (default) or ModeForward.
+	Mode string
+	// VNodes is the virtual-node count per member (0 = default 64).
+	VNodes int
+	// HedgeDelay is how long the primary artifact fetch runs alone
+	// before a cache-only probe is hedged to the next replica in ring
+	// order (0 = default 150ms; negative disables hedging).
+	HedgeDelay time.Duration
+	// FetchTimeout bounds one artifact fetch attempt, synthesis at the
+	// owner included (0 = default 120s).
+	FetchTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit (0 = default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects before
+	// admitting a half-open probe (0 = default 5s).
+	BreakerCooldown time.Duration
+	// Obs receives cluster metrics and spans; share it with the wrapped
+	// service so /metrics exposes both.
+	Obs *obs.Obs
+	// Logger, when set, receives peer-failure and degradation events.
+	Logger *slog.Logger
+	// Client is the HTTP client for peer calls (nil = a default client;
+	// timeouts come from per-request contexts).
+	Client *http.Client
+}
+
+// Node is one replica's cluster layer: the ring, the peer set with
+// breakers, and the handler wrapping the local service. It implements
+// service.RemoteFiller.
+type Node struct {
+	cfg  Config
+	sv   *service.Server
+	ring *Ring
+	peer map[string]*peerState
+}
+
+// peerState is one remote replica as seen from this node.
+type peerState struct {
+	url     string
+	breaker *breaker
+}
+
+// New builds the cluster layer around a local service. Wire it in with
+// sv.SetFiller(node) before serving, and serve node.Handler() instead
+// of sv.Handler().
+func New(sv *service.Server, cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: config needs Self")
+	}
+	switch cfg.Mode {
+	case "":
+		cfg.Mode = ModeFill
+	case ModeFill, ModeForward:
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %q (have: fill, forward)", cfg.Mode)
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = 150 * time.Millisecond
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 120 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	members := append([]string(nil), cfg.Peers...)
+	selfListed := false
+	for _, m := range members {
+		if m == cfg.Self {
+			selfListed = true
+		}
+	}
+	if !selfListed {
+		members = append(members, cfg.Self)
+	}
+	n := &Node{
+		cfg:  cfg,
+		sv:   sv,
+		ring: NewRing(members, cfg.VNodes),
+		peer: map[string]*peerState{},
+	}
+	for _, m := range n.ring.Members() {
+		if m == cfg.Self {
+			continue
+		}
+		ps := &peerState{url: m, breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)}
+		n.peer[m] = ps
+		if reg := cfg.Obs.MetricsOrNil(); reg != nil {
+			b := ps.breaker
+			reg.GaugeFunc("cluster_breaker_state",
+				"peer circuit state (0 closed, 1 half-open, 2 open)",
+				func() int64 { return int64(b.State()) }, "peer", m)
+		}
+	}
+	return n, nil
+}
+
+// count bumps a cluster counter if a registry is attached.
+func (n *Node) count(name, help string, labels ...string) {
+	if reg := n.cfg.Obs.MetricsOrNil(); reg != nil {
+		reg.Counter(name, help, labels...).Add(1)
+	}
+}
+
+// OwnerOf returns the replica URL owning a fingerprint.
+func (n *Node) OwnerOf(fp string) string { return n.ring.Owner(fp) }
+
+// Self returns this replica's base URL.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// fetchResult is one peer fetch outcome on the hedge race.
+type fetchResult struct {
+	fill *service.RemoteFill
+	err  error
+	peer string
+}
+
+// FetchArtifact implements service.RemoteFiller: resolve the
+// fingerprint's ring owner, fetch the artifact from it, and hedge a
+// cache-only probe to the next replica if the owner is slow. Only the
+// owner's fetch may trigger synthesis — the hedge can answer from its
+// cache but never start work, which is what keeps a cold key's
+// synthesis at exactly one fleet-wide.
+func (n *Node) FetchArtifact(ctx context.Context, req service.FillRequest) (*service.RemoteFill, error) {
+	owners := n.ring.Owners(req.Fingerprint, 2)
+	if len(owners) == 0 || owners[0] == n.cfg.Self {
+		// We own the key (or there is no fleet): synthesize locally.
+		return nil, service.ErrLocalFill
+	}
+	primary := n.peer[owners[0]]
+	if primary == nil {
+		return nil, service.ErrLocalFill
+	}
+	if !primary.breaker.Allow() {
+		n.count("cluster_breaker_rejects", "peer calls rejected by an open circuit", "peer", primary.url)
+		n.logf("peer circuit open, filling locally", "peer", primary.url, "fingerprint", req.Fingerprint)
+		return nil, fmt.Errorf("cluster: circuit open for owner %s", primary.url)
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FetchTimeout)
+	defer cancel()
+	results := make(chan fetchResult, 2)
+	n.count("cluster_fills_remote", "artifact fills requested from remote owners")
+	go func() {
+		fill, err := n.fetchFrom(ctx, primary, req, false)
+		results <- fetchResult{fill, err, primary.url}
+	}()
+
+	// Hedge: after the delay, probe the next distinct replica's cache.
+	// A miss there is a clean "no", never a second synthesis.
+	var hedgeTimer *time.Timer
+	inflight := 1
+	if n.cfg.HedgeDelay > 0 && len(owners) > 1 && owners[1] != n.cfg.Self {
+		if hedge := n.peer[owners[1]]; hedge != nil {
+			hedgeTimer = time.AfterFunc(n.cfg.HedgeDelay, func() {
+				if !hedge.breaker.Allow() {
+					results <- fetchResult{nil, fmt.Errorf("cluster: circuit open for hedge %s", hedge.url), hedge.url}
+					return
+				}
+				n.count("cluster_hedges", "hedged cache-only probes issued")
+				hreq := req
+				hreq.CacheOnly = true
+				fill, err := n.fetchFrom(ctx, hedge, hreq, true)
+				results <- fetchResult{fill, err, hedge.url}
+			})
+			inflight = 2
+		}
+	}
+	defer func() {
+		if hedgeTimer != nil && hedgeTimer.Stop() {
+			inflight-- // the probe never launched; don't wait for it
+		}
+	}()
+
+	var firstErr error
+	for i := 0; i < inflight; i++ {
+		select {
+		case res := <-results:
+			if res.err == nil {
+				if res.peer != primary.url {
+					n.count("cluster_hedge_wins", "hedged probes that answered first")
+				}
+				return res.fill, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if hedgeTimer != nil && res.peer == primary.url && hedgeTimer.Stop() {
+				inflight-- // primary already failed; no point launching the probe late
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, firstErr
+}
+
+// fetchFrom performs one POST /v1/artifact exchange with a peer,
+// recording the outcome on its breaker. cacheOnly misses (404) are a
+// healthy "not cached", not a peer failure.
+func (n *Node) fetchFrom(ctx context.Context, ps *peerState, req service.FillRequest, cacheOnly bool) (*service.RemoteFill, error) {
+	req.CacheOnly = cacheOnly
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, ps.url+"/v1/artifact", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if req.RequestID != "" {
+		hr.Header.Set("X-Request-Id", req.RequestID)
+	}
+	resp, err := n.cfg.Client.Do(hr)
+	if err != nil {
+		ps.breaker.Failure()
+		n.count("cluster_peer_errors", "failed peer exchanges", "peer", ps.url)
+		n.logf("peer fetch failed", "peer", ps.url, "err", err.Error())
+		return nil, fmt.Errorf("cluster: fetch from %s: %w", ps.url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes))
+	if err != nil {
+		ps.breaker.Failure()
+		n.count("cluster_peer_errors", "failed peer exchanges", "peer", ps.url)
+		return nil, fmt.Errorf("cluster: fetch from %s: %w", ps.url, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		ps.breaker.Success()
+		var art service.ArtifactResponse
+		if err := json.Unmarshal(out, &art); err != nil {
+			return nil, fmt.Errorf("cluster: bad artifact from %s: %w", ps.url, err)
+		}
+		if art.Fingerprint != req.Fingerprint {
+			return nil, fmt.Errorf("cluster: %s answered fingerprint %s for %s", ps.url, art.Fingerprint, req.Fingerprint)
+		}
+		n.count("cluster_peer_hits", "cache misses answered by a peer artifact")
+		return &service.RemoteFill{
+			Text:          art.Library,
+			Partial:       art.Partial,
+			Stats:         art.Stats,
+			Reused:        art.Reused,
+			Resynthesized: art.Resynthesized,
+			Peer:          ps.url,
+		}, nil
+	case resp.StatusCode >= 500:
+		ps.breaker.Failure()
+		n.count("cluster_peer_errors", "failed peer exchanges", "peer", ps.url)
+		return nil, fmt.Errorf("cluster: %s answered %d", ps.url, resp.StatusCode)
+	default:
+		// 4xx: the peer is healthy but cannot help (cache-only miss,
+		// config-skew conflict). Not a breaker event.
+		ps.breaker.Success()
+		return nil, fmt.Errorf("cluster: %s answered %d: %s", ps.url, resp.StatusCode, bytes.TrimSpace(out))
+	}
+}
+
+// maxArtifactBytes bounds an artifact response read from a peer.
+const maxArtifactBytes = 64 << 20
+
+func (n *Node) logf(msg string, args ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Info(msg, args...)
+	}
+}
+
+// ClusterStatus is the JSON shape of GET /v1/cluster.
+type ClusterStatus struct {
+	Self   string       `json:"self"`
+	Mode   string       `json:"mode"`
+	VNodes int          `json:"vnodes"`
+	Peers  []PeerStatus `json:"peers"`
+}
+
+// PeerStatus is one replica's health as seen from this node.
+type PeerStatus struct {
+	URL          string `json:"url"`
+	Self         bool   `json:"self,omitempty"`
+	BreakerState int    `json:"breaker_state"`
+	Failures     int    `json:"failures,omitempty"`
+}
+
+// Handler returns the node's HTTP handler: the local service tree plus
+// GET /v1/cluster, with select requests intercepted for forwarding in
+// ModeForward.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster", n.handleStatus)
+	local := n.sv.Handler()
+	if n.cfg.Mode == ModeForward {
+		fwd := n.forwarder(local)
+		mux.Handle("POST /v1/select", fwd)
+		mux.Handle("POST /v1/select/batch", fwd)
+	}
+	mux.Handle("/", local)
+	return mux
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := ClusterStatus{Self: n.cfg.Self, Mode: n.cfg.Mode, VNodes: n.ring.vnodes}
+	for _, m := range n.ring.Members() {
+		ps := PeerStatus{URL: m, Self: m == n.cfg.Self}
+		if p := n.peer[m]; p != nil {
+			ps.BreakerState = p.breaker.State()
+			ps.Failures = p.breaker.Failures()
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].URL < st.Peers[j].URL })
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}
+
+// forwardHeader marks an already-forwarded request; a request carrying
+// it is always served locally, so two skewed ring views cannot bounce a
+// request between replicas forever.
+const forwardHeader = "X-Iseld-Forwarded"
+
+// maxForwardBytes bounds the request body a forwarder buffers.
+const maxForwardBytes = 8 << 20
+
+// forwarder proxies select requests to the owning replica, falling back
+// to the local handler when the owner is this node, unreachable, or
+// circuit-broken.
+func (n *Node) forwarder(local http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(forwardHeader) != "" {
+			local.ServeHTTP(w, r)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxForwardBytes))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		serveLocal := func() {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			local.ServeHTTP(w, r)
+		}
+		var key struct {
+			Target   string `json:"target"`
+			Selector string `json:"selector"`
+		}
+		if err := json.Unmarshal(body, &key); err != nil {
+			serveLocal() // malformed body: let the service produce its 400
+			return
+		}
+		fp, err := n.sv.FingerprintRequest(key.Target, "", key.Selector)
+		if err != nil {
+			serveLocal()
+			return
+		}
+		owner := n.ring.Owner(fp)
+		if owner == "" || owner == n.cfg.Self {
+			serveLocal()
+			return
+		}
+		ps := n.peer[owner]
+		if ps == nil || !ps.breaker.Allow() {
+			n.count("cluster_forward_local", "forwards degraded to local service")
+			serveLocal()
+			return
+		}
+		hr, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+r.URL.Path, bytes.NewReader(body))
+		if err != nil {
+			serveLocal()
+			return
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set(forwardHeader, n.cfg.Self)
+		if rid := r.Header.Get("X-Request-Id"); rid != "" {
+			hr.Header.Set("X-Request-Id", rid)
+		}
+		resp, err := n.cfg.Client.Do(hr)
+		if err != nil {
+			ps.breaker.Failure()
+			n.count("cluster_peer_errors", "failed peer exchanges", "peer", ps.url)
+			n.count("cluster_forward_local", "forwards degraded to local service")
+			n.logf("forward failed, serving locally", "peer", owner, "err", err.Error())
+			serveLocal()
+			return
+		}
+		defer resp.Body.Close()
+		ps.breaker.Success()
+		n.count("cluster_forwarded", "select requests proxied to their ring owner")
+		if rid := resp.Header.Get("X-Request-Id"); rid != "" {
+			w.Header().Set("X-Request-Id", rid)
+		}
+		w.Header().Set("X-Iseld-Forwarded-To", owner)
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	})
+}

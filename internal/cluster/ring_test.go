@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	b := NewRing([]string{"http://c", "http://a", "http://b"}, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner depends on member order (%s vs %s)",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %s: got %d owners, want 3", key, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner %s in %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %s: Owners[0]=%s but Owner=%s", key, owners[0], r.Owner(key))
+		}
+	}
+	if got := r.Owners("k", 10); len(got) != 3 {
+		t.Fatalf("Owners capped at membership: got %d, want 3", len(got))
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("sha256:%064d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		// 64 vnodes keeps a 4-member split well inside [10%, 45%].
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys — ring badly unbalanced (%v)",
+				m, share*100, counts)
+		}
+	}
+}
+
+func TestRingRemovalRemapsOnlyVictimKeys(t *testing.T) {
+	full := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	reduced := NewRing([]string{"http://a", "http://b"}, 0)
+	moved := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before != "http://c" && before != after {
+			t.Fatalf("key %s moved from surviving member %s to %s", key, before, after)
+		}
+		if before == "http://c" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("expected some keys owned by the removed member")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	one := NewRing([]string{"http://only"}, 0)
+	if got := one.Owner("k"); got != "http://only" {
+		t.Fatalf("single-member owner = %q", got)
+	}
+}

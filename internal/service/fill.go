@@ -1,0 +1,245 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"iselgen/internal/core"
+	"iselgen/internal/isel"
+	"iselgen/internal/term"
+)
+
+// ErrLocalFill is returned by a RemoteFiller when the local node is the
+// rightful owner of the fingerprint (or no peer is reachable): the
+// caller should produce the artifact itself. It is a routing signal,
+// not a failure.
+var ErrLocalFill = errors.New("service: fill locally")
+
+// FillRequest describes one artifact a node wants a peer to produce (or
+// serve from its cache): everything the peer needs to recompute the
+// fingerprint and, on a miss of its own, run the synthesis.
+type FillRequest struct {
+	// Fingerprint is the full-cache key the requester computed; the peer
+	// recomputes it from the other fields and refuses on mismatch, so a
+	// config-skewed replica can never poison a cache.
+	Fingerprint string `json:"fingerprint"`
+	// Target names a builtin target — or, with Spec set, the inline
+	// target the spec defines.
+	Target string `json:"target"`
+	// Spec carries inline DSL source (empty for builtin targets; builtin
+	// spec text is resolved by name on the peer).
+	Spec string `json:"spec,omitempty"`
+	// Selector is the selection engine the artifact is keyed under.
+	Selector string `json:"selector,omitempty"`
+	// TimeoutMS bounds the synthesis the fill may trigger on the peer.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// CacheOnly asks the peer to answer only from its in-memory cache
+	// (404 on a miss) — the hedged-probe form that can never trigger a
+	// second fleet-wide synthesis.
+	CacheOnly bool `json:"cache_only,omitempty"`
+	// RequestID is the originating request's ID, propagated into the
+	// peer call's X-Request-Id header so one user request is traceable
+	// across replicas. Not part of the JSON body.
+	RequestID string `json:"-"`
+}
+
+// RemoteFill is a peer's answer to a FillRequest: the serialized
+// library artifact plus where it came from.
+type RemoteFill struct {
+	// Text is the artifact in the Emit/parse round-trip format —
+	// re-verified locally before it is trusted (same contract as the
+	// disk layer).
+	Text string
+	// Partial marks a deadline-curtailed artifact (returned to waiters,
+	// never cached).
+	Partial bool
+	// Stats, Reused, and Resynthesized are the producing run's provenance,
+	// echoed into the local entry so responses stay byte-identical across
+	// replicas.
+	Stats         core.StageStats
+	Reused        int
+	Resynthesized int
+	// Peer is the base URL of the peer that answered.
+	Peer string
+}
+
+// RemoteFiller fetches artifacts from elsewhere — the cluster layer's
+// hook into the cache-miss path. FetchArtifact returns ErrLocalFill
+// when the caller should synthesize locally (it owns the key, or no
+// peer can help); any other error also degrades to a local fill, but is
+// counted as one.
+type RemoteFiller interface {
+	FetchArtifact(ctx context.Context, req FillRequest) (*RemoteFill, error)
+}
+
+// SetFiller attaches the remote-fill hook. Call it after New and before
+// the handler serves traffic (the cluster layer needs the Server first
+// to answer its peers' fills).
+func (sv *Server) SetFiller(f RemoteFiller) { sv.filler = f }
+
+// FingerprintRequest computes the full-cache fingerprint a request for
+// (target|inline spec, selector) resolves to — exported for the cluster
+// layer, which routes ownership by it.
+func (sv *Server) FingerprintRequest(target, spec, selector string) (string, error) {
+	def, err := sv.resolveTarget(target, spec)
+	if err != nil {
+		return "", err
+	}
+	_, fp := sv.effectiveConfig(def, selector)
+	return fp, nil
+}
+
+// fillFromPeer attempts to satisfy a cache miss from a peer replica:
+// fetch the serialized artifact, then re-verify every rule against a
+// freshly materialized target (a peer is trusted no further than the
+// disk layer is). ok=false on any failure — the caller then falls back
+// to the local incremental/synthesis path.
+func (sv *Server) fillFromPeer(def targetDef, fp, selector, rid string, timeout time.Duration) (*Entry, bool) {
+	if sv.filler == nil {
+		return nil, false
+	}
+	t0 := time.Now()
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		// The fill budget is the synthesis budget: the owner may be
+		// synthesizing on our behalf, so give it the same deadline a
+		// local run would get.
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	req := FillRequest{
+		Fingerprint: fp,
+		Target:      def.name,
+		Selector:    selector,
+		TimeoutMS:   int64(timeout / time.Millisecond),
+		RequestID:   rid,
+	}
+	if def.inline {
+		req.Spec = def.spec
+	}
+	sp := sv.obsv.TracerOrNil().Start("cluster fill").
+		SetStr("fingerprint", fp).SetStr("request_id", rid)
+	rf, err := sv.filler.FetchArtifact(ctx, req)
+	if err != nil {
+		sp.SetStr("outcome", "local").End()
+		return nil, false
+	}
+	b := term.NewBuilder()
+	tgt, err := def.load(b)
+	if err != nil {
+		sp.SetStr("outcome", "load-error").End()
+		return nil, false
+	}
+	lib, err := isel.LoadLibrary(b, tgt, rf.Text)
+	if err != nil {
+		// A peer artifact that does not verify is poison, exactly like a
+		// stale disk artifact: ignore it and synthesize cleanly.
+		sp.SetStr("outcome", "verify-error").End()
+		return nil, false
+	}
+	lib.Freeze()
+	sp.SetStr("outcome", "peer").SetStr("peer", rf.Peer).End()
+	return &Entry{
+		Fingerprint: fp,
+		TargetName:  def.name,
+		B:           b,
+		Target:      tgt,
+		Lib:         lib,
+		Partial:     rf.Partial,
+		Stats:       rf.Stats,
+		Elapsed:     time.Since(t0),
+		Origin:      "peer",
+		Reused:      rf.Reused,
+		Resynth:     rf.Resynthesized,
+	}, true
+}
+
+// ArtifactResponse answers POST /v1/artifact: the serialized library
+// for a fingerprint, produced (or served from cache) by this replica on
+// a peer's behalf. Stats, Reused, and Resynthesized carry the producing
+// run's provenance so a peer-filled entry answers clients with exactly
+// the metadata the owner's entry does — byte-identical responses from
+// any replica.
+type ArtifactResponse struct {
+	Fingerprint   string          `json:"fingerprint"`
+	Target        string          `json:"target"`
+	Cache         string          `json:"cache"`
+	Partial       bool            `json:"partial"`
+	Rules         int             `json:"rules"`
+	Stats         core.StageStats `json:"stats"`
+	Reused        int             `json:"reused_rules,omitempty"`
+	Resynthesized int             `json:"resynthesized_rules,omitempty"`
+	Library       string          `json:"library"`
+}
+
+// handleArtifact is the peer-fill endpoint. A cache_only request
+// answers exclusively from the in-memory layer (404 on a miss) — the
+// hedged-probe path. A full request runs the whole local cache protocol
+// (memory, disk, incremental, synthesis) with peer-filling disabled, so
+// two replicas can never fill from each other in a cycle; cross-node
+// singleflight falls out of the local store's flight, because every
+// replica sends its fill for a fingerprint to the same ring owner.
+func (sv *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	var req FillRequest
+	if !sv.decode(w, r, &req) {
+		return
+	}
+	if req.CacheOnly {
+		e := sv.store.Peek(req.Fingerprint)
+		if e == nil {
+			sv.fail(w, http.StatusNotFound, fmt.Errorf("artifact %s not cached here", req.Fingerprint))
+			return
+		}
+		sv.metrics.ArtifactServed.Add(1)
+		writeJSON(w, http.StatusOK, ArtifactResponse{
+			Fingerprint:   e.Fingerprint,
+			Target:        e.TargetName,
+			Cache:         "hit",
+			Partial:       e.Partial,
+			Rules:         e.Lib.Len(),
+			Stats:         e.Stats,
+			Reused:        e.Reused,
+			Resynthesized: e.Resynth,
+			Library:       isel.SaveLibraryFor(e.Lib, e.Target),
+		})
+		return
+	}
+	def, err := sv.resolveTarget(req.Target, req.Spec)
+	if err != nil {
+		sv.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, fp := sv.effectiveConfig(def, req.Selector)
+	if req.Fingerprint != "" && req.Fingerprint != fp {
+		// Config skew between replicas: refusing keeps a mismatched
+		// artifact out of the requester's cache; it will fill locally.
+		sv.fail(w, http.StatusConflict,
+			fmt.Errorf("fingerprint mismatch: requester %s, here %s (replica config skew?)", req.Fingerprint, fp))
+		return
+	}
+	timeout := sv.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	e, cache, status, err := sv.entryFor(r.Context(), def, cfg, fp, timeout, false)
+	if err != nil {
+		sv.fail(w, status, err)
+		return
+	}
+	sv.metrics.ArtifactServed.Add(1)
+	writeJSON(w, http.StatusOK, ArtifactResponse{
+		Fingerprint:   e.Fingerprint,
+		Target:        e.TargetName,
+		Cache:         cache,
+		Partial:       e.Partial,
+		Rules:         e.Lib.Len(),
+		Stats:         e.Stats,
+		Reused:        e.Reused,
+		Resynthesized: e.Resynth,
+		Library:       isel.SaveLibraryFor(e.Lib, e.Target),
+	})
+}

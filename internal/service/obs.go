@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -8,6 +9,47 @@ import (
 	"runtime/debug"
 	"time"
 )
+
+// ridKey is the context key carrying the request ID into detached
+// synthesis jobs and peer fills.
+type ridKey struct{}
+
+// WithRequestID returns ctx carrying a request ID.
+func WithRequestID(ctx context.Context, rid string) context.Context {
+	if rid == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridKey{}, rid)
+}
+
+// RequestIDFrom extracts the request ID a handler's context carries
+// ("" outside a request).
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// maxRequestIDLen bounds accepted client-supplied request IDs.
+const maxRequestIDLen = 64
+
+// cleanRequestID accepts a client- or peer-supplied X-Request-Id if it
+// is short and printable-safe (no header/log injection); anything else
+// is discarded and a fresh ID is minted.
+func cleanRequestID(rid string) string {
+	if rid == "" || len(rid) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(rid); i++ {
+		c := rid[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return ""
+		}
+	}
+	return rid
+}
 
 // BuildInfo identifies the serving binary: Go toolchain version and,
 // when the binary was built inside a VCS checkout, the revision it was
@@ -53,14 +95,21 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// withObs is the request middleware: it assigns a request ID (echoed in
-// X-Request-Id), opens a per-request span, feeds the request-latency
-// histogram and request counter, and emits one structured access-log
-// line. Every piece degrades to a no-op when its sink is absent.
+// withObs is the request middleware: it adopts the caller's
+// X-Request-Id (so one user request keeps its identity across forwarded
+// and peer-filled hops) or assigns one, echoes it back, threads it into
+// the request context for detached jobs, opens a per-request span,
+// feeds the request-latency histogram and request counter, and emits
+// one structured access-log line. Every piece degrades to a no-op when
+// its sink is absent.
 func (sv *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rid := fmt.Sprintf("req-%06d", sv.reqID.Add(1))
+		rid := cleanRequestID(r.Header.Get("X-Request-Id"))
+		if rid == "" {
+			rid = fmt.Sprintf("req-%06d", sv.reqID.Add(1))
+		}
 		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(WithRequestID(r.Context(), rid))
 		sp := sv.obsv.TracerOrNil().Start("http "+r.Method+" "+r.URL.Path).
 			SetStr("request_id", rid)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -156,6 +205,16 @@ func (sv *Server) registerGauges() {
 		func() int64 { return int64(sv.metrics.Errors.Load()) })
 	mirror("selections", "programs lowered by /v1/select",
 		func() int64 { return int64(sv.metrics.Selections.Load()) })
+	mirror("peer_fills", "cache misses filled from a peer replica",
+		func() int64 { return int64(sv.metrics.PeerFills.Load()) })
+	mirror("artifacts_served", "artifact fills served to peer replicas",
+		func() int64 { return int64(sv.metrics.ArtifactServed.Load()) })
+	mirror("batch_programs", "programs received through /v1/select/batch",
+		func() int64 { return int64(sv.metrics.BatchPrograms.Load()) })
+	mirror("jobs_submitted", "async jobs admitted through /v1/jobs",
+		func() int64 { return int64(sv.metrics.JobsSubmitted.Load()) })
+	mirror("jobs_active", "async jobs queued or running now",
+		func() int64 { return int64(sv.jobs.activeCount()) })
 	mirror("cached_entries", "libraries resident in the memory cache",
 		func() int64 { return int64(sv.store.MemLen()) })
 	mirror("queue_depth", "synthesis jobs waiting in the queue",

@@ -56,6 +56,9 @@ type Config struct {
 	// DefaultTimeout is the per-job synthesis deadline applied when a
 	// request does not set timeout_ms (0 = no deadline).
 	DefaultTimeout time.Duration
+	// MaxJobs caps the async jobs (queued + running) admitted through
+	// POST /v1/jobs; past the cap submissions answer 429 (0 = default 64).
+	MaxJobs int
 	// Obs, when set, enables the observability surface: per-request
 	// spans (GET /v1/trace), the Prometheus registry (GET /metrics), and
 	// decision provenance. It is threaded into every synthesis job and
@@ -75,12 +78,15 @@ type Server struct {
 	sched   *Scheduler
 	metrics Metrics
 	mux     *http.ServeMux
+	jobs    *jobTable
+	filler  RemoteFiller
 
-	obsv   *obs.Obs
-	logger *slog.Logger
-	start  time.Time
-	build  BuildInfo
-	reqID  atomic.Uint64
+	obsv    *obs.Obs
+	logger  *slog.Logger
+	start   time.Time
+	build   BuildInfo
+	reqID   atomic.Uint64
+	closing atomic.Bool
 
 	// testJobGate, when set, is invoked at the start of every scheduled
 	// job — the in-package tests use it to hold jobs in a deterministic
@@ -114,6 +120,7 @@ func New(cfg Config) (*Server, error) {
 		shards: NewShardStore(),
 		sched:  NewScheduler(cfg.Workers, cfg.QueueDepth),
 		mux:    http.NewServeMux(),
+		jobs:   newJobTable(cfg.MaxJobs),
 		obsv:   cfg.Obs,
 		logger: cfg.Logger,
 		start:  time.Now(),
@@ -121,6 +128,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	sv.mux.HandleFunc("POST /v1/synthesize", sv.handleSynthesize)
 	sv.mux.HandleFunc("POST /v1/select", sv.handleSelect)
+	sv.mux.HandleFunc("POST /v1/select/batch", sv.handleSelectBatch)
+	sv.mux.HandleFunc("POST /v1/jobs", sv.handleJobSubmit)
+	sv.mux.HandleFunc("GET /v1/jobs", sv.handleJobList)
+	sv.mux.HandleFunc("GET /v1/jobs/{id}", sv.handleJobGet)
+	sv.mux.HandleFunc("POST /v1/artifact", sv.handleArtifact)
 	sv.mux.HandleFunc("GET /v1/metrics", sv.handleMetrics)
 	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	sv.registerObsRoutes()
@@ -133,8 +145,35 @@ func New(cfg Config) (*Server, error) {
 func (sv *Server) Handler() http.Handler { return sv.withObs(sv.mux) }
 
 // Close drains the scheduler: queued and in-flight synthesis jobs finish
-// (completing their flights) before Close returns.
-func (sv *Server) Close() { sv.sched.Close() }
+// (completing their flights) before Close returns, then the store's
+// persist queue is flushed and its writer stopped.
+func (sv *Server) Close() {
+	sv.closing.Store(true)
+	sv.jobs.wait(context.Background())
+	sv.sched.Close()
+	sv.store.Close()
+}
+
+// Shutdown is the graceful half of Close: it stops admitting async
+// jobs, drains queued and in-flight work (async jobs included) under
+// the context's deadline, and flushes the disk-cache persist queue. On
+// deadline expiry it returns the context error with whatever drained;
+// the store writer keeps running so a follow-up Close stays safe.
+func (sv *Server) Shutdown(ctx context.Context) error {
+	sv.closing.Store(true)
+	done := make(chan struct{})
+	go func() {
+		sv.jobs.wait(ctx)
+		sv.sched.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return sv.store.Flush(ctx)
+}
 
 // targetDef is everything the service needs to know about one target:
 // how to fingerprint it (spec source), how to materialize it, and —
@@ -143,6 +182,7 @@ func (sv *Server) Close() { sv.sched.Close() }
 type targetDef struct {
 	name    string
 	spec    string
+	inline  bool // spec arrived in the request, not resolved from a builtin
 	load    func(b *term.Builder) (*isa.Target, error)
 	backend func(tgt *isa.Target, lib *rules.Library) *isel.Backend
 }
@@ -163,8 +203,9 @@ func (sv *Server) resolveTarget(name, inline string) (targetDef, error) {
 			return targetDef{}, err
 		}
 		return targetDef{
-			name: name,
-			spec: inline,
+			name:   name,
+			spec:   inline,
+			inline: true,
 			load: func(b *term.Builder) (*isa.Target, error) {
 				return isa.LoadTarget(b, name, inline, nil, 4)
 			},
@@ -222,12 +263,16 @@ func (sv *Server) lineageKey(def targetDef, cfg core.Config) string {
 		cfg.CacheKey(), fmt.Sprintf("maxpat=%d", sv.cfg.MaxPatterns))
 }
 
-// entryFor implements the cache protocol shared by /v1/synthesize and
-// /v1/select: memory hit, or join an in-flight job, or own a new job
-// (disk layer first, then synthesis under the deadline). The returned
-// cache string is the path taken: "hit", "disk", "miss", or "join".
-// On error, the returned status is the HTTP code to answer with.
-func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, fp string, timeout time.Duration) (e *Entry, cache string, status int, err error) {
+// entryFor implements the cache protocol shared by /v1/synthesize,
+// /v1/select (single and batch), /v1/jobs, and /v1/artifact: memory
+// hit, or join an in-flight job, or own a new job (disk layer, then —
+// with allowPeer — a peer fill from the fingerprint's ring owner, then
+// synthesis under the deadline). The returned cache string is the path
+// taken: "hit", "disk", "peer", "miss", or "join". On error, the
+// returned status is the HTTP code to answer with. allowPeer is false
+// exactly when the request *is* a peer fill, so replicas can never fill
+// from each other in a cycle.
+func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, fp string, timeout time.Duration, allowPeer bool) (e *Entry, cache string, status int, err error) {
 	e, fl, owner := sv.store.Acquire(fp)
 	if e != nil {
 		sv.metrics.CacheHits.Add(1)
@@ -235,6 +280,7 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 	}
 	if owner {
 		lk := sv.lineageKey(def, cfg)
+		rid := RequestIDFrom(ctx)
 		job := func() {
 			if sv.testJobGate != nil {
 				sv.testJobGate()
@@ -249,7 +295,22 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 				sv.shards.Update(lk, ent.Target, ent.Lib)
 				return
 			}
-			// Disk miss: if this lineage has completed before (same target
+			// Disk miss: ask the fingerprint's ring owner before doing any
+			// work ourselves — across the fleet, only the owner ever
+			// synthesizes a key, so N replicas missing at once still cost
+			// one synthesis (the owner's local singleflight collapses the
+			// concurrent fills).
+			if allowPeer && sv.filler != nil {
+				if ent, ok := sv.fillFromPeer(def, fp, cfg.Selector, rid, timeout); ok {
+					sv.metrics.PeerFills.Add(1)
+					sv.store.Complete(fp, ent, nil)
+					if !ent.Partial {
+						sv.shards.Update(lk, ent.Target, ent.Lib)
+					}
+					return
+				}
+			}
+			// Local fill: if this lineage has completed before (same target
 			// name and config, different spec text), resynthesize from its
 			// shards instead of from scratch.
 			ent, ok := sv.runIncremental(def, cfg, fp, lk, timeout)
@@ -288,6 +349,8 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 		cache = "disk"
 	case ent.Origin == "incremental":
 		cache = "incr"
+	case ent.Origin == "peer":
+		cache = "peer"
 	default:
 		cache = "miss"
 	}
@@ -442,7 +505,7 @@ func (sv *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	e, cache, status, err := sv.entryFor(r.Context(), def, cfg, fp, timeout)
+	e, cache, status, err := sv.entryFor(r.Context(), def, cfg, fp, timeout, true)
 	if err != nil {
 		sv.fail(w, status, err)
 		return
@@ -469,7 +532,15 @@ func (sv *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 type SelectRequest struct {
 	Target string `json:"target"`
 	// Workload names a gMIR program from the SPEC-analog suite.
-	Workload string `json:"workload"`
+	Workload string `json:"workload,omitempty"`
+	// Program is an inline straight-line gMIR program in the fuzz corpus
+	// text form — the alternative to Workload for arbitrary programs
+	// (the load harness's path). Simulated on deterministic input
+	// vectors derived from VectorSeed.
+	Program string `json:"program,omitempty"`
+	// VectorSeed seeds the deterministic input vectors a Program is
+	// simulated on (default 1); identical across replicas by design.
+	VectorSeed uint64 `json:"vector_seed,omitempty"`
 	// Scale stretches the workload iteration counts (default 1).
 	Scale int `json:"scale,omitempty"`
 	// TimeoutMS bounds the synthesis this request may trigger on a cold
@@ -562,28 +633,30 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		scale = 1
 	}
 	var work *bench.Workload
-	suite := bench.Suite(scale)
-	for i := range suite {
-		if suite[i].Name == req.Workload {
-			work = &suite[i]
-			break
-		}
-	}
-	if work == nil {
-		names := make([]string, len(suite))
-		for i := range suite {
-			names[i] = suite[i].Name
-		}
-		sv.fail(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q (have %v)", req.Workload, names))
+	switch {
+	case req.Program != "" && req.Workload != "":
+		sv.fail(w, http.StatusBadRequest, fmt.Errorf(`set "workload" or "program", not both`))
 		return
+	case req.Program == "":
+		suite := bench.Suite(scale)
+		for i := range suite {
+			if suite[i].Name == req.Workload {
+				work = &suite[i]
+				break
+			}
+		}
+		if work == nil {
+			names := make([]string, len(suite))
+			for i := range suite {
+				names[i] = suite[i].Name
+			}
+			sv.fail(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q (have %v)", req.Workload, names))
+			return
+		}
 	}
-	selector := req.Selector
-	if selector == "" {
-		selector = "greedy"
-	}
-	if selector != "greedy" && selector != "optimal" {
-		sv.fail(w, http.StatusBadRequest,
-			fmt.Errorf("unknown selector %q (have: greedy, optimal)", req.Selector))
+	selector, err := normalizeSelector(req.Selector)
+	if err != nil {
+		sv.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	cfg, fp := sv.effectiveConfig(def, selector)
@@ -591,9 +664,41 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	e, cache, status, err := sv.entryFor(r.Context(), def, cfg, fp, timeout)
+	e, cache, status, err := sv.entryFor(r.Context(), def, cfg, fp, timeout, true)
 	if err != nil {
 		sv.fail(w, status, err)
+		return
+	}
+	if req.Program != "" {
+		env := sv.newProgEnv(def, e, cfg.CostModel, selector, req.VectorSeed, 1, req.Emit)
+		res := env.selectProgram(0, req.Program)
+		if res.Error != "" {
+			sv.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("program: %s", res.Error))
+			return
+		}
+		sv.metrics.Selections.Add(1)
+		resp := SelectResponse{
+			Target:         def.name,
+			Workload:       "program",
+			Fingerprint:    e.Fingerprint,
+			Cache:          cache,
+			Partial:        e.Partial,
+			Fallback:       res.Fallback,
+			FallbackReason: res.FallbackReason,
+			RuleInsts:      res.RuleInsts,
+			HookInsts:      res.HookInsts,
+			Selector:       selector,
+			CostVersion:    cfg.CostModel.Version(),
+			StaticCost:     res.StaticCost,
+			Cycles:         res.Cycles,
+			Insts:          res.Insts,
+			BinarySize:     res.BinarySize,
+			MIR:            res.MIR,
+		}
+		if len(res.Checksums) > 0 {
+			resp.Checksum = res.Checksums[0]
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	bk := def.backend(e.Target, e.Lib)
@@ -673,6 +778,11 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PartialResults: sv.metrics.PartialRes.Load(),
 		Errors:         sv.metrics.Errors.Load(),
 		Selections:     sv.metrics.Selections.Load(),
+		PeerFills:      sv.metrics.PeerFills.Load(),
+		ArtifactServed: sv.metrics.ArtifactServed.Load(),
+		BatchPrograms:  sv.metrics.BatchPrograms.Load(),
+		JobsSubmitted:  sv.metrics.JobsSubmitted.Load(),
+		JobsActive:     sv.jobs.activeCount(),
 		CachedEntries:  sv.store.MemLen(),
 		Evictions:      sv.store.Evictions(),
 		ShardLineages:  lineages,

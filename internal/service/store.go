@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iselgen/internal/core"
@@ -86,6 +87,21 @@ type Store struct {
 	clock     uint64
 	evictions uint64
 	flights   map[string]*Flight
+
+	// Disk persists ride an asynchronous writer so Complete never holds
+	// waiters behind filesystem latency; Flush drains the queue (the
+	// shutdown "flush the disk cache" step). A full queue degrades to a
+	// synchronous write in the caller — writes are never dropped.
+	persistCh chan persistReq
+	pending   atomic.Int64
+	writerWG  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// persistReq is one queued disk write.
+type persistReq struct {
+	fp string
+	e  *Entry
 }
 
 // NewStore creates a store; dir, when non-empty, is created and used as
@@ -99,8 +115,58 @@ func NewStore(dir string, maxMem int) (*Store, error) {
 			return nil, err
 		}
 	}
-	return &Store{dir: dir, maxMem: maxMem,
-		mem: map[string]*Entry{}, used: map[string]uint64{}, flights: map[string]*Flight{}}, nil
+	s := &Store{dir: dir, maxMem: maxMem,
+		mem: map[string]*Entry{}, used: map[string]uint64{}, flights: map[string]*Flight{}}
+	if dir != "" {
+		s.persistCh = make(chan persistReq, 64)
+		s.writerWG.Add(1)
+		go func() {
+			defer s.writerWG.Done()
+			for req := range s.persistCh {
+				s.persist(req.fp, req.e)
+				s.pending.Add(-1)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Peek returns the in-memory entry for a fingerprint without joining or
+// creating a flight — the cache-only probe peers use for hedged reads
+// (a probe must never trigger work).
+func (s *Store) Peek(fp string) *Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.mem[fp]; e != nil {
+		s.clock++
+		s.used[fp] = s.clock
+		return e
+	}
+	return nil
+}
+
+// Flush blocks until every queued disk persist has been written (or ctx
+// expires). New writes enqueued while flushing extend the wait.
+func (s *Store) Flush(ctx context.Context) error {
+	for s.pending.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Close drains the persist queue and stops the writer. Safe to call
+// more than once; the store must not be written to afterwards.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.persistCh != nil {
+			close(s.persistCh)
+		}
+	})
+	s.writerWG.Wait()
 }
 
 // Acquire is the atomic admission step for a fingerprint: a memory hit
@@ -142,9 +208,17 @@ func (s *Store) Complete(fp string, e *Entry, err error) {
 		fl.entry, fl.err = e, err
 		close(fl.done)
 	}
-	if e != nil && err == nil && !e.Partial &&
-		(e.Origin == "synthesized" || e.Origin == "incremental") {
-		s.persist(fp, e) // best-effort; the memory layer already has it
+	if s.dir != "" && e != nil && err == nil && !e.Partial &&
+		(e.Origin == "synthesized" || e.Origin == "incremental" || e.Origin == "peer") {
+		// Best-effort and asynchronous; the memory layer already has it.
+		// A full queue falls back to writing inline rather than dropping.
+		s.pending.Add(1)
+		select {
+		case s.persistCh <- persistReq{fp, e}:
+		default:
+			s.persist(fp, e)
+			s.pending.Add(-1)
+		}
 	}
 }
 
