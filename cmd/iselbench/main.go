@@ -8,8 +8,12 @@
 //	-fig6            pattern / sequence length distributions
 //	-sizes           binary-size comparison (§VIII-C)
 //	-json            machine-readable results (rows + normalized + geomeans)
-//	-synthjson       full-vs-incremental synthesis timing baseline (both
-//	                 selection targets; see EXPERIMENTS.md for the schema)
+//	-synthjson       synthesis timing baseline (both selection targets):
+//	                 sequential vs parallel full synthesis (proven
+//	                 byte-identical), counterexample-screen accounting,
+//	                 and the incremental floor; -gate-full-ms N fails the
+//	                 run when aarch64 full synthesis exceeds N ms (the CI
+//	                 regression gate); see EXPERIMENTS.md for the schema
 //	-cost            attach the target cost model: rules are ranked by the
 //	                 model, the simulator charges model latencies, and the
 //	                 optimal DP selector ("synthopt") joins the tables
@@ -37,7 +41,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
+	"strings"
 	"time"
 
 	"math"
@@ -50,6 +56,7 @@ import (
 	"iselgen/internal/incr"
 	"iselgen/internal/isel"
 	"iselgen/internal/obs"
+	"iselgen/internal/smt"
 )
 
 func main() {
@@ -67,10 +74,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	obsJSON := flag.Bool("obsjson", false, "emit the observability-overhead baseline JSON (BENCH_obs.json) and enforce the disabled-overhead guard")
 	encJSON := flag.Bool("encjson", false, "emit the machine-encoding baseline JSON (BENCH_enc.json): round-trip counts and encode/decode throughput")
+	gateFullMS := flag.Float64("gate-full-ms", 0, "with -synthjson: fail if aarch64 full_synth_ms exceeds this (0 = no gate)")
 	flag.Parse()
 
 	if *synthJSON {
-		emitSynthJSON(*workers)
+		emitSynthJSON(*workers, *gateFullMS)
 		return
 	}
 	if *costJSON {
@@ -225,24 +233,56 @@ type benchRow struct {
 }
 
 // synthBaseline is one row of the -synthjson output: the same synthesis
-// run from scratch and incrementally from its own artifact (a no-op
-// delta — the floor of incremental cost, every rule reused, no solver).
+// run in parallel (default worker pool) and sequentially (Workers=1),
+// proven byte-identical, and then incrementally from its own artifact (a
+// no-op delta — the floor of incremental cost, every rule reused, no
+// solver). The cex_* fields account for the counterexample screen during
+// the parallel run.
 type synthBaseline struct {
-	Target         string  `json:"target"`
-	Rules          int     `json:"rules"`
-	FullSynthMS    float64 `json:"full_synth_ms"`
-	IncrSynthMS    float64 `json:"incr_synth_ms"`
-	Speedup        float64 `json:"speedup"`
-	Reused         int     `json:"reused"`
-	ReusedFraction float64 `json:"reused_fraction"`
-	Resynthesized  int     `json:"resynthesized"`
-	IncrSMTQueries int64   `json:"incr_smt_queries"`
+	Target           string  `json:"target"`
+	Rules            int     `json:"rules"`
+	Workers          int     `json:"workers"`
+	FullSynthMS      float64 `json:"full_synth_ms"`
+	SeqFullSynthMS   float64 `json:"seq_full_synth_ms"`
+	FingerprintMatch bool    `json:"fingerprint_match"`
+	IncrSynthMS      float64 `json:"incr_synth_ms"`
+	Speedup          float64 `json:"speedup"`
+	Reused           int     `json:"reused"`
+	ReusedFraction   float64 `json:"reused_fraction"`
+	Resynthesized    int     `json:"resynthesized"`
+	IncrSMTQueries   int64   `json:"incr_smt_queries"`
+	CexScreens       int64   `json:"cex_screens"`
+	CexCacheHits     int64   `json:"cex_cache_hits"`
+	CexHitRate       float64 `json:"cex_hit_rate"`
+	SMTSkipped       int64   `json:"smt_skipped"`
+	SMTQueries       int64   `json:"smt_queries"`
 }
 
-// emitSynthJSON measures, for both selection targets, a full synthesis
-// and then an incremental self-resynthesis from the resulting artifact
-// on a fresh builder — the BENCH_synth.json baseline.
-func emitSynthJSON(workers int) {
+// ruleFingerprints extracts the sorted rule-line fingerprint set from a
+// saved artifact (the #% header carries builder-dependent provenance the
+// comparison must ignore; rule lines are content-only by construction).
+func ruleFingerprints(artifact string) []string {
+	var out []string
+	for _, ln := range strings.Split(artifact, "\n") {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		out = append(out, ln)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitSynthJSON measures, for both selection targets: a sequential
+// (Workers=1) full synthesis, a parallel full synthesis with the default
+// worker pool — each from a cold counterexample cache — and an
+// incremental self-resynthesis from the parallel run's artifact on a
+// fresh builder. The parallel library must be byte-identical to the
+// sequential one (same saved artifact, same rule fingerprint set); any
+// divergence exits nonzero, as does an aarch64 full synthesis slower
+// than gateFullMS (0 = no gate). The output is the BENCH_synth.json
+// baseline.
+func emitSynthJSON(workers int, gateFullMS float64) {
 	load := func(name string) *harness.Setup {
 		var s *harness.Setup
 		var err error
@@ -259,16 +299,38 @@ func emitSynthJSON(workers int) {
 	}
 	var out []synthBaseline
 	for _, name := range []string{"aarch64", "riscv"} {
+		// Sequential reference run, cold cache.
+		seqCfg := core.DefaultConfig()
+		seqCfg.Workers = 1
+		sSeq := load(name)
+		smt.Cex.Reset()
+		tSeq := time.Now()
+		seqLib := sSeq.Synthesize(seqCfg, 0)
+		seqMS := float64(time.Since(tSeq).Nanoseconds()) / 1e6
+		seqArt := isel.SaveLibraryFor(seqLib, sSeq.ISA)
+
+		// Parallel run, also from a cold cache (hits below are earned
+		// within the run, not inherited from the sequential pass).
 		cfg := core.DefaultConfig()
-		if workers > 0 {
-			cfg.Workers = workers
-		}
+		cfg.Workers = core.ResolveWorkers(workers)
 		s := load(name)
+		smt.Cex.Reset()
 		t0 := time.Now()
 		lib := s.Synthesize(cfg, 0)
 		fullMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+		parArt := isel.SaveLibraryFor(lib, s.ISA)
+		st := s.Synther.Stats
 
-		art, err := incr.ParseArtifact(isel.SaveLibraryFor(lib, s.ISA))
+		seqFPs, parFPs := ruleFingerprints(seqArt), ruleFingerprints(parArt)
+		fpMatch := slices.Equal(seqFPs, parFPs) && seqArt == parArt
+		if !fpMatch {
+			fmt.Fprintf(os.Stderr,
+				"iselbench: %s: parallel library (%d rules) differs from sequential (%d rules) — synthesis must be schedule-independent\n",
+				name, lib.Len(), seqLib.Len())
+			os.Exit(1)
+		}
+
+		art, err := incr.ParseArtifact(parArt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iselbench:", err)
 			os.Exit(1)
@@ -289,17 +351,35 @@ func emitSynthJSON(workers int) {
 				lib2.Len(), lib.Len())
 			os.Exit(1)
 		}
+		hitRate := 0.0
+		if st.CexScreens > 0 {
+			hitRate = float64(st.CexHits) / float64(st.CexScreens)
+		}
 		out = append(out, synthBaseline{
-			Target:         name,
-			Rules:          lib.Len(),
-			FullSynthMS:    fullMS,
-			IncrSynthMS:    incrMS,
-			Speedup:        fullMS / incrMS,
-			Reused:         rep.Reused,
-			ReusedFraction: rep.ReusedFraction(),
-			Resynthesized:  rep.Resynthesized,
-			IncrSMTQueries: rep.SMTQueries,
+			Target:           name,
+			Rules:            lib.Len(),
+			Workers:          cfg.Workers,
+			FullSynthMS:      fullMS,
+			SeqFullSynthMS:   seqMS,
+			FingerprintMatch: fpMatch,
+			IncrSynthMS:      incrMS,
+			Speedup:          fullMS / incrMS,
+			Reused:           rep.Reused,
+			ReusedFraction:   rep.ReusedFraction(),
+			Resynthesized:    rep.Resynthesized,
+			IncrSMTQueries:   rep.SMTQueries,
+			CexScreens:       st.CexScreens,
+			CexCacheHits:     st.CexHits,
+			CexHitRate:       hitRate,
+			SMTSkipped:       st.SMTSkipped,
+			SMTQueries:       st.SMTQueries,
 		})
+		if name == "aarch64" && gateFullMS > 0 && fullMS > gateFullMS {
+			fmt.Fprintf(os.Stderr,
+				"iselbench: aarch64 full synthesis took %.0fms, over the %.0fms gate — the speedup regressed\n",
+				fullMS, gateFullMS)
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -37,7 +37,7 @@
 //
 // Usage: iseld [-addr :8791] [-cache-dir DIR] [-cache-entries N]
 //
-//	[-workers N] [-queue N] [-patterns N] [-timeout D]
+//	[-workers N] [-synth-workers N] [-queue N] [-patterns N] [-timeout D]
 //	[-trace-spans N] [-no-obs] [-max-jobs N]
 //	[-peers URL,URL,...] [-self URL] [-cluster-mode fill|forward]
 //	[-hedge D] [-breaker-failures N] [-breaker-cooldown D]
@@ -75,6 +75,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "disk artifact cache directory (empty = memory only)")
 	cacheEntries := flag.Int("cache-entries", 0, "LRU cap on in-memory cached libraries (0 = unbounded)")
 	workers := flag.Int("workers", 2, "synthesis jobs running at once")
+	synthWorkers := flag.Int("synth-workers", 0, "matcher threads per synthesis job (0 = ISEL_WORKERS or NumCPU)")
 	queue := flag.Int("queue", 8, "waiting-job queue depth (full queue answers 429)")
 	patterns := flag.Int("patterns", 0, "limit corpus patterns per synthesis (0 = all)")
 	timeout := flag.Duration("timeout", 0, "default per-job synthesis deadline (0 = none)")
@@ -104,6 +105,7 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
+	cfg.Workers = core.ResolveWorkers(*synthWorkers)
 	if *inputs > 0 {
 		cfg.TestInputs = *inputs
 	}

@@ -44,7 +44,7 @@ func main() {
 	tdOut := flag.String("td", "", "write the TableGen-style rule listing to this file")
 	inputs := flag.Int("inputs", 0, "test inputs per sequence (0 = default)")
 	maxPatterns := flag.Int("patterns", 0, "limit considered patterns (0 = all)")
-	workers := flag.Int("workers", 0, "matcher threads (0 = default)")
+	workers := flag.Int("workers", 0, "matcher threads (0 = ISEL_WORKERS or NumCPU)")
 	summary := flag.Bool("summary", false, "print the library composition summary")
 	incremental := flag.Bool("incremental", false, "resynthesize incrementally from a prior artifact (-from)")
 	fromPath := flag.String("from", "", "prior rule-library artifact to diff against (with -incremental)")
@@ -55,9 +55,7 @@ func main() {
 	if *inputs > 0 {
 		cfg.TestInputs = *inputs
 	}
-	if *workers > 0 {
-		cfg.Workers = *workers
-	}
+	cfg.Workers = core.ResolveWorkers(*workers)
 	if *traceOut != "" {
 		o := obs.New()
 		obs.SetDefault(o) // spec parse/symexec spans

@@ -54,6 +54,15 @@ type CTerm struct {
 	Kind  CKind
 	Width int
 
+	// Hash is a structural (Merkle) hash of the term's content. Unlike
+	// ID — which is assigned in Ctx insertion order and therefore depends
+	// on canonicalization history — the hash is identical for the same
+	// term in every Ctx. All canonical orderings (commutative operand
+	// order, Lin addend order) go through content comparison so that two
+	// contexts always agree on the shape of a canonical term; this is
+	// what makes index lookups worker-history-independent.
+	Hash uint64
+
 	// Atom fields.
 	Var *term.Term
 
@@ -65,7 +74,7 @@ type CTerm struct {
 
 	// Lin fields.
 	K       bv.BV    // constant part, width Width
-	Addends []Addend // sorted by (kind rank, ID), no zero coefficients
+	Addends []Addend // sorted by (kind rank, content), no zero coefficients
 }
 
 // Addend is one coefficient·subterm component of a linear combination.
@@ -83,14 +92,22 @@ func (c *CTerm) IsAtom() bool { return c.Kind == Atom }
 // AtomKind returns the variable kind of an atom.
 func (c *CTerm) AtomKind() term.VarKind { return c.Var.Kind }
 
+// rank orders addend classes inside a linear combination. PC atoms sort
+// before every other class: the trie's PC-relative matching (option D)
+// absorbs an unmatched PC edge into a *later* immediate edge, so the pc
+// addend must precede immediates on every trie path. The rank is pure
+// content (kind and atom kind), never Ctx state, so all contexts agree.
 func rank(c *CTerm) int {
 	switch c.Kind {
 	case Atom:
-		return 0
-	case OpNode:
+		if c.Var.Kind == term.KindPC {
+			return 0
+		}
 		return 1
-	default:
+	case OpNode:
 		return 2
+	default:
+		return 3
 	}
 }
 
@@ -120,10 +137,125 @@ func (cx *Ctx) intern(c *CTerm) *CTerm {
 		return old
 	}
 	c.ID = len(cx.terms)
+	c.Hash = contentHash(c)
 	cx.terms = append(cx.terms, c)
 	cx.byKey[key] = c
 	return c
 }
+
+// contentHash computes the structural hash of a term whose children are
+// already interned (and therefore already hashed): FNV-1a over the
+// term's own content mixed with the children's hashes.
+func contentHash(c *CTerm) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) { h = (h ^ v) * 1099511628211 }
+	mix(uint64(c.Kind))
+	mix(uint64(c.Width))
+	switch c.Kind {
+	case Atom:
+		for i := 0; i < len(c.Var.Name); i++ {
+			mix(uint64(c.Var.Name[i]))
+		}
+		mix(uint64(c.Var.Kind))
+	case OpNode:
+		mix(uint64(c.Op))
+		mix(uint64(uint32(c.Aux0)))
+		mix(uint64(uint32(c.Aux1)))
+		for _, a := range c.Args {
+			mix(a.Hash)
+		}
+	case Lin:
+		mix(c.K.Lo)
+		mix(c.K.Hi)
+		for _, a := range c.Addends {
+			mix(a.Coef.Lo)
+			mix(a.Coef.Hi)
+			mix(a.T.Hash)
+		}
+	}
+	return h
+}
+
+// contentCmp totally orders canonical terms by structure alone. The hash
+// settles almost every comparison; on a collision the full structures are
+// compared, so distinct terms never compare equal. Interned terms in one
+// Ctx compare equal iff they are the same pointer.
+func contentCmp(a, b *CTerm) int {
+	if a == b {
+		return 0
+	}
+	if a.Hash != b.Hash {
+		if a.Hash < b.Hash {
+			return -1
+		}
+		return 1
+	}
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	if a.Width != b.Width {
+		return a.Width - b.Width
+	}
+	switch a.Kind {
+	case Atom:
+		if c := strings.Compare(a.Var.Name, b.Var.Name); c != 0 {
+			return c
+		}
+		return int(a.Var.Kind) - int(b.Var.Kind)
+	case OpNode:
+		if a.Op != b.Op {
+			return int(a.Op) - int(b.Op)
+		}
+		if a.Aux0 != b.Aux0 {
+			return int(a.Aux0) - int(b.Aux0)
+		}
+		if a.Aux1 != b.Aux1 {
+			return int(a.Aux1) - int(b.Aux1)
+		}
+		if len(a.Args) != len(b.Args) {
+			return len(a.Args) - len(b.Args)
+		}
+		for i := range a.Args {
+			if c := contentCmp(a.Args[i], b.Args[i]); c != 0 {
+				return c
+			}
+		}
+	case Lin:
+		if c := cmpBV(a.K, b.K); c != 0 {
+			return c
+		}
+		if len(a.Addends) != len(b.Addends) {
+			return len(a.Addends) - len(b.Addends)
+		}
+		for i := range a.Addends {
+			if c := cmpBV(a.Addends[i].Coef, b.Addends[i].Coef); c != 0 {
+				return c
+			}
+			if c := contentCmp(a.Addends[i].T, b.Addends[i].T); c != 0 {
+				return c
+			}
+		}
+	}
+	return 0
+}
+
+func cmpBV(a, b bv.BV) int {
+	if a.Hi != b.Hi {
+		if a.Hi < b.Hi {
+			return -1
+		}
+		return 1
+	}
+	if a.Lo != b.Lo {
+		if a.Lo < b.Lo {
+			return -1
+		}
+		return 1
+	}
+	return int(a.Width) - int(b.Width)
+}
+
+func contentLess(a, b *CTerm) bool { return contentCmp(a, b) < 0 }
 
 func (c *CTerm) key() string {
 	var sb strings.Builder
@@ -161,9 +293,11 @@ func (cx *Ctx) atom(v *term.Term) *CTerm {
 	return cx.intern(&CTerm{Kind: Atom, Width: v.W(), Var: v})
 }
 
-// opNode interns an operation node, ordering commutative operands by ID.
+// opNode interns an operation node, ordering commutative operands by
+// content (never by Ctx-local ID, which would make the canonical shape
+// depend on what the context happened to intern earlier).
 func (cx *Ctx) opNode(op term.Op, width int, aux0, aux1 int32, args ...*CTerm) *CTerm {
-	if op.IsCommutative() && len(args) == 2 && args[1].ID < args[0].ID {
+	if op.IsCommutative() && len(args) == 2 && contentLess(args[1], args[0]) {
 		args[0], args[1] = args[1], args[0]
 	}
 	return cx.intern(&CTerm{Kind: OpNode, Width: width, Op: op, Aux0: aux0, Aux1: aux1, Args: args})
@@ -228,7 +362,7 @@ func (lb *linBuilder) build(cx *Ctx) *CTerm {
 		if ri != rj {
 			return ri < rj
 		}
-		return addends[i].T.ID < addends[j].T.ID
+		return contentLess(addends[i].T, addends[j].T)
 	})
 	// Collapse the trivial wrapper 0 + 1·t (same width) to t itself.
 	if lb.k.IsZero() && len(addends) == 1 &&
@@ -417,7 +551,7 @@ func (cx *Ctx) canonMul(w int, x, y *CTerm) *CTerm {
 					lb.add(coef, fx.T)
 				default:
 					a, b := fx.T, fy.T
-					if b.ID < a.ID {
+					if contentLess(b, a) {
 						a, b = b, a
 					}
 					prod := cx.intern(&CTerm{Kind: OpNode, Width: w, Op: term.Mul, Args: []*CTerm{a, b}})

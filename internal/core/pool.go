@@ -13,6 +13,11 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"iselgen/internal/bv"
@@ -132,8 +137,33 @@ func DefaultConfig() Config {
 		TestInputs:      128,
 		MaxSeqLen:       2,
 		SMTMaxConflicts: 60000,
-		Workers:         8,
+		Workers:         DefaultWorkers(),
 	}
+}
+
+// DefaultWorkers derives the matching-pool width from the machine
+// (the paper used 60 threads on their host; a hardcoded 8 ignored
+// machine size in both directions). The ISEL_WORKERS environment
+// variable overrides it; CLI -workers flags override both via
+// ResolveWorkers. Worker count never changes which rules are produced
+// (it is excluded from CacheKey), only how fast.
+func DefaultWorkers() int {
+	if v := os.Getenv("ISEL_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// ResolveWorkers applies the precedence flag > ISEL_WORKERS env >
+// NumCPU: a positive flag value wins, otherwise the environment-aware
+// default. The CLIs all thread their -workers flag through here.
+func ResolveWorkers(flagVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return DefaultWorkers()
 }
 
 // EffectClass distinguishes what a pool entry (or pattern) computes.
@@ -155,8 +185,92 @@ type PoolEntry struct {
 	NRegs, NImms int
 	LoadSig      string
 	Width        int
-	evals        []uint64 // per-test-vector digests
-	evalSkip     []bool   // vector unusable (e.g. division timeout-ish cases never occur; reserved)
+	vec          cost.Vector // sequence cost under the synthesizer's model
+	evalN        int         // vector count (Config.TestInputs at build time)
+	evalMu       sync.Mutex  // guards prog/evals extension
+	prog         *term.Program
+	evals        []uint64 // per-test-vector digests, extended block-wise
+}
+
+// digestBlock is the granularity of lazy digest evaluation. Most probe
+// calls reject a candidate within the first few vectors (or accept
+// after probeCap), so evaluating an entry on all configured vectors up
+// front wastes the bulk of the work.
+const digestBlock = 32
+
+// digestsUpTo returns the entry's evaluation digests for at least the
+// first min(k, evalN) test vectors, extending the cache block-wise on
+// demand. Stage 1 used to evaluate every pool entry eagerly on every
+// vector, which dominated full synthesis — most entries are never
+// probed, and most probes touch only a handful of vectors. The digests
+// depend only on the effect term and the vector index, never on timing
+// or which goroutine asks first, so laziness cannot change any probe
+// verdict. Time spent extending is added to *dur.
+//
+// Concurrent readers are safe: elements below a returned slice's length
+// are never rewritten, and extension happens under the entry's mutex.
+func (e *PoolEntry) digestsUpTo(k int, ic *inputCache, dur *time.Duration) []uint64 {
+	if k > e.evalN {
+		k = e.evalN
+	}
+	e.evalMu.Lock()
+	defer e.evalMu.Unlock()
+	if len(e.evals) >= k {
+		return e.evals
+	}
+	t0 := time.Now()
+	if e.prog == nil {
+		e.prog = term.Compile(e.Effect.T)
+	}
+	target := (k + digestBlock - 1) / digestBlock * digestBlock
+	if target > e.evalN {
+		target = e.evalN
+	}
+	p := e.prog
+	pv := p.Vars()
+	raws := make([][]bv.BV, len(pv))
+	for i, v := range pv {
+		raws[i] = ic.vecs(nameHash(v.Name))
+	}
+	vals := make([]bv.BV, len(pv))
+	for j := len(e.evals); j < target; j++ {
+		for i := range pv {
+			r := raws[i][j]
+			vals[i] = bv.New128(pv[i].Width, r.Hi, r.Lo)
+		}
+		e.evals = append(e.evals, digest(p.Run(vals)))
+	}
+	*dur += time.Since(t0)
+	return e.evals
+}
+
+// inputCache memoizes the raw 128-bit test vectors per variable-name
+// hash. rawInputH seeds a fresh RNG for every (vector, name) pair;
+// probing asks for the same few dozen sequence-operand names tens of
+// thousands of times, so each worker expands a name's full vector
+// column once. The cached values are a pure function of the hash, so
+// caching cannot change any probe verdict.
+type inputCache struct {
+	n int
+	m map[uint64][]bv.BV
+}
+
+func newInputCache(n int) *inputCache {
+	return &inputCache{n: n, m: make(map[uint64][]bv.BV)}
+}
+
+// vecs returns the n raw 128-bit test values for name hash h.
+func (c *inputCache) vecs(h uint64) []bv.BV {
+	if vs, ok := c.m[h]; ok {
+		return vs
+	}
+	vs := make([]bv.BV, c.n)
+	for j := 0; j < c.n; j++ {
+		hi, lo := rawInputH(j, h)
+		vs[j] = bv.BV{Hi: hi, Lo: lo, Width: 128}
+	}
+	c.m[h] = vs
+	return vs
 }
 
 // Stats aggregates stage timings and counters for Table II.
@@ -177,6 +291,14 @@ type Stats struct {
 	SMTRules     int
 	SMTQueries   int64
 	SMTTimeouts  int64
+	// Counterexample-screen effectiveness: how many solver-bound queries
+	// were screened against the cached counterexamples, how many a cached
+	// assignment refuted outright, and how many bit-blasting runs that
+	// avoided (hits == skips today; kept separate so a partial screen —
+	// e.g. screening only store goals — stays representable).
+	CexScreens int64
+	CexHits    int64
+	SMTSkipped int64
 	// SAT-core work summed over every solver query of the run — the
 	// per-query distribution is in the provenance log; these totals ride
 	// the Table II snapshot (and /v1/metrics) so solver effort is visible
@@ -203,6 +325,10 @@ type StageStats struct {
 	SMTQueries   int64 `json:"smt_queries"`
 	SMTTimeouts  int64 `json:"smt_timeouts"`
 
+	CexScreens int64 `json:"cex_screens"`
+	CexHits    int64 `json:"cex_cache_hits"`
+	SMTSkipped int64 `json:"smt_skipped"`
+
 	SATDecisions    int64 `json:"sat_decisions"`
 	SATPropagations int64 `json:"sat_propagations"`
 	SATConflicts    int64 `json:"sat_conflicts"`
@@ -228,6 +354,9 @@ func (st *Stats) Snapshot() StageStats {
 		SMTRules:        st.SMTRules,
 		SMTQueries:      st.SMTQueries,
 		SMTTimeouts:     st.SMTTimeouts,
+		CexScreens:      st.CexScreens,
+		CexHits:         st.CexHits,
+		SMTSkipped:      st.SMTSkipped,
 		SATDecisions:    st.SATDecisions,
 		SATPropagations: st.SATPropagations,
 		SATConflicts:    st.SATConflicts,
@@ -253,6 +382,9 @@ func (ss *StageStats) Accumulate(o StageStats) {
 	ss.SMTRules += o.SMTRules
 	ss.SMTQueries += o.SMTQueries
 	ss.SMTTimeouts += o.SMTTimeouts
+	ss.CexScreens += o.CexScreens
+	ss.CexHits += o.CexHits
+	ss.SMTSkipped += o.SMTSkipped
 	ss.SATDecisions += o.SATDecisions
 	ss.SATPropagations += o.SATPropagations
 	ss.SATConflicts += o.SATConflicts
@@ -325,6 +457,16 @@ func (s *Synthesizer) BuildPool() {
 	for _, seq := range seqs {
 		s.addEntry(seq)
 	}
+	// Pre-sort every fallback filter bucket cheapest-first, once. The
+	// SMT fallback consumes candidates in cost order; sorting per
+	// pattern — with cost vectors recomputed inside the comparator —
+	// was pure overhead, since bucket contents and costs are fixed for
+	// the synthesizer's lifetime.
+	for _, bucket := range s.byFilter {
+		sort.Slice(bucket, func(i, j int) bool {
+			return bucket[i].vec.Less(bucket[j].vec)
+		})
+	}
 	esp.SetInt("canonicalize_ns", s.Stats.CanonTime.Nanoseconds()).
 		SetInt("test_eval_ns", s.Stats.EvalTime.Nanoseconds()).
 		SetInt("index_insert_ns", s.Stats.InsertTime.Nanoseconds()).
@@ -372,6 +514,10 @@ func (s *Synthesizer) enumerate() []*isa.Sequence {
 		if s.Cfg.MaxPairBases > 0 && s.Cfg.MaxPairBases < nb {
 			nb = s.Cfg.MaxPairBases
 		}
+		// The template cache amortizes the rename/rebuild work of Append
+		// across the O(bases × insts) pair loop (enumerate runs on one
+		// goroutine, so the cache needs no locking).
+		ac := isa.NewAppendCache()
 		for _, base := range bases[:nb] {
 			for _, inst := range s.Target.Insts {
 				if !base.CanAppend(inst) {
@@ -383,13 +529,13 @@ func (s *Synthesizer) enumerate() []*isa.Sequence {
 					if op.Kind == spec.OpImm || op.Width != prevW {
 						continue
 					}
-					if seq, err := isa.Append(s.B, base, inst, []string{op.Name}, false); err == nil {
+					if seq, err := ac.Append(s.B, base, inst, []string{op.Name}, false); err == nil {
 						out = append(out, seq)
 					}
 				}
 				// Flag-consuming composition (cmp+csel chains, §VI-A).
 				if readsFlags(inst) && writesFlags(base) {
-					if seq, err := isa.Append(s.B, base, inst, nil, true); err == nil {
+					if seq, err := ac.Append(s.B, base, inst, nil, true); err == nil {
 						out = append(out, seq)
 					}
 				}
@@ -458,6 +604,7 @@ func (s *Synthesizer) addEntry(seq *isa.Sequence) {
 	}
 
 	e := &PoolEntry{Seq: seq, Effect: eff, Class: class, Width: eff.T.W()}
+	e.vec = s.seqVec(seq)
 	for _, in := range seq.Inputs {
 		if in.Op.Kind == spec.OpImm {
 			e.NImms++
@@ -471,9 +618,10 @@ func (s *Synthesizer) addEntry(seq *isa.Sequence) {
 	e.CT = s.CX.Canon(eff.T)
 	s.Stats.CanonTime += time.Since(t0)
 
-	t0 = time.Now()
-	e.evals = evalDigests(eff.T, s.Cfg.TestInputs)
-	s.Stats.EvalTime += time.Since(t0)
+	// Test evaluations are lazy (PoolEntry.digests): stage 1 only records
+	// the vector count, and Stats.EvalTime accrues in stage 2 as probed
+	// entries are evaluated on demand.
+	e.evalN = s.Cfg.TestInputs
 
 	t0 = time.Now()
 	s.Index.Insert(e.CT, e)
@@ -535,14 +683,26 @@ func (e *PoolEntry) filterKey() string {
 
 // --- deterministic test inputs (§V-C) ---
 
-// rawInput produces the fixed 128-bit random input for test vector j and
-// variable name. Values are keyed by name (not position) so pattern-side
-// probing can reproduce exactly the value a sequence variable received.
-func rawInput(j int, name string) (hi, lo uint64) {
+// nameHash is the FNV-1a hash of a variable name — the name-dependent
+// half of the test-input derivation, hoisted so per-vector loops hash
+// each name once instead of once per (vector, name) pair.
+func nameHash(name string) uint64 {
 	h := uint64(1469598103934665603)
 	for i := 0; i < len(name); i++ {
 		h = (h ^ uint64(name[i])) * 1099511628211
 	}
+	return h
+}
+
+// rawInput produces the fixed 128-bit random input for test vector j and
+// variable name. Values are keyed by name (not position) so pattern-side
+// probing can reproduce exactly the value a sequence variable received.
+func rawInput(j int, name string) (hi, lo uint64) {
+	return rawInputH(j, nameHash(name))
+}
+
+// rawInputH is rawInput with the name already hashed.
+func rawInputH(j int, h uint64) (hi, lo uint64) {
 	rng := bv.NewRNG(h ^ uint64(j)*0x9e3779b97f4a7c15)
 	v := rng.BV(128)
 	return v.Hi, v.Lo
@@ -559,18 +719,4 @@ func digest(v bv.BV) uint64 {
 	x := v.Lo ^ (v.Hi * 0x9e3779b97f4a7c15) ^ uint64(v.Width)<<56
 	x ^= x >> 29
 	return x
-}
-
-// evalDigests evaluates a term on the fixed test vectors.
-func evalDigests(t *term.Term, n int) []uint64 {
-	vars := t.Vars()
-	out := make([]uint64, n)
-	env := term.NewEnv()
-	for j := 0; j < n; j++ {
-		for _, v := range vars {
-			env.Bind(v.Name, InputFor(j, v.Name, v.W()))
-		}
-		out[j] = digest(t.Eval(env))
-	}
-	return out
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core_test
+
+// raceEnabled mirrors the race detector's build tag so heavyweight
+// stress tests can trim their matrices under -race.
+const raceEnabled = false

@@ -42,9 +42,11 @@ type worker struct {
 	wb      *term.Builder
 	wcx     *canon.Ctx
 	checker *smt.Checker
+	ic      *inputCache
 
 	lookupT time.Duration
 	probeT  time.Duration
+	evalT   time.Duration
 	smtT    time.Duration
 
 	// curtailed is set when a cancellation made this worker skip the SMT
@@ -57,10 +59,15 @@ func (s *Synthesizer) newWorker() *worker {
 		s:   s,
 		wb:  term.NewBuilder(),
 		wcx: canon.NewCtx(),
+		ic:  newInputCache(s.Cfg.TestInputs),
 		checker: &smt.Checker{
 			MaxConflicts: s.Cfg.SMTMaxConflicts,
 			Obs:          s.Cfg.Obs,
 			Context:      "synthesis",
+			// All workers share the process-wide counterexample cache: a
+			// refutation discovered for one pattern screens candidates for
+			// every other, across goroutines and across runs.
+			Cex: smt.Cex,
 		},
 	}
 }
@@ -153,9 +160,13 @@ func (s *Synthesizer) wave(wave []*pattern.Pattern, lib *rules.Library) {
 			mu.Lock()
 			s.Stats.IndexLookupT += w.lookupT
 			s.Stats.ProbeTime += w.probeT
+			s.Stats.EvalTime += w.evalT
 			s.Stats.SMTTime += w.smtT
 			s.Stats.SMTQueries += w.checker.Stats.Queries
 			s.Stats.SMTTimeouts += w.checker.Stats.TimedOut
+			s.Stats.CexScreens += w.checker.Stats.CexScreens
+			s.Stats.CexHits += w.checker.Stats.CexHits
+			s.Stats.SMTSkipped += w.checker.Stats.SMTSkipped
 			s.Stats.SATDecisions += w.checker.Stats.Decisions
 			s.Stats.SATPropagations += w.checker.Stats.Propagations
 			s.Stats.SATConflicts += w.checker.Stats.Conflicts
@@ -238,10 +249,16 @@ func (w *worker) synthesizeOneInner(p *pattern.Pattern) *rules.Rule {
 		query := w.wcx.Canon(tp)
 		matches = w.s.Index.Lookup(query)
 	}
-	// Cheapest sequences first (model cost when configured).
-	sort.Slice(matches, func(i, j int) bool {
-		return w.seqCostOf(matches[i]).Less(w.seqCostOf(matches[j]))
-	})
+	// Cheapest sequences first (model cost when configured). Keys are
+	// precomputed: seqCostOf scans every payload, which is far too
+	// expensive to re-derive inside the comparator.
+	if len(matches) > 1 {
+		keys := make([]cost.Vector, len(matches))
+		for i := range matches {
+			keys[i] = w.seqCostOf(matches[i])
+		}
+		sort.Sort(&matchesByCost{matches, keys})
+	}
 	var best *rules.Rule
 	for _, m := range matches {
 		for _, payload := range m.Payloads {
@@ -269,10 +286,24 @@ func (w *worker) synthesizeOneInner(p *pattern.Pattern) *rules.Rule {
 	return w.smtFallback(p, tp, leaves)
 }
 
+// matchesByCost sorts matches by precomputed cost keys, keeping the two
+// slices aligned.
+type matchesByCost struct {
+	m    []trie.Match
+	keys []cost.Vector
+}
+
+func (s *matchesByCost) Len() int           { return len(s.m) }
+func (s *matchesByCost) Less(i, j int) bool { return s.keys[i].Less(s.keys[j]) }
+func (s *matchesByCost) Swap(i, j int) {
+	s.m[i], s.m[j] = s.m[j], s.m[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
 func (w *worker) seqCostOf(m trie.Match) cost.Vector {
 	min := cost.Vector{Latency: 1 << 40, Size: 1 << 40}
 	for _, p := range m.Payloads {
-		if c := w.s.seqVec(p.(*PoolEntry).Seq); c.Less(min) {
+		if c := p.(*PoolEntry).vec; c.Less(min) {
 			min = c
 		}
 	}
@@ -296,12 +327,12 @@ func (w *worker) ruleFromBinding(p *pattern.Pattern, tp *term.Term,
 		conly bool
 	}
 	immTo := map[string]immInfo{}
-	for isaAtom, qAtom := range bind.Regs {
-		li, ok := leafByName[qAtom.Var.Name]
+	for _, rb := range bind.Regs {
+		li, ok := leafByName[rb.Query.Var.Name]
 		if !ok {
 			return nil
 		}
-		regTo[isaAtom.Var.Name] = li
+		regTo[rb.ISA.Var.Name] = li
 	}
 	for _, ib := range bind.Imms {
 		if ib.PCRel {
@@ -514,16 +545,27 @@ func (w *worker) smtFallback(p *pattern.Pattern, tp *term.Term, leaves []*patter
 	}
 	width := tp.W()
 	key := filterKeyOf(class, width, len(regLeaves), len(immLeaves), loadSignature(tp))
-	cands := w.s.byFilter[key]
-	if len(cands) == 0 {
+	// Buckets are pre-sorted cheapest-first by BuildPool; iteration stops
+	// at the first verified match.
+	sorted := w.s.byFilter[key]
+	if len(sorted) == 0 {
 		return nil
 	}
-	// Cheapest sequences first; stop at the first verified match.
-	sorted := make([]*PoolEntry, len(cands))
-	copy(sorted, cands)
-	sort.Slice(sorted, func(i, j int) bool {
-		return w.s.seqVec(sorted[i].Seq).Less(w.s.seqVec(sorted[j].Seq))
-	})
+
+	// One incremental SAT session per pattern: successive candidate
+	// queries for the same pattern share blasted circuits and learned
+	// clauses. Scoping the session to the pattern (not the worker's whole
+	// lifetime) keeps the query sequence each session sees deterministic —
+	// it depends only on this pattern's candidate order, never on how
+	// patterns were distributed across workers.
+	w.checker.BeginIncremental()
+	defer w.checker.EndIncremental()
+
+	// Compile the pattern term once; the probe then evaluates it on each
+	// test vector with no per-evaluation allocation.
+	prog := term.Compile(tp)
+	leafSlot := resolveLeafSlots(prog, leaves)
+	asg := make([]int, len(leaves))
 
 	for _, entry := range sorted {
 		// Candidate enumeration can run many solver queries; honor the
@@ -542,7 +584,11 @@ func (w *worker) smtFallback(p *pattern.Pattern, tp *term.Term, leaves []*patter
 		}
 		for _, regPerm := range permutations(len(regIns)) {
 			for _, immPerm := range permutations(len(immIns)) {
-				asg := map[int]int{} // pattern leaf -> seq input index
+				// asg maps pattern leaf -> seq input index (-1 unassigned);
+				// the slice is reused across permutation combinations.
+				for i := range asg {
+					asg[i] = -1
+				}
 				ok := true
 				for a, b := range regPerm {
 					li, ki := regLeaves[a], regIns[b]
@@ -566,7 +612,7 @@ func (w *worker) smtFallback(p *pattern.Pattern, tp *term.Term, leaves []*patter
 				if !ok {
 					continue
 				}
-				if !w.probe(tp, leaves, entry, asg) {
+				if !w.probe(prog, leafSlot, leaves, entry, asg) {
 					continue
 				}
 				if r := w.tryAssignment(p, tp, leaves, entry, asg); r != nil {
@@ -593,44 +639,109 @@ func filterKeyOf(class EffectClass, width, nRegs, nImms int, loadSig string) str
 	return sb.String()
 }
 
+// resolveLeafSlots maps each pattern leaf to its variable slot in the
+// compiled pattern program (-1 when the leaf's variable does not occur
+// in the term). Program variable names are exactly the pattern leaf
+// names tp was compiled from.
+func resolveLeafSlots(prog *term.Program, leaves []*pattern.Node) []int {
+	slotOf := make(map[string]int, len(prog.Vars()))
+	for i, v := range prog.Vars() {
+		slotOf[v.Name] = i
+	}
+	out := make([]int, len(leaves))
+	for i, l := range leaves {
+		if s, ok := slotOf[pattern.LeafName(i, l)]; ok {
+			out[i] = s
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// probeCap bounds how many usable vectors a probe compares before
+// accepting a candidate. The probe is purely a performance filter: the
+// SMT check remains the decider for every accepted candidate, so the
+// cap can only forward more candidates to verification — it can never
+// reject one the full scan would have kept, and the synthesized library
+// is identical for any cap value.
+const probeCap = 32
+
 // probe compares the pattern's evaluations under the assignment against
 // the entry's cached evaluations (§V-C). Vectors whose input value is
-// not representable in the bound immediate are skipped.
-func (w *worker) probe(tp *term.Term, leaves []*pattern.Node, entry *PoolEntry, asg map[int]int) bool {
+// not representable in the bound immediate are skipped. The pattern side
+// runs as a compiled program; the entry side comes from the lazily
+// computed block-wise digest cache, so a probe that rejects on the
+// first vector never pays for the remaining ones.
+func (w *worker) probe(prog *term.Program, leafSlot []int, leaves []*pattern.Node, entry *PoolEntry, asg []int) bool {
 	if w.s.Cfg.DisableProbe {
 		return true
 	}
 	t0 := time.Now()
-	defer func() { w.probeT += time.Since(t0) }()
-	env := term.NewEnv()
+	var evalDur time.Duration
+	ok := w.probeRun(prog, leafSlot, leaves, entry, asg, &evalDur)
+	w.evalT += evalDur
+	w.probeT += time.Since(t0) - evalDur
+	return ok
+}
+
+func (w *worker) probeRun(prog *term.Program, leafSlot []int, leaves []*pattern.Node, entry *PoolEntry, asg []int, evalDur *time.Duration) bool {
+	type binding struct {
+		raw   []bv.BV // cached 128-bit test vectors for the sequence input
+		leafW int
+		opW   int
+		slot  int // program value slot, -1 when unused by the term
+	}
+	binds := make([]binding, 0, len(asg))
+	for li, ki := range asg {
+		if ki < 0 {
+			continue
+		}
+		in := entry.Seq.Inputs[ki]
+		binds = append(binds, binding{
+			raw:   w.ic.vecs(nameHash(in.Var.Name)),
+			leafW: leaves[li].Ty.Bits,
+			opW:   in.Op.Width,
+			slot:  leafSlot[li],
+		})
+	}
+	vals := make([]bv.BV, len(prog.Vars()))
+	evals := entry.digestsUpTo(1, w.ic, evalDur)
 	checked := 0
-	for j := 0; j < len(entry.evals); j++ {
+	for j := 0; j < entry.evalN; j++ {
+		if j >= len(evals) {
+			evals = entry.digestsUpTo(j+1, w.ic, evalDur)
+		}
 		usable := true
-		for li, ki := range asg {
-			in := entry.Seq.Inputs[ki]
-			leafW := leaves[li].Ty.Bits
-			v := InputFor(j, in.Var.Name, leafW)
-			if leafW > in.Op.Width {
+		for _, b := range binds {
+			r := b.raw[j]
+			v := bv.New128(b.leafW, r.Hi, r.Lo)
+			if b.leafW > b.opW {
 				// The sequence only saw the low Op.Width bits. To keep
 				// the probe sound for both zero- and sign-extended
 				// embeddings, only use vectors where the two coincide
 				// (narrow value non-negative and round-tripping) —
 				// "in cases where an input value cannot be represented
 				// in an immediate binding, we ignore the test input".
-				narrow := v.Trunc(in.Op.Width)
-				if narrow.SignBit() != 0 || narrow.ZExt(leafW) != v {
+				narrow := v.Trunc(b.opW)
+				if narrow.SignBit() != 0 || narrow.ZExt(b.leafW) != v {
 					usable = false
 					break
 				}
 			}
-			env.Bind(pattern.LeafName(li, leaves[li]), v)
+			if b.slot >= 0 {
+				vals[b.slot] = v
+			}
 		}
 		if !usable {
 			continue
 		}
 		checked++
-		if digest(tp.Eval(env)) != entry.evals[j] {
+		if digest(prog.Run(vals)) != evals[j] {
 			return false
+		}
+		if checked >= probeCap {
+			return true
 		}
 	}
 	return checked > 0
@@ -639,17 +750,22 @@ func (w *worker) probe(tp *term.Term, leaves []*pattern.Node, entry *PoolEntry, 
 // tryAssignment builds embed candidates for an assignment and verifies
 // them with the SMT solver.
 func (w *worker) tryAssignment(p *pattern.Pattern, tp *term.Term,
-	leaves []*pattern.Node, entry *PoolEntry, asg map[int]int) *rules.Rule {
+	leaves []*pattern.Node, entry *PoolEntry, asg []int) *rules.Rule {
 
-	inv := map[int]int{} // seq input index -> pattern leaf
+	inv := make([]int, len(entry.Seq.Inputs)) // seq input index -> pattern leaf
+	for i := range inv {
+		inv[i] = -1
+	}
 	for li, ki := range asg {
-		inv[ki] = li
+		if ki >= 0 {
+			inv[ki] = li
+		}
 	}
 	var ops []rules.OperandSource
 	hasImm := false
 	for k, in := range entry.Seq.Inputs {
-		li, ok := inv[k]
-		if !ok {
+		li := inv[k]
+		if li < 0 {
 			return nil
 		}
 		src := rules.OperandSource{Kind: rules.SrcLeaf, Leaf: li}
@@ -710,14 +826,30 @@ func immLooksSigned(t *term.Term, immVar *term.Term) bool {
 	return found
 }
 
-// permutations enumerates permutations of [0,n); n is small (operand
+// permTable holds the permutations of [0,n) for every n the fallback
+// can ask for; the fallback requests them once per candidate entry, so
+// they are enumerated a single time at init. Callers must not mutate
+// the returned slices.
+var permTable = func() [6][][]int {
+	var t [6][][]int
+	for n := 0; n < 6; n++ {
+		t[n] = enumPerms(n)
+	}
+	return t
+}()
+
+// permutations returns the permutations of [0,n); n is small (operand
 // counts are below five in practice, as the paper notes).
 func permutations(n int) [][]int {
-	if n == 0 {
-		return [][]int{nil}
-	}
 	if n > 5 {
 		n = 5 // defensive cap; no real instruction has more inputs
+	}
+	return permTable[n]
+}
+
+func enumPerms(n int) [][]int {
+	if n == 0 {
+		return [][]int{nil}
 	}
 	var out [][]int
 	perm := make([]int, n)

@@ -9,6 +9,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -280,6 +281,13 @@ func SeedPatterns() []*pattern.Pattern {
 // the model, and a second "synthopt" backend running the optimal DP
 // selector is built alongside the greedy one.
 func (s *Setup) Synthesize(cfg core.Config, maxPatterns int) *rules.Library {
+	// Full synthesis is a short-lived batch phase that allocates heavily
+	// (term DAGs, candidate sequences, SAT clauses) with a modest live
+	// set; at the default GOGC the collector runs dozens of cycles and
+	// accounts for over a third of wall time. Trading heap headroom for
+	// fewer cycles here is safe — the harness drives CLIs and tests, not
+	// long-lived servers — and the old percent is restored on return.
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
 	if cfg.ExtraSequences == nil {
 		cfg.ExtraSequences = ExtraSequences(s.Name)
 	}

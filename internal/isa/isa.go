@@ -12,6 +12,8 @@ package isa
 
 import (
 	"fmt"
+	"maps"
+	"strconv"
 
 	"iselgen/internal/bv"
 	"iselgen/internal/obs"
@@ -185,7 +187,10 @@ func seqVar(b *term.Builder, idx int, op spec.Operand) *term.Term {
 	case term.KindImm:
 		tag = "i"
 	}
-	return b.VarT(fmt.Sprintf("s%d.%s.%s%d", idx, op.Name, tag, op.Width), kind, op.Width)
+	// Concatenation instead of fmt.Sprintf: this runs for every operand
+	// of every candidate composition during enumeration.
+	name := "s" + strconv.Itoa(idx) + "." + op.Name + "." + tag + strconv.Itoa(op.Width)
+	return b.VarT(name, kind, op.Width)
 }
 
 // renameMap builds the substitution from an instruction's unprefixed
@@ -210,7 +215,7 @@ func renameMap(b *term.Builder, inst *Instruction, idx int,
 		if t, ok := flagIn[f]; ok {
 			subst[src] = t
 		} else {
-			subst[src] = b.VarT(fmt.Sprintf("s%d.%s", idx, f), term.KindFlag, 1)
+			subst[src] = b.VarT("s"+strconv.Itoa(idx)+"."+f, term.KindFlag, 1)
 		}
 	}
 	// PC reads share one sequence-level variable (intra-sequence PC
@@ -349,6 +354,183 @@ func Append(b *term.Builder, s *Sequence, inst *Instruction, wireOps []string, c
 	ns.pruneInputs()
 	ns.addFlagInputs(b)
 	return ns, nil
+}
+
+// AppendCache memoizes the base-independent work of Append for the
+// enumerator's hot loop. For a fixed (instruction, wired operand,
+// consumed-flag set, position) the rename substitution and the rebuilds
+// of every effect subterm that does not contain a wired source variable
+// are the same for every base sequence; only the "spine" — the nodes
+// whose subtree reaches a wired variable — depends on the base. The
+// template stores the generic substitution plus the off-spine rebuild
+// memo, and each Append clones it and overwrites the wired entries, so
+// Rebuild re-walks only the spine. Results are pointer-identical to the
+// uncached Append because the hash-consing constructors see the same
+// final arguments either way. Not safe for concurrent use.
+type AppendCache struct {
+	m map[appendKey]*appendTemplate
+}
+
+type appendKey struct {
+	inst  *Instruction
+	idx   int
+	wired string // wired operand name, "" when wiring flags only
+	flags uint8  // bitmask over spec.FlagNames of consumed flags
+}
+
+type appendTemplate struct {
+	subst    map[*term.Term]*term.Term // generic entries + off-spine memo
+	wiredSrc *term.Term                // source var of the wired operand, nil when flags-only
+	wiredW   int                       // its width
+	flagSrc  []*term.Term              // source vars of consumed flags, in FlagNames order
+	inputs   []SeqOperand              // inst's unwired operands, pre-renamed
+}
+
+// NewAppendCache returns an empty cache.
+func NewAppendCache() *AppendCache {
+	return &AppendCache{m: map[appendKey]*appendTemplate{}}
+}
+
+// Append behaves exactly like the package-level Append — same results
+// (pointer-identical terms), same rejections — restricted to at most one
+// wired operand, which is all the enumerator uses.
+func (c *AppendCache) Append(b *term.Builder, s *Sequence, inst *Instruction, wireOps []string, consumeFlags bool) (*Sequence, error) {
+	if len(wireOps) > 1 {
+		return Append(b, s, inst, wireOps, consumeFlags)
+	}
+	if !s.CanAppend(inst) {
+		return nil, fmt.Errorf("isa: cannot append %s to %s", inst.Name, s)
+	}
+	prev, hasPrev := regEffect(s.Effects)
+	idx := len(s.Insts)
+
+	if len(wireOps) > 0 && !hasPrev {
+		return nil, fmt.Errorf("isa: %s has no register result to wire", s)
+	}
+	var flagTerms []*term.Term
+	var fmask uint8
+	if consumeFlags {
+		for i, f := range spec.FlagNames {
+			if fe, ok := flagEffect(s.Effects, f); ok {
+				fmask |= 1 << i
+				flagTerms = append(flagTerms, fe.T)
+			}
+		}
+	}
+	if len(wireOps) == 0 && fmask == 0 {
+		return nil, fmt.Errorf("isa: rule 1 violated: %s would not depend on %s", inst.Name, s)
+	}
+
+	key := appendKey{inst: inst, idx: idx, flags: fmask}
+	if len(wireOps) == 1 {
+		key.wired = wireOps[0]
+	}
+	tpl, ok := c.m[key]
+	if !ok {
+		var err error
+		tpl, err = buildAppendTemplate(b, inst, idx, key.wired, fmask)
+		if err != nil {
+			return nil, err
+		}
+		c.m[key] = tpl
+	}
+	if tpl.wiredSrc != nil && tpl.wiredW != prev.T.W() {
+		return nil, fmt.Errorf("isa: wire width mismatch: %s.%s is %d bits, result is %d",
+			inst.Name, key.wired, tpl.wiredW, prev.T.W())
+	}
+
+	subst := maps.Clone(tpl.subst)
+	if tpl.wiredSrc != nil {
+		subst[tpl.wiredSrc] = prev.T
+	}
+	for i, src := range tpl.flagSrc {
+		subst[src] = flagTerms[i]
+	}
+
+	ns := &Sequence{
+		Insts:     append(append([]*Instruction(nil), s.Insts...), inst),
+		Wirings:   append(append([][]string(nil), s.Wirings...), wireOps),
+		FixedImms: append([]FixedImm(nil), s.FixedImms...),
+	}
+	for _, e := range inst.Effects {
+		ns.Effects = append(ns.Effects, spec.Effect{
+			Kind: e.Kind, Dest: e.Dest, T: b.Rebuild(e.T, subst),
+		})
+	}
+	ns.Inputs = append(ns.Inputs, s.Inputs...)
+	ns.Inputs = append(ns.Inputs, tpl.inputs...)
+	ns.pruneInputs()
+	ns.addFlagInputs(b)
+	return ns, nil
+}
+
+// buildAppendTemplate constructs the reusable part of an Append: the
+// generic substitution with every effect subterm that does not reach a
+// wired source variable already rebuilt and memoized.
+func buildAppendTemplate(b *term.Builder, inst *Instruction, idx int, wired string, fmask uint8) (*appendTemplate, error) {
+	tpl := &appendTemplate{}
+	wiredSet := map[*term.Term]bool{}
+	if wired != "" {
+		op, ok := findOperand(inst, wired)
+		if !ok {
+			return nil, fmt.Errorf("isa: %s has no operand %q", inst.Name, wired)
+		}
+		if op.Kind == spec.OpImm {
+			return nil, fmt.Errorf("isa: cannot wire immediate operand %q", wired)
+		}
+		tpl.wiredSrc = b.VarT(inst.Name+"."+op.Name, varKind(op), op.Width)
+		tpl.wiredW = op.Width
+		wiredSet[tpl.wiredSrc] = true
+	}
+	for i, f := range spec.FlagNames {
+		if fmask&(1<<i) != 0 {
+			src := b.VarT(inst.Name+"."+f, term.KindFlag, 1)
+			tpl.flagSrc = append(tpl.flagSrc, src)
+			wiredSet[src] = true
+		}
+	}
+
+	// Generic substitution, then rebuild every effect once so subst
+	// doubles as a full memo over the effect DAGs.
+	subst := renameMap(b, inst, idx, nil, nil)
+	for _, e := range inst.Effects {
+		b.Rebuild(e.T, subst)
+	}
+	// Drop the spine: entries whose subtree reaches a wired source var
+	// must be recomputed per call (including the wired vars themselves).
+	reaches := map[*term.Term]bool{}
+	var mark func(u *term.Term) bool
+	mark = func(u *term.Term) bool {
+		if r, ok := reaches[u]; ok {
+			return r
+		}
+		reaches[u] = false // guard (terms are acyclic; this is just a memo seed)
+		r := wiredSet[u]
+		for _, a := range u.Args {
+			if mark(a) {
+				r = true
+			}
+		}
+		reaches[u] = r
+		return r
+	}
+	for _, e := range inst.Effects {
+		mark(e.T)
+	}
+	for u, r := range reaches {
+		if r {
+			delete(subst, u)
+		}
+	}
+	tpl.subst = subst
+
+	for _, op := range inst.Operands {
+		if op.Name == wired {
+			continue
+		}
+		tpl.inputs = append(tpl.inputs, SeqOperand{Var: seqVar(b, idx, op), Inst: idx, Op: op})
+	}
+	return tpl, nil
 }
 
 // pruneInputs drops inputs no longer referenced by any effect (operands

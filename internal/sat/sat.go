@@ -138,6 +138,12 @@ func New() *Solver {
 // NumVars returns the number of variables allocated.
 func (s *Solver) NumVars() int { return len(s.vars) - 1 }
 
+// Unsatisfiable reports whether the clause database has been proven
+// unsatisfiable at level 0 — a sticky state: every later Solve returns
+// Unsat regardless of assumptions, so incremental users must discard
+// the solver once this reports true.
+func (s *Solver) Unsatisfiable() bool { return s.unsat }
+
 // NewVar allocates a fresh variable and returns its 1-based index.
 func (s *Solver) NewVar() int {
 	s.vars = append(s.vars, varData{reason: refNone, level: -1, heapIdx: -1})

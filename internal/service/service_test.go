@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"iselgen/internal/core"
+	"iselgen/internal/isa"
+	"iselgen/internal/term"
 )
 
 // svcSpec is a small single-width ISA, rich enough that the benchmark
@@ -206,10 +208,17 @@ func TestCacheHitAndMetrics(t *testing.T) {
 func TestDeadlinePartial(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxPatterns = 0 // full corpus, so seed patterns are included
+	// Pool construction runs under the job deadline; holding stage 1 past
+	// the 1ms budget guarantees the wave loop starts with the deadline
+	// already expired — deterministic degradation. (Stage 1 used to burn
+	// the budget by itself via eager test evaluation; digests are lazy
+	// now, so the stall is explicit.)
+	cfg.Synth.ExtraSequences = func(b *term.Builder, tgt *isa.Target) []*isa.Sequence {
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	}
 	_, ts := newTestServer(t, cfg)
 
-	// 1ms is consumed during pool construction, so the wave loop runs
-	// with the deadline already expired — deterministic degradation.
 	req := SynthesizeRequest{Target: "mini", Spec: svcSpec, TimeoutMS: 1}
 	status, body := postJSON(t, ts.URL+"/v1/synthesize", req)
 	if status != http.StatusOK {

@@ -1,0 +1,173 @@
+package smt
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"iselgen/internal/bv"
+	"iselgen/internal/term"
+)
+
+// genTerm builds a random 32-bit term over the shared variable
+// vocabulary — the shape of synthesis candidates (same leaves, different
+// operator structure), which is what makes counterexamples transfer.
+func genTerm(b *term.Builder, rng *rand.Rand, vars []*term.Term, depth int) *term.Term {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(4) == 0 {
+			return b.Const(32, uint64(rng.Intn(64)))
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	x := genTerm(b, rng, vars, depth-1)
+	y := genTerm(b, rng, vars, depth-1)
+	switch rng.Intn(8) {
+	case 0:
+		return b.Add(x, y)
+	case 1:
+		return b.Sub(x, y)
+	case 2:
+		return b.And(x, y)
+	case 3:
+		return b.Or(x, y)
+	case 4:
+		return b.Xor(x, y)
+	case 5:
+		return b.Not(x)
+	case 6:
+		return b.Neg(x)
+	default:
+		return b.Shl(x, b.Const(32, uint64(rng.Intn(8))))
+	}
+}
+
+func fuzzPairs(t *testing.T) (*term.Builder, [][2]*term.Term) {
+	t.Helper()
+	b := term.NewBuilder()
+	vars := []*term.Term{b.Reg("x", 32), b.Reg("y", 32), b.Reg("z", 32)}
+	rng := rand.New(rand.NewSource(20260808))
+	n := 1000
+	if testing.Short() {
+		n = 200
+	}
+	pairs := make([][2]*term.Term, n)
+	for i := range pairs {
+		pairs[i] = [2]*term.Term{
+			genTerm(b, rng, vars, 3),
+			genTerm(b, rng, vars, 3),
+		}
+	}
+	return b, pairs
+}
+
+// TestCexWitnessSeparatesProducingPair checks the cache's core
+// invariant: every assignment stored on a NotEqual verdict concretely
+// separates the pair that produced it, so replaying it through Refutes
+// rejects that same pair without a solver.
+func TestCexWitnessSeparatesProducingPair(t *testing.T) {
+	b, pairs := fuzzPairs(t)
+	notEqual := 0
+	for i, p := range pairs {
+		if len(p[0].Vars()) == 0 && len(p[1].Vars()) == 0 {
+			// Two constants: a refutation carries the empty assignment,
+			// which there is nothing to cache.
+			continue
+		}
+		cache := NewCexCache(8) // fresh per pair: no screening on the first query
+		c := &Checker{Cex: cache}
+		res := c.Equiv(b, p[0], p[1])
+		if res != NotEqual {
+			continue
+		}
+		notEqual++
+		if cache.Len() == 0 {
+			t.Fatalf("pair %d: NotEqual verdict stored no counterexample", i)
+		}
+		if !cache.Refutes([][2]*term.Term{p}) {
+			t.Fatalf("pair %d: stored assignment does not separate its producing pair\nlhs=%s\nrhs=%s",
+				i, p[0], p[1])
+		}
+	}
+	if notEqual == 0 {
+		t.Fatal("fuzz generated no refutable pairs — the property was never exercised")
+	}
+}
+
+// TestCexScreenPreservesVerdicts checks verdict preservation: a checker
+// screening through a shared, increasingly hot cache must return exactly
+// the verdict a cache-free checker computes via the solver, for every
+// pair. This is the determinism argument for the synthesis pipeline —
+// the screen can only short-circuit NotEqual, never displace Equal.
+func TestCexScreenPreservesVerdicts(t *testing.T) {
+	b, pairs := fuzzPairs(t)
+	shared := NewCexCache(DefaultCexCap)
+	screened := &Checker{Cex: shared}
+	fresh := &Checker{}
+	for i, p := range pairs {
+		got := screened.Equiv(b, p[0], p[1])
+		want := fresh.Equiv(b, p[0], p[1])
+		if got != want {
+			t.Fatalf("pair %d: screened verdict %v, solver verdict %v\nlhs=%s\nrhs=%s",
+				i, got, want, p[0], p[1])
+		}
+	}
+	if screened.Stats.CexScreens == 0 {
+		t.Fatal("no queries were screened")
+	}
+	if screened.Stats.CexHits == 0 {
+		t.Fatal("no screen hits across the fuzz corpus — the cache never engaged")
+	}
+	if screened.Stats.CexHits != screened.Stats.SMTSkipped {
+		t.Fatalf("hits (%d) and skipped solver rounds (%d) disagree",
+			screened.Stats.CexHits, screened.Stats.SMTSkipped)
+	}
+}
+
+// TestCexCacheConcurrent hammers one cache from every CPU with the full
+// API surface — Add, Refutes, Snapshot, Counters, and a periodic Reset —
+// primarily as a race-detector target for the copy-on-write snapshot
+// and the ring bookkeeping.
+func TestCexCacheConcurrent(t *testing.T) {
+	b := term.NewBuilder()
+	x, y := b.Reg("x", 32), b.Reg("y", 32)
+	goals := [][2]*term.Term{
+		{b.Add(x, y), b.Sub(x, y)},
+		{b.And(x, y), b.Or(x, y)},
+		{b.Add(x, y), b.Add(y, x)},
+	}
+	cache := NewCexCache(16)
+	workers := runtime.NumCPU() + 2
+	const iters = 300
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0:
+					cache.Add(map[string]bv.BV{
+						"x": bv.New(32, uint64(rng.Uint32())),
+						"y": bv.New(32, uint64(rng.Uint32())),
+					})
+				case 1:
+					cache.Refutes(goals)
+				case 2:
+					_ = cache.Snapshot()
+					_ = cache.Len()
+				default:
+					cache.Counters()
+					if g == 0 && i%100 == 0 {
+						cache.Reset()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := cache.Len(); n > 16 {
+		t.Fatalf("cache grew past its capacity: %d", n)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"iselgen/internal/bitblast"
+	"iselgen/internal/bv"
 	"iselgen/internal/obs"
 	"iselgen/internal/sat"
 	"iselgen/internal/term"
@@ -62,6 +63,15 @@ type Stats struct {
 	Propagations int64
 	Restarts     int64
 	SolveTime    time.Duration
+
+	// Counterexample-screen counters: CexScreens is how many queries were
+	// evaluated against the cache, CexHits how many a cached assignment
+	// refuted, and SMTSkipped how many solver builds those hits avoided
+	// (one per hit — kept separate so the bench schema can evolve them
+	// independently).
+	CexScreens int64
+	CexHits    int64
+	SMTSkipped int64
 }
 
 // Checker decides term equivalence. The zero value uses a default budget.
@@ -75,6 +85,72 @@ type Checker struct {
 	// Context labels the events with the caller's purpose.
 	Obs     *obs.Obs
 	Context string
+	// Cex, when set, screens every query against cached counterexamples
+	// before any bit-blasting, and stores the separating assignment of
+	// every NotEqual verdict back into the cache. Screening is
+	// verdict-preserving (see cex.go), so attaching a cache never changes
+	// which rules synthesis produces — only how much solver work it costs.
+	Cex *CexCache
+
+	// sess, when non-nil, is the persistent assumption-based incremental
+	// solver (BeginIncremental); nil means one fresh solver per query.
+	sess *session
+	incr bool
+}
+
+// session is the incremental solving state: one solver and one blaster
+// accumulate variable encodings, circuit clauses, and — the point —
+// learned clauses across a worker's successive queries. Each query's
+// inequality is guarded by a fresh activation literal passed as an
+// assumption, then retired with a unit clause, so retired queries cost
+// nothing beyond their (reusable) circuit.
+type session struct {
+	s  *sat.Solver
+	bb *bitblast.Blaster
+}
+
+// sessionMaxVars resets a session that grew past this many SAT
+// variables; a defensive bound — per-pattern sessions stay far below it.
+const sessionMaxVars = 1 << 19
+
+// BeginIncremental switches the checker to incremental solving: from now
+// until EndIncremental, queries share one solver, reusing bit-blasted
+// circuits (candidate pairs within a pattern share whole subterms, most
+// notably the pattern side itself) and learned clauses. The caller
+// should scope a session to one deterministic query sequence — the
+// synthesis pool scopes it to one pattern's fallback, which a single
+// worker always processes alone, so worker count and scheduling cannot
+// alter what any query sees.
+func (c *Checker) BeginIncremental() {
+	c.incr = true
+	c.sess = nil
+}
+
+// EndIncremental drops the persistent solver and returns the checker to
+// one-shot queries.
+func (c *Checker) EndIncremental() {
+	c.incr = false
+	c.sess = nil
+}
+
+// solverFor returns the solver/blaster pair for the next query: the
+// persistent session in incremental mode (recycled if poisoned or
+// oversized), or a fresh pair.
+func (c *Checker) solverFor(budget int64) (*sat.Solver, *bitblast.Blaster) {
+	if c.incr {
+		if c.sess != nil && (c.sess.s.Unsatisfiable() || c.sess.s.NumVars() > sessionMaxVars) {
+			c.sess = nil
+		}
+		if c.sess == nil {
+			s := sat.New()
+			c.sess = &session{s: s, bb: bitblast.New(s)}
+		}
+		c.sess.s.MaxConflicts = budget
+		return c.sess.s, c.sess.bb
+	}
+	s := sat.New()
+	s.MaxConflicts = budget
+	return s, bitblast.New(s)
 }
 
 // defaultMaxConflicts bounds one query at roughly the work a tuned SMT
@@ -143,13 +219,50 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 		}
 	}
 
-	// UNSAT of "some goal differs" proves equivalence of all goals.
-	s := sat.New()
-	s.MaxConflicts = c.MaxConflicts
-	if s.MaxConflicts == 0 {
-		s.MaxConflicts = defaultMaxConflicts
+	// Counterexample screen (CEGIS instantiation reuse): a cached
+	// assignment that concretely separates some goal pair is exactly a
+	// satisfying assignment of the inequality below — return NotEqual
+	// without building a single clause. Goals are load-free here (loads
+	// were substituted above), so concrete evaluation is total.
+	if c.Cex != nil {
+		c.Stats.CexScreens++
+		hit := c.Cex.Refutes(goals)
+		if c.Obs != nil {
+			if m := c.Obs.Metrics; m != nil {
+				m.Counter("cex_screens", "candidate pairs screened against cached counterexamples").Add(1)
+				if hit {
+					m.Counter("cex_cache_hits", "equivalence queries refuted by a cached counterexample").Add(1)
+					m.Counter("smt_skipped", "bit-blasting rounds skipped thanks to the counterexample screen").Add(1)
+				}
+			}
+		}
+		if hit {
+			c.Stats.CexHits++
+			c.Stats.SMTSkipped++
+			c.Stats.Refuted++
+			return NotEqual
+		}
 	}
-	bb := bitblast.New(s)
+
+	// UNSAT of "some goal differs" proves equivalence of all goals.
+	budget := c.MaxConflicts
+	if budget == 0 {
+		budget = defaultMaxConflicts
+	}
+	// Baselines before blasting: AddClause propagates units eagerly, so
+	// work counters move during clause construction, not just in Solve.
+	// A fresh solver starts from zero (lifetime totals); a reused
+	// incremental session reports per-query deltas.
+	var prevS *sat.Solver
+	var confB, decB, propB, restB int64
+	if c.incr && c.sess != nil {
+		prevS = c.sess.s
+		confB, decB, propB, restB = prevS.Conflicts, prevS.Decisions, prevS.Propagations, prevS.Restarts
+	}
+	s, bb := c.solverFor(budget)
+	if s != prevS {
+		confB, decB, propB, restB = 0, 0, 0, 0
+	}
 	var diffs []sat.Lit
 	for _, g := range goals {
 		if g[0] == g[1] {
@@ -169,15 +282,34 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 		c.Stats.Proved++
 		return Equal
 	}
-	s.AddClause(diffs...)
-	before := s.Conflicts
+	var assumptions []sat.Lit
+	if c.incr {
+		// Guard this query's inequality behind a fresh activation
+		// literal: assumed now, retired below, so the clause is inert for
+		// every later query while its circuit and learned clauses remain.
+		act := sat.LitOf(s.NewVar(), false)
+		s.AddClause(append(diffs, act.Flip())...)
+		assumptions = []sat.Lit{act}
+	} else {
+		s.AddClause(diffs...)
+	}
 	t0 := time.Now()
-	st := s.Solve()
+	var st sat.Status
+	var model []bool
+	if c.Cex != nil {
+		st, model = s.SolveModel(assumptions...)
+	} else {
+		st = s.Solve(assumptions...)
+	}
 	dur := time.Since(t0)
-	c.Stats.Conflicts += s.Conflicts - before
-	c.Stats.Decisions += s.Decisions
-	c.Stats.Propagations += s.Propagations
-	c.Stats.Restarts += s.Restarts
+	if c.incr && len(assumptions) > 0 {
+		s.AddClause(assumptions[0].Flip())
+	}
+	conf, dec, prop, rest := s.Conflicts-confB, s.Decisions-decB, s.Propagations-propB, s.Restarts-restB
+	c.Stats.Conflicts += conf
+	c.Stats.Decisions += dec
+	c.Stats.Propagations += prop
+	c.Stats.Restarts += rest
 	c.Stats.SolveTime += dur
 
 	var res Result
@@ -187,6 +319,9 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 		res = Equal
 	case sat.Sat:
 		c.Stats.Refuted++
+		if c.Cex != nil {
+			c.Cex.Add(modelAssignment(bb, model, goals))
+		}
 		res = NotEqual
 	default:
 		c.Stats.TimedOut++
@@ -197,10 +332,10 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 			Context:      c.Context,
 			Result:       res.String(),
 			DurNS:        dur.Nanoseconds(),
-			Decisions:    s.Decisions,
-			Conflicts:    s.Conflicts - before,
-			Propagations: s.Propagations,
-			Restarts:     s.Restarts,
+			Decisions:    dec,
+			Conflicts:    conf,
+			Propagations: prop,
+			Restarts:     rest,
 		})
 		if m := c.Obs.Metrics; m != nil {
 			m.Histogram("smt_query_duration_ns",
@@ -208,6 +343,37 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 		}
 	}
 	return res
+}
+
+// modelAssignment extracts the satisfying assignment for every variable
+// of the goal terms from a SAT model — the counterexample that refuted
+// the query, in name→value form reusable by later screens.
+func modelAssignment(bb *bitblast.Blaster, model []bool, goals [][2]*term.Term) map[string]bv.BV {
+	if model == nil {
+		return nil
+	}
+	vals := map[string]bv.BV{}
+	for _, g := range goals {
+		if g[0] == g[1] {
+			// Not blasted (skipped above); its vars have no model bits.
+			continue
+		}
+		for _, side := range g {
+			for _, v := range side.Vars() {
+				if _, ok := vals[v.Name]; ok {
+					continue
+				}
+				bits := bb.VarBits(v.Name, v.W())
+				lo := bitblast.ModelValue(model, bits)
+				var hi uint64
+				if v.W() > 64 {
+					hi = bitblast.ModelValue(model, bits[64:])
+				}
+				vals[v.Name] = bvNew(v.W(), hi, lo)
+			}
+		}
+	}
+	return vals
 }
 
 func (c *Checker) unsupported(err error) Result {

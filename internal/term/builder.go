@@ -571,33 +571,33 @@ func (b *Builder) Rev(x *Term) *Term {
 // Variables not present in subst are re-interned unchanged. The result
 // of substitution must be width-compatible with the variable it replaces.
 func (b *Builder) Rebuild(t *Term, subst map[*Term]*Term) *Term {
-	memo := map[*Term]*Term{}
+	// subst doubles as the memo table: every visited node's rewrite is
+	// recorded in it (u -> rebuilt-u is itself a valid, idempotent
+	// substitution entry). Callers that rebuild several effect terms of
+	// one instruction with the same map therefore share the walk over
+	// common subterms instead of re-deriving them per effect.
 	var walk func(*Term) *Term
 	walk = func(u *Term) *Term {
-		if r, ok := memo[u]; ok {
-			return r
-		}
-		var r *Term
 		if s, ok := subst[u]; ok {
 			if s.W() != u.W() {
 				panic(fmt.Sprintf("term: substitution width mismatch for %s: %d vs %d", u, u.W(), s.W()))
 			}
-			r = s
-		} else {
-			switch u.Op {
-			case Const:
-				r = b.ConstBV(u.CVal)
-			case Var:
-				r = b.VarT(u.Name, u.Kind, u.W())
-			default:
-				args := make([]*Term, len(u.Args))
-				for i, a := range u.Args {
-					args[i] = walk(a)
-				}
-				r = b.Apply(u.Op, u.W(), int(u.Aux0), int(u.Aux1), args)
-			}
+			return s
 		}
-		memo[u] = r
+		var r *Term
+		switch u.Op {
+		case Const:
+			r = b.ConstBV(u.CVal)
+		case Var:
+			r = b.VarT(u.Name, u.Kind, u.W())
+		default:
+			args := make([]*Term, len(u.Args))
+			for i, a := range u.Args {
+				args[i] = walk(a)
+			}
+			r = b.Apply(u.Op, u.W(), int(u.Aux0), int(u.Aux1), args)
+		}
+		subst[u] = r
 		return r
 	}
 	return walk(t)

@@ -15,6 +15,7 @@ package term
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"iselgen/internal/bv"
 )
@@ -127,6 +128,15 @@ type Term struct {
 	CVal       bv.BV   // valid when Op == Const
 	Name       string  // valid when Op == Var
 	Kind       VarKind // valid when Op == Var
+
+	// varsCache and loadsCache memoize Vars() and Loads(). Terms are
+	// immutable once interned, so neither set ever changes; sequence
+	// composition and the SMT fallback re-walk the same embedded effect
+	// DAGs thousands of times. Concurrent first calls may each compute
+	// and store — the results are identical, so whichever pointer wins
+	// is correct.
+	varsCache  atomic.Pointer[[]*Term]
+	loadsCache atomic.Pointer[[]*Term]
 }
 
 // W returns the result width in bits.
@@ -158,6 +168,9 @@ func (t *Term) Size() int {
 // Vars returns the distinct variables of t in first-occurrence order
 // (deterministic because Args order is deterministic).
 func (t *Term) Vars() []*Term {
+	if p := t.varsCache.Load(); p != nil {
+		return *p
+	}
 	var out []*Term
 	seen := map[*Term]bool{}
 	var walk func(*Term)
@@ -170,11 +183,22 @@ func (t *Term) Vars() []*Term {
 			out = append(out, u)
 			return
 		}
+		// A cached subterm contributes its variables without re-walking.
+		if p := u.varsCache.Load(); p != nil {
+			for _, v := range *p {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+			return
+		}
 		for _, a := range u.Args {
 			walk(a)
 		}
 	}
 	walk(t)
+	t.varsCache.Store(&out)
 	return out
 }
 
@@ -201,6 +225,9 @@ func (t *Term) CountOp(op Op) int {
 
 // Loads returns all distinct Load nodes in t.
 func (t *Term) Loads() []*Term {
+	if p := t.loadsCache.Load(); p != nil {
+		return *p
+	}
 	var out []*Term
 	seen := map[*Term]bool{}
 	var walk func(*Term)
@@ -212,11 +239,24 @@ func (t *Term) Loads() []*Term {
 		if u.Op == Load {
 			out = append(out, u)
 		}
+		// Note: unlike Vars, a Load may contain further Loads in its
+		// address, so cached subterm results are still merged via the
+		// seen map rather than cutting the walk short.
+		if p := u.loadsCache.Load(); p != nil {
+			for _, l := range *p {
+				if !seen[l] {
+					seen[l] = true
+					out = append(out, l)
+				}
+			}
+			return
+		}
 		for _, a := range u.Args {
 			walk(a)
 		}
 	}
 	walk(t)
+	t.loadsCache.Store(&out)
 	return out
 }
 

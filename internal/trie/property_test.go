@@ -112,8 +112,8 @@ func bindingConsistent(t *testing.T, isaT, queryT *term.Term, bind *Binding, rng
 		}
 		// Assign ISA vars through the binding.
 		ok := true
-		for isaAtom, qAtom := range bind.Regs {
-			env.Bind(isaAtom.Var.Name, env.Vals[qAtom.Var.Name])
+		for _, rb := range bind.Regs {
+			env.Bind(rb.ISA.Var.Name, env.Vals[rb.Query.Var.Name])
 		}
 		for _, ib := range bind.Imms {
 			if ib.PCRel || ib.ISALo != 0 {

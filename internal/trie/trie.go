@@ -49,8 +49,22 @@ type edge struct {
 	next *node
 }
 
+// edgeEnt is the walk-side view of an edge: a slice element in insertion
+// order (deterministic, unlike map iteration) with the immWrapper
+// decomposition of the label precomputed at insert time — the search
+// re-derives it on every node visit otherwise.
+type edgeEnt struct {
+	sub            *canon.CTerm
+	next           *node
+	coefLo, coefHi uint64
+	imm            *canon.CTerm
+	immHi, immLo   int
+	isImm          bool
+}
+
 type node struct {
-	edges map[edgeKey]edge
+	edges map[edgeKey]edge // dedup map for Insert
+	elist []edgeEnt        // same edges, insertion-ordered, for the walk
 	// terminal canonical terms ending at this node, by constant part.
 	terms map[bvKey]*canon.CTerm
 }
@@ -93,6 +107,11 @@ func (ix *Index) Insert(ct *canon.CTerm, payload any) {
 		if !ok {
 			e = edge{sub: a.T, next: newNode()}
 			n.edges[ek] = e
+			imm, hi, lo, isImm := immWrapper(a.T)
+			n.elist = append(n.elist, edgeEnt{
+				sub: a.T, next: e.next, coefLo: a.Coef.Lo, coefHi: a.Coef.Hi,
+				imm: imm, immHi: hi, immLo: lo, isImm: isImm,
+			})
 		}
 		n = e.next
 	}
@@ -128,30 +147,76 @@ func (ib ImmBind) same(other ImmBind) bool {
 		ib.PCRel == other.PCRel
 }
 
-// Binding is the variable correspondence produced by unification.
-type Binding struct {
-	// Regs maps each ISA register/vector/flag/PC atom to the query atom
-	// it was unified with.
-	Regs map[*canon.CTerm]*canon.CTerm
-	// Imms lists immediate bindings in discovery order.
-	Imms []ImmBind
+// RegBind pairs an ISA register/vector/flag/PC atom with the query atom
+// it was unified with.
+type RegBind struct {
+	ISA, Query *canon.CTerm
 }
 
-func (b *Binding) clone() *Binding {
-	nb := &Binding{Regs: make(map[*canon.CTerm]*canon.CTerm, len(b.Regs))}
-	for k, v := range b.Regs {
-		nb.Regs[k] = v
+// Binding is the variable correspondence produced by unification.
+type Binding struct {
+	// Regs lists ISA→query atom pairs in discovery order. A slice, not a
+	// map: real instructions bind at most a handful of registers, so the
+	// linear conflict scan is cheaper than hashing and snapshots are flat
+	// copies.
+	Regs []RegBind
+	// Imms lists immediate bindings in discovery order.
+	Imms []ImmBind
+	// trail records in-place overwrites of Imms elements (bindImm's
+	// promotion cases) so rollback can restore them; appends roll back by
+	// truncation alone.
+	trail []immUndo
+}
+
+type immUndo struct {
+	idx int
+	old ImmBind
+}
+
+// bindMark is a snapshot of a binding's extent, taken before a
+// speculative unification step and restored with rollback. The
+// backtracking search used to clone the whole binding at every branch
+// point, which dominated lookup time; mark/rollback makes a failed
+// branch cost two slice truncations instead of an allocation.
+type bindMark struct{ nr, ni, nt int }
+
+func (b *Binding) mark() bindMark {
+	return bindMark{nr: len(b.Regs), ni: len(b.Imms), nt: len(b.trail)}
+}
+
+func (b *Binding) rollback(m bindMark) {
+	for i := len(b.trail) - 1; i >= m.nt; i-- {
+		u := b.trail[i]
+		if u.idx < m.ni { // overwrites of entries that survive the rollback
+			b.Imms[u.idx] = u.old
+		}
 	}
-	nb.Imms = append([]ImmBind(nil), b.Imms...)
+	b.trail = b.trail[:m.nt]
+	b.Regs = b.Regs[:m.nr]
+	b.Imms = b.Imms[:m.ni]
+}
+
+// clone snapshots the binding for a match result (emitted matches must
+// not alias the search's mutable state).
+func (b *Binding) clone() *Binding {
+	nb := &Binding{}
+	if len(b.Regs) > 0 {
+		nb.Regs = append(make([]RegBind, 0, len(b.Regs)), b.Regs...)
+	}
+	if len(b.Imms) > 0 {
+		nb.Imms = append(make([]ImmBind, 0, len(b.Imms)), b.Imms...)
+	}
 	return nb
 }
 
 // bindReg records isa→query; fails on conflicting rebinding.
 func (b *Binding) bindReg(isa, query *canon.CTerm) bool {
-	if old, ok := b.Regs[isa]; ok {
-		return old == query
+	for _, rb := range b.Regs {
+		if rb.ISA == isa {
+			return rb.Query == query
+		}
 	}
-	b.Regs[isa] = query
+	b.Regs = append(b.Regs, RegBind{ISA: isa, Query: query})
 	return true
 }
 
@@ -177,6 +242,7 @@ func (b *Binding) bindImm(ib ImmBind) bool {
 		case zeroConst(old) && zeroConst(ib):
 			// Keep the wider window.
 			if ib.ISAHi-ib.ISALo > old.ISAHi-old.ISALo {
+				b.trail = append(b.trail, immUndo{idx: i, old: old})
 				b.Imms[i] = ib
 			}
 			return true
@@ -192,6 +258,7 @@ func (b *Binding) bindImm(ib ImmBind) bool {
 			if ib.Query == nil && ib.Const.ZExt(64).Bit(old.ISAHi) != 0 {
 				return false
 			}
+			b.trail = append(b.trail, immUndo{idx: i, old: old})
 			b.Imms[i] = ib // promote to the value binding
 			return true
 		case old.Query != nil && old.Query == ib.Query &&
@@ -241,16 +308,11 @@ func embedShift(coefQ, coefI bv.BV) (int, bool) {
 
 // signature serializes a binding for match deduplication.
 func (b *Binding) signature() string {
-	var keys []int
-	ids := map[int]int{}
-	for k, v := range b.Regs {
-		keys = append(keys, k.ID)
-		ids[k.ID] = v.ID
-	}
-	sort.Ints(keys)
+	rs := append([]RegBind(nil), b.Regs...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ISA.ID < rs[j].ISA.ID })
 	var sb strings.Builder
-	for _, k := range keys {
-		fmt.Fprintf(&sb, "r%d=%d;", k, ids[k])
+	for _, rb := range rs {
+		fmt.Fprintf(&sb, "r%d=%d;", rb.ISA.ID, rb.Query.ID)
 	}
 	im := append([]ImmBind(nil), b.Imms...)
 	sort.Slice(im, func(i, j int) bool { return im[i].ISA.ID < im[j].ISA.ID })
@@ -296,7 +358,7 @@ func (ix *Index) Lookup(query *canon.CTerm) []Match {
 	s := &searcher{ix: ix, seen: map[string]bool{}}
 	qK, qAddends := linView(query)
 	used := make([]bool, len(qAddends))
-	s.walk(root, qK, qAddends, used, &Binding{Regs: map[*canon.CTerm]*canon.CTerm{}}, false)
+	s.walk(root, qK, qAddends, used, &Binding{}, false)
 	return s.matches
 }
 
@@ -315,11 +377,15 @@ func (s *searcher) walk(n *node, qK bv.BV, qAddends []canon.Addend, used []bool,
 			s.emit(ct, bind)
 		}
 	}
-	for ek, e := range n.edges {
-		coefI := bv.New128(qK.W(), ek.coefHi, ek.coefLo)
+	for ei := range n.elist {
+		e := &n.elist[ei]
+		coefI := bv.New128(qK.W(), e.coefHi, e.coefLo)
 		sub, next := e.sub, e.next
-		imm, hi, lo, isImm := immWrapper(sub)
-		// Option A: pair with an unused query addend.
+		imm, hi, lo, isImm := e.imm, e.immHi, e.immLo, e.isImm
+		// Option A: pair with an unused query addend. Each speculative
+		// step mutates bind in place and rolls back after exploring the
+		// branch (a recursive walk always restores bind before returning,
+		// so sharing one binding across the whole search is sound).
 		for qi := range qAddends {
 			if used[qi] {
 				continue
@@ -328,47 +394,51 @@ func (s *searcher) walk(n *node, qK bv.BV, qAddends []canon.Addend, used []bool,
 				// Option A': absorb the PC debt into a PC-relative
 				// immediate binding.
 				if qimm, qhi, qlo, qok := immWrapper(qAddends[qi].T); qok {
-					nb := bind.clone()
-					if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
+					m := bind.mark()
+					if bind.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
 						Query: qimm, QHi: qhi, QLo: qlo,
 						CoefQ: qAddends[qi].Coef, CoefI: coefI, PCRel: true}) {
 						used[qi] = true
-						s.walk(next, qK, qAddends, used, nb, false)
+						s.walk(next, qK, qAddends, used, bind, false)
 						used[qi] = false
 					}
+					bind.rollback(m)
 				}
 			}
-			nb := bind.clone()
-			if unify(nb, qAddends[qi].Coef, qAddends[qi].T, coefI, sub) {
+			m := bind.mark()
+			if unify(bind, qAddends[qi].Coef, qAddends[qi].T, coefI, sub) {
 				used[qi] = true
-				s.walk(next, qK, qAddends, used, nb, pcDebt)
+				s.walk(next, qK, qAddends, used, bind, pcDebt)
 				used[qi] = false
 			}
+			bind.rollback(m)
 		}
 		// Options B and C need an ISA immediate operand on the edge.
 		if isImm {
 			// Option B: bind the excess query constant to the immediate.
 			if !qK.IsZero() {
 				if v, ok := solveScaled(qK, coefI); ok {
-					nb := bind.clone()
-					if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
+					m := bind.mark()
+					if bind.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
 						Const: v, CoefQ: bv.New(qK.W(), 1), CoefI: coefI, PCRel: pcDebt}) {
-						s.walk(next, bv.Zero(qK.W()), qAddends, used, nb, false)
+						s.walk(next, bv.Zero(qK.W()), qAddends, used, bind, false)
 					}
+					bind.rollback(m)
 				}
 			}
 			// Option C: excess ISA immediate binds to zero.
-			nb := bind.clone()
-			if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
+			m := bind.mark()
+			if bind.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo,
 				Const: bv.Zero(imm.Width), CoefQ: bv.New(qK.W(), 1), CoefI: coefI}) {
-				s.walk(next, qK, qAddends, used, nb, pcDebt)
+				s.walk(next, qK, qAddends, used, bind, pcDebt)
 			}
+			bind.rollback(m)
 		}
 		// Option D: an unmatched PC edge incurs a debt to be absorbed by
 		// a following immediate edge (PC-relative addressing).
 		if !pcDebt && sub.IsAtom() && sub.AtomKind() == term.KindPC &&
 			coefI.Lo == 1 && coefI.Hi == 0 {
-			s.walk(next, qK, qAddends, used, bind.clone(), true)
+			s.walk(next, qK, qAddends, used, bind, true)
 		}
 	}
 }
@@ -508,18 +578,17 @@ func unify(bind *Binding, coefQ bv.BV, tQ *canon.CTerm, coefI bv.BV, tI *canon.C
 			}
 			return true
 		}
-		nb := bind.clone()
-		if tryArgs(nb, tQ.Args, tI.Args) {
-			*bind = *nb
+		m := bind.mark()
+		if tryArgs(bind, tQ.Args, tI.Args) {
 			return true
 		}
+		bind.rollback(m)
 		// Commutative operands may be ordered differently across contexts.
 		if tI.Op.IsCommutative() && len(tI.Args) == 2 {
-			nb := bind.clone()
-			if tryArgs(nb, tQ.Args, []*canon.CTerm{tI.Args[1], tI.Args[0]}) {
-				*bind = *nb
+			if tryArgs(bind, tQ.Args, []*canon.CTerm{tI.Args[1], tI.Args[0]}) {
 				return true
 			}
+			bind.rollback(m)
 		}
 		return false
 
@@ -539,53 +608,51 @@ func unify(bind *Binding, coefQ bv.BV, tQ *canon.CTerm, coefI bv.BV, tI *canon.C
 
 // unifyLin unifies two nested linear combinations by backtracking over
 // addend pairings, applying the same immediate rules as the trie walk.
+// On success the accumulated bindings remain in bind; on failure every
+// speculative step has been rolled back.
 func unifyLin(bind *Binding, q, i *canon.CTerm) bool {
 	qK, qAdd := linView(q)
 	iK, iAdd := linView(i)
 	used := make([]bool, len(qAdd))
-	var rec func(ii int, k bv.BV, b *Binding) bool
-	rec = func(ii int, k bv.BV, b *Binding) bool {
+	var rec func(ii int, k bv.BV) bool
+	rec = func(ii int, k bv.BV) bool {
 		if ii == len(iAdd) {
-			if !allUsed(used) {
-				return false
-			}
-			if k != iK {
-				return false
-			}
-			*bind = *b
-			return true
+			return allUsed(used) && k == iK
 		}
 		a := iAdd[ii]
 		for qi := range qAdd {
 			if used[qi] {
 				continue
 			}
-			nb := b.clone()
-			if unify(nb, qAdd[qi].Coef, qAdd[qi].T, a.Coef, a.T) {
+			m := bind.mark()
+			if unify(bind, qAdd[qi].Coef, qAdd[qi].T, a.Coef, a.T) {
 				used[qi] = true
-				if rec(ii+1, k, nb) {
+				if rec(ii+1, k) {
 					return true
 				}
 				used[qi] = false
 			}
+			bind.rollback(m)
 		}
 		if imm, hi, lo, ok := immWrapper(a.T); ok {
 			if !k.IsZero() {
 				if v, vok := solveScaled(k, a.Coef); vok {
-					nb := b.clone()
-					if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo, Const: v,
-						CoefQ: bv.New(k.W(), 1), CoefI: a.Coef}) && rec(ii+1, bv.Zero(k.W()), nb) {
+					m := bind.mark()
+					if bind.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo, Const: v,
+						CoefQ: bv.New(k.W(), 1), CoefI: a.Coef}) && rec(ii+1, bv.Zero(k.W())) {
 						return true
 					}
+					bind.rollback(m)
 				}
 			}
-			nb := b.clone()
-			if nb.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo, Const: bv.Zero(imm.Width),
-				CoefQ: bv.New(k.W(), 1), CoefI: a.Coef}) && rec(ii+1, k, nb) {
+			m := bind.mark()
+			if bind.bindImm(ImmBind{ISA: imm, ISAHi: hi, ISALo: lo, Const: bv.Zero(imm.Width),
+				CoefQ: bv.New(k.W(), 1), CoefI: a.Coef}) && rec(ii+1, k) {
 				return true
 			}
+			bind.rollback(m)
 		}
 		return false
 	}
-	return rec(0, qK, bind.clone())
+	return rec(0, qK)
 }

@@ -376,8 +376,8 @@ func TestBindingVerification(t *testing.T) {
 			isa := isaTerms[name]
 			subst := map[*term.Term]*term.Term{}
 			okBind := true
-			for isaAtom, qAtom := range m.Binding.Regs {
-				subst[isaAtom.Var] = qAtom.Var
+			for _, rb := range m.Binding.Regs {
+				subst[rb.ISA.Var] = rb.Query.Var
 			}
 			for _, ib := range m.Binding.Imms {
 				w := ib.ISA.Width
