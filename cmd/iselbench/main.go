@@ -57,6 +57,9 @@ import (
 	"iselgen/internal/isel"
 	"iselgen/internal/obs"
 	"iselgen/internal/smt"
+	"iselgen/internal/solver"
+
+	"path/filepath"
 )
 
 func main() {
@@ -75,10 +78,12 @@ func main() {
 	obsJSON := flag.Bool("obsjson", false, "emit the observability-overhead baseline JSON (BENCH_obs.json) and enforce the disabled-overhead guard")
 	encJSON := flag.Bool("encjson", false, "emit the machine-encoding baseline JSON (BENCH_enc.json): round-trip counts and encode/decode throughput")
 	gateFullMS := flag.Float64("gate-full-ms", 0, "with -synthjson: fail if aarch64 full_synth_ms exceeds this (0 = no gate)")
+	gateWarmMS := flag.Float64("gate-warm-ms", 0, "with -synthjson: fail if aarch64 warm_full_synth_ms exceeds this (0 = no gate)")
+	journalStats := flag.String("journal-stats", "", "with -synthjson: write the per-target solver journal stats JSON to this file")
 	flag.Parse()
 
 	if *synthJSON {
-		emitSynthJSON(*workers, *gateFullMS)
+		emitSynthJSON(*workers, *gateFullMS, *gateWarmMS, *journalStats)
 		return
 	}
 	if *costJSON {
@@ -256,6 +261,14 @@ type synthBaseline struct {
 	CexHitRate       float64 `json:"cex_hit_rate"`
 	SMTSkipped       int64   `json:"smt_skipped"`
 	SMTQueries       int64   `json:"smt_queries"`
+	// The warm leg simulates a daemon restart: the in-memory verdict memo
+	// is wiped, the journal the parallel run wrote is replayed, and the
+	// full synthesis runs again. WarmBitBlasts must be zero — every
+	// equivalence verdict answered by the memo, none re-solved.
+	WarmFullSynthMS    float64 `json:"warm_full_synth_ms"`
+	MemoHits           int64   `json:"memo_hits"`
+	WarmBitBlasts      int64   `json:"warm_bit_blasts"`
+	MemoJournalEntries int64   `json:"memo_journal_entries"`
 }
 
 // ruleFingerprints extracts the sorted rule-line fingerprint set from a
@@ -275,14 +288,19 @@ func ruleFingerprints(artifact string) []string {
 
 // emitSynthJSON measures, for both selection targets: a sequential
 // (Workers=1) full synthesis, a parallel full synthesis with the default
-// worker pool — each from a cold counterexample cache — and an
-// incremental self-resynthesis from the parallel run's artifact on a
-// fresh builder. The parallel library must be byte-identical to the
-// sequential one (same saved artifact, same rule fingerprint set); any
-// divergence exits nonzero, as does an aarch64 full synthesis slower
-// than gateFullMS (0 = no gate). The output is the BENCH_synth.json
-// baseline.
-func emitSynthJSON(workers int, gateFullMS float64) {
+// worker pool — each from a cold counterexample cache and a cold verdict
+// memo — an incremental self-resynthesis from the parallel run's
+// artifact on a fresh builder, and a warm full synthesis that simulates
+// a daemon restart (in-memory memo wiped, the journal the parallel run
+// wrote replayed from disk). The parallel library must be byte-identical
+// to the sequential one, and the warm one to both; the warm run must do
+// zero bit-blasts — for unchanged instructions every verdict comes from
+// the replayed memo. Any divergence exits nonzero, as does an aarch64
+// full synthesis slower than gateFullMS or a warm synthesis slower than
+// gateWarmMS (0 = no gate). The output is the BENCH_synth.json baseline;
+// journalStatsPath, when set, additionally receives the per-target
+// solver-journal accounting (the CI artifact).
+func emitSynthJSON(workers int, gateFullMS, gateWarmMS float64, journalStatsPath string) {
 	load := func(name string) *harness.Setup {
 		var s *harness.Setup
 		var err error
@@ -297,23 +315,42 @@ func emitSynthJSON(workers int, gateFullMS float64) {
 		}
 		return s
 	}
+	jdir, err := os.MkdirTemp("", "iselbench-solver-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(jdir)
 	var out []synthBaseline
+	journals := map[string]solver.JournalStats{}
 	for _, name := range []string{"aarch64", "riscv"} {
-		// Sequential reference run, cold cache.
+		jpath := filepath.Join(jdir, name+".journal")
+
+		// Sequential reference run: cold counterexample cache, cold
+		// verdict memo, no journal — the schedule-independence baseline.
 		seqCfg := core.DefaultConfig()
 		seqCfg.Workers = 1
 		sSeq := load(name)
+		solver.Shared.DetachJournal()
+		solver.Shared.Reset()
 		smt.Cex.Reset()
 		tSeq := time.Now()
 		seqLib := sSeq.Synthesize(seqCfg, 0)
 		seqMS := float64(time.Since(tSeq).Nanoseconds()) / 1e6
 		seqArt := isel.SaveLibraryFor(seqLib, sSeq.ISA)
 
-		// Parallel run, also from a cold cache (hits below are earned
-		// within the run, not inherited from the sequential pass).
+		// Parallel run, also from a cold cache and cold memo (hits below
+		// are earned within the run, not inherited from the sequential
+		// pass) — but journaling its verdicts, so the warm leg below can
+		// replay them the way a restarted daemon would.
 		cfg := core.DefaultConfig()
 		cfg.Workers = core.ResolveWorkers(workers)
 		s := load(name)
+		solver.Shared.Reset()
+		if err := solver.Shared.AttachJournal(jpath); err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
 		smt.Cex.Reset()
 		t0 := time.Now()
 		lib := s.Synthesize(cfg, 0)
@@ -351,6 +388,43 @@ func emitSynthJSON(workers int, gateFullMS float64) {
 				lib2.Len(), lib.Len())
 			os.Exit(1)
 		}
+		// Warm leg: simulate a daemon restart. Forget every in-memory
+		// verdict, replay the journal the parallel run just wrote, and
+		// run the full synthesis again on a fresh builder. Unchanged
+		// instructions must be answered entirely from the memo: zero
+		// bit-blasts, and the artifact byte-identical to the cold runs.
+		solver.Shared.Reset()
+		smt.Cex.Reset()
+		if err := solver.Shared.AttachJournal(jpath); err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
+			os.Exit(1)
+		}
+		s3 := load(name)
+		t2 := time.Now()
+		warmLib := s3.Synthesize(cfg, 0)
+		warmMS := float64(time.Since(t2).Nanoseconds()) / 1e6
+		wst := s3.Synther.Stats
+		if warmArt := isel.SaveLibraryFor(warmLib, s3.ISA); warmArt != parArt {
+			fmt.Fprintf(os.Stderr,
+				"iselbench: %s: warm library (%d rules) differs from cold (%d rules) — memoization must be verdict-preserving\n",
+				name, warmLib.Len(), lib.Len())
+			os.Exit(1)
+		}
+		if wst.BitBlasts != 0 {
+			fmt.Fprintf(os.Stderr,
+				"iselbench: %s: warm synthesis bit-blasted %d queries; every verdict for an unchanged spec must come from the memo\n",
+				name, wst.BitBlasts)
+			os.Exit(1)
+		}
+		if wst.SMTQueries > 0 && wst.MemoHits == 0 {
+			fmt.Fprintf(os.Stderr, "iselbench: %s: warm synthesis made %d SMT queries but hit the memo zero times\n",
+				name, wst.SMTQueries)
+			os.Exit(1)
+		}
+		js := solver.Shared.Journal()
+		journals[name] = js
+		solver.Shared.DetachJournal()
+
 		hitRate := 0.0
 		if st.CexScreens > 0 {
 			hitRate = float64(st.CexHits) / float64(st.CexScreens)
@@ -373,11 +447,32 @@ func emitSynthJSON(workers int, gateFullMS float64) {
 			CexHitRate:       hitRate,
 			SMTSkipped:       st.SMTSkipped,
 			SMTQueries:       st.SMTQueries,
+
+			WarmFullSynthMS:    warmMS,
+			MemoHits:           wst.MemoHits,
+			WarmBitBlasts:      wst.BitBlasts,
+			MemoJournalEntries: js.Entries,
 		})
 		if name == "aarch64" && gateFullMS > 0 && fullMS > gateFullMS {
 			fmt.Fprintf(os.Stderr,
 				"iselbench: aarch64 full synthesis took %.0fms, over the %.0fms gate — the speedup regressed\n",
 				fullMS, gateFullMS)
+			os.Exit(1)
+		}
+		if name == "aarch64" && gateWarmMS > 0 && warmMS > gateWarmMS {
+			fmt.Fprintf(os.Stderr,
+				"iselbench: aarch64 warm synthesis took %.0fms, over the %.0fms gate — the verdict memo regressed\n",
+				warmMS, gateWarmMS)
+			os.Exit(1)
+		}
+	}
+	if journalStatsPath != "" {
+		data, err := json.MarshalIndent(journals, "", "  ")
+		if err == nil {
+			err = os.WriteFile(journalStatsPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iselbench:", err)
 			os.Exit(1)
 		}
 	}

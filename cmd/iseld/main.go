@@ -21,6 +21,14 @@
 //	GET  /v1/jobs/{id}    job progress and, when done, the result
 //	POST /v1/artifact     serve (or produce) a serialized library for a
 //	                      peer replica's cache fill
+//	GET  /v1/solver/query look up one memoized SMT verdict by its
+//	                      content-addressed key (?key=...); misses probe
+//	                      cluster peers cache-only and answer 404 — the
+//	                      endpoint never solves
+//	POST /v1/solver/query the same lookup with the key in a JSON body
+//	GET  /v1/rules/{fingerprint}/why
+//	                      a rule's provenance joined with the memoized
+//	                      solver queries its synthesis ran
 //	GET  /v1/cluster      ring membership and per-peer breaker state
 //	                      (clustered mode only)
 //	GET  /v1/metrics      cache/queue counters, per-stage timings, build
@@ -60,6 +68,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -68,6 +77,8 @@ import (
 	"iselgen/internal/core"
 	"iselgen/internal/obs"
 	"iselgen/internal/service"
+	"iselgen/internal/smt"
+	"iselgen/internal/solver"
 )
 
 func main() {
@@ -80,6 +91,7 @@ func main() {
 	patterns := flag.Int("patterns", 0, "limit corpus patterns per synthesis (0 = all)")
 	timeout := flag.Duration("timeout", 0, "default per-job synthesis deadline (0 = none)")
 	inputs := flag.Int("inputs", 0, "test inputs per sequence (0 = default)")
+	cexCache := flag.Int("cex-cache", 0, "counterexample cache capacity (0 = ISEL_CEX_CACHE or default)")
 	traceSpans := flag.Int("trace-spans", 0, "span ring capacity for /v1/trace (0 = default)")
 	noObs := flag.Bool("no-obs", false, "disable tracing, histograms, and decision provenance")
 	maxJobs := flag.Int("max-jobs", 0, "cap on async jobs queued+running via POST /v1/jobs (0 = default)")
@@ -108,6 +120,31 @@ func main() {
 	cfg.Workers = core.ResolveWorkers(*synthWorkers)
 	if *inputs > 0 {
 		cfg.TestInputs = *inputs
+	}
+	// The counterexample screen is a pure perf knob (verdict-preserving,
+	// excluded from cache fingerprints), resolved flag > env > default.
+	smt.Cex.SetCapacity(smt.ResolveCexCap(*cexCache))
+
+	// With a disk cache configured, the solver verdict memo persists
+	// alongside the artifacts: settled equivalence verdicts from past
+	// daemon lifetimes replay at startup, so a warm restart re-verifies
+	// libraries without re-running a single bit-blast.
+	if *cacheDir != "" {
+		solver.Shared.SetLogger(func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		})
+		jp := filepath.Join(*cacheDir, "solver.journal")
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "iseld:", err)
+			os.Exit(1)
+		}
+		if err := solver.Shared.AttachJournal(jp); err != nil {
+			logger.Warn("solver journal unavailable, memo is in-memory only", "path", jp, "err", err.Error())
+		} else {
+			js := solver.Shared.Journal()
+			logger.Info("solver journal attached",
+				"path", jp, "verdicts", js.Loaded, "quarantined", js.Quarantined)
+		}
 	}
 	sv, err := service.New(service.Config{
 		Workers:        *workers,
@@ -156,6 +193,7 @@ func main() {
 			os.Exit(1)
 		}
 		sv.SetFiller(node)
+		sv.SetMemoProber(node)
 		handler = node.Handler()
 		logger.Info("iseld clustered",
 			"self", *self, "peers", len(peerList), "mode", *clusterMode)

@@ -1,0 +1,22 @@
+package core
+
+import "testing"
+
+// TestCacheKeyExcludesCexCap pins that the counterexample cache
+// capacity is — like Workers — a pure performance knob: screening is
+// verdict-preserving at any capacity, so two configurations differing
+// only in CexCap must share an artifact cache key.
+func TestCacheKeyExcludesCexCap(t *testing.T) {
+	a := DefaultConfig()
+	a.CexCap = 1
+	b := DefaultConfig()
+	b.CexCap = 4096
+	if a.CacheKey() != b.CacheKey() {
+		t.Errorf("CacheKey depends on CexCap:\n  %s\n  %s", a.CacheKey(), b.CacheKey())
+	}
+	c := DefaultConfig()
+	c.SMTMaxConflicts = a.SMTMaxConflicts * 2
+	if a.CacheKey() == c.CacheKey() {
+		t.Error("CacheKey ignores SMTMaxConflicts, which does change the library")
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"iselgen/internal/cost"
 	"iselgen/internal/isa"
 	"iselgen/internal/obs"
+	"iselgen/internal/rules"
+	"iselgen/internal/smt"
 	"iselgen/internal/spec"
 	"iselgen/internal/term"
 	"iselgen/internal/trie"
@@ -78,6 +80,13 @@ type Config struct {
 	// so cached responses and artifacts are never shared across selector
 	// configurations (the service keys its caches on it).
 	Selector string
+	// CexCap, when positive, rebounds the process-wide counterexample
+	// cache (smt.Cex) when the synthesizer is constructed. Like Workers
+	// it is a pure performance knob — screening is verdict-preserving at
+	// any capacity — so it is excluded from CacheKey. CLIs thread their
+	// -cex-cache flag through smt.ResolveCexCap (flag > ISEL_CEX_CACHE
+	// env > default).
+	CexCap int
 	// Obs, when set, receives stage/pattern spans, latency histograms,
 	// and SMT decision-provenance events from the synthesis run. Purely
 	// observational — never part of CacheKey (it cannot change which
@@ -103,9 +112,10 @@ func (c Config) EffSelector() string {
 // the ablation switches change whole code paths. CostModel changes rule
 // ranking (its content hash stands in for the table), and Selector —
 // while post-synthesis — is included so artifacts and responses cached
-// under one selection engine are never served to the other. Workers is
-// deliberately excluded: it parallelizes matching without affecting the
-// result.
+// under one selection engine are never served to the other. Workers and
+// CexCap are deliberately excluded: the former parallelizes matching
+// and the latter resizes the (verdict-preserving) counterexample
+// screen, neither affecting the result.
 func (c Config) CacheKey() string {
 	norm := c
 	if norm.TestInputs == 0 {
@@ -299,6 +309,12 @@ type Stats struct {
 	CexScreens int64
 	CexHits    int64
 	SMTSkipped int64
+	// Verdict-memo effectiveness: MemoHits counts queries answered by a
+	// stored (trust-checked) verdict, BitBlasts the queries that still
+	// reached circuit construction — the pair the warm-resynthesis gate
+	// watches (memo_hits > 0, bit_blasts == 0 on an unchanged spec).
+	MemoHits  int64
+	BitBlasts int64
 	// SAT-core work summed over every solver query of the run — the
 	// per-query distribution is in the provenance log; these totals ride
 	// the Table II snapshot (and /v1/metrics) so solver effort is visible
@@ -328,6 +344,8 @@ type StageStats struct {
 	CexScreens int64 `json:"cex_screens"`
 	CexHits    int64 `json:"cex_cache_hits"`
 	SMTSkipped int64 `json:"smt_skipped"`
+	MemoHits   int64 `json:"memo_hits"`
+	BitBlasts  int64 `json:"bit_blasts"`
 
 	SATDecisions    int64 `json:"sat_decisions"`
 	SATPropagations int64 `json:"sat_propagations"`
@@ -357,6 +375,8 @@ func (st *Stats) Snapshot() StageStats {
 		CexScreens:      st.CexScreens,
 		CexHits:         st.CexHits,
 		SMTSkipped:      st.SMTSkipped,
+		MemoHits:        st.MemoHits,
+		BitBlasts:       st.BitBlasts,
 		SATDecisions:    st.SATDecisions,
 		SATPropagations: st.SATPropagations,
 		SATConflicts:    st.SATConflicts,
@@ -385,6 +405,8 @@ func (ss *StageStats) Accumulate(o StageStats) {
 	ss.CexScreens += o.CexScreens
 	ss.CexHits += o.CexHits
 	ss.SMTSkipped += o.SMTSkipped
+	ss.MemoHits += o.MemoHits
+	ss.BitBlasts += o.BitBlasts
 	ss.SATDecisions += o.SATDecisions
 	ss.SATPropagations += o.SATPropagations
 	ss.SATConflicts += o.SATConflicts
@@ -410,6 +432,11 @@ type Synthesizer struct {
 	byFilter map[string][]*PoolEntry
 	Cfg      Config
 	Stats    Stats
+	// SpecFP fingerprints the loaded specification (every instruction's
+	// effect fingerprint, name-sorted): the proof fingerprint stamped on
+	// memoized SMT verdicts, so an Equal proved under one spec is never
+	// trusted under another.
+	SpecFP string
 	// cancelFn, when set by SynthesizeCtx, lets workers observe a
 	// deadline cooperatively (set before workers spawn, cleared after
 	// they join).
@@ -431,6 +458,9 @@ func New(b *term.Builder, target *isa.Target, cfg Config) *Synthesizer {
 	if cfg.SMTMaxConflicts == 0 {
 		cfg.SMTMaxConflicts = DefaultConfig().SMTMaxConflicts
 	}
+	if cfg.CexCap > 0 {
+		smt.Cex.SetCapacity(cfg.CexCap)
+	}
 	return &Synthesizer{
 		B:        b,
 		CX:       canon.NewCtx(),
@@ -438,7 +468,25 @@ func New(b *term.Builder, target *isa.Target, cfg Config) *Synthesizer {
 		Index:    trie.New(),
 		byFilter: map[string][]*PoolEntry{},
 		Cfg:      cfg,
+		SpecFP:   SpecFingerprint(target),
 	}
+}
+
+// SpecFingerprint derives the content identity of a loaded target spec:
+// the name-sorted instruction effect fingerprints, hashed together. Two
+// loads of semantically identical specs agree (InstFingerprint hashes
+// symbolically executed effects, not text), and any semantic edit to
+// any instruction changes it — which is exactly the granularity the
+// memo's Equal-trust guard needs, since a sequence's effects can depend
+// on any instruction it composes.
+func SpecFingerprint(target *isa.Target) string {
+	parts := make([]string, 0, len(target.Insts)+1)
+	parts = append(parts, "spec-v1")
+	for _, inst := range target.Insts {
+		parts = append(parts, inst.Name+"="+rules.InstFingerprint(inst))
+	}
+	sort.Strings(parts[1:])
+	return rules.Fingerprint(parts...)
 }
 
 // BuildPool runs stage 1: sequence enumeration, canonicalization, test

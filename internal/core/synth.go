@@ -15,6 +15,7 @@ import (
 	"iselgen/internal/pattern"
 	"iselgen/internal/rules"
 	"iselgen/internal/smt"
+	"iselgen/internal/solver"
 	"iselgen/internal/spec"
 	"iselgen/internal/term"
 	"iselgen/internal/trie"
@@ -52,6 +53,21 @@ type worker struct {
 	// curtailed is set when a cancellation made this worker skip the SMT
 	// fallback for at least one pattern, i.e. rules may have been missed.
 	curtailed bool
+
+	// probeRun scratch, reused across calls to keep the matcher's hot
+	// loop allocation-free, and the sampling counter for its timer.
+	probeBinds []probeBinding
+	probeVals  []bv.BV
+	probeTick  uint64
+}
+
+// probeBinding pairs one pattern leaf with the cached test vectors of
+// the sequence input it is assigned to.
+type probeBinding struct {
+	raw   []bv.BV // cached 128-bit test vectors for the sequence input
+	leafW int
+	opW   int
+	slot  int // program value slot, -1 when unused by the term
 }
 
 func (s *Synthesizer) newWorker() *worker {
@@ -68,6 +84,11 @@ func (s *Synthesizer) newWorker() *worker {
 			// refutation discovered for one pattern screens candidates for
 			// every other, across goroutines and across runs.
 			Cex: smt.Cex,
+			// And the process-wide verdict memo: a query settled by any
+			// worker — this run, an earlier run, or a replayed journal —
+			// answers instantly, guarded by the spec fingerprint.
+			Memo:   solver.Shared,
+			SpecFP: s.SpecFP,
 		},
 	}
 }
@@ -167,6 +188,8 @@ func (s *Synthesizer) wave(wave []*pattern.Pattern, lib *rules.Library) {
 			s.Stats.CexScreens += w.checker.Stats.CexScreens
 			s.Stats.CexHits += w.checker.Stats.CexHits
 			s.Stats.SMTSkipped += w.checker.Stats.SMTSkipped
+			s.Stats.MemoHits += w.checker.Stats.MemoHits
+			s.Stats.BitBlasts += w.checker.Stats.BitBlasts
 			s.Stats.SATDecisions += w.checker.Stats.Decisions
 			s.Stats.SATPropagations += w.checker.Stats.Propagations
 			s.Stats.SATConflicts += w.checker.Stats.Conflicts
@@ -241,6 +264,10 @@ func (w *worker) synthesizeOneInner(p *pattern.Pattern) *rules.Rule {
 	if err != nil {
 		return nil
 	}
+	// Label this pattern's solver queries: the context rides provenance
+	// events and memo entries, joining "why is this rule in the library"
+	// to the exact queries that proved (and disproved) its candidates.
+	w.checker.Context = "synthesis:" + p.Key()
 	leaves := p.Leaves()
 
 	t0 := time.Now()
@@ -677,35 +704,47 @@ func (w *worker) probe(prog *term.Program, leafSlot []int, leaves []*pattern.Nod
 	if w.s.Cfg.DisableProbe {
 		return true
 	}
+	// The probe/eval stage timers are coarse diagnostics, but probe is
+	// called often enough that two clock reads per call show up in the
+	// profile — so sample one call in eight and scale. Digest extension
+	// (the expensive part) still times itself exactly inside digestsUpTo.
+	w.probeTick++
+	if w.probeTick&7 != 0 {
+		return w.probeRun(prog, leafSlot, leaves, entry, asg, &w.evalT)
+	}
 	t0 := time.Now()
 	var evalDur time.Duration
 	ok := w.probeRun(prog, leafSlot, leaves, entry, asg, &evalDur)
 	w.evalT += evalDur
-	w.probeT += time.Since(t0) - evalDur
+	w.probeT += (time.Since(t0) - evalDur) * 8
 	return ok
 }
 
 func (w *worker) probeRun(prog *term.Program, leafSlot []int, leaves []*pattern.Node, entry *PoolEntry, asg []int, evalDur *time.Duration) bool {
-	type binding struct {
-		raw   []bv.BV // cached 128-bit test vectors for the sequence input
-		leafW int
-		opW   int
-		slot  int // program value slot, -1 when unused by the term
-	}
-	binds := make([]binding, 0, len(asg))
+	// binds and vals live in worker scratch: probeRun is the innermost
+	// hot call of the matcher and a fresh pair of slices per call is
+	// measurable GC traffic. vals must still start zeroed — slots no
+	// binding writes (constant-bound leaves) read as zero vectors.
+	binds := w.probeBinds[:0]
 	for li, ki := range asg {
 		if ki < 0 {
 			continue
 		}
 		in := entry.Seq.Inputs[ki]
-		binds = append(binds, binding{
+		binds = append(binds, probeBinding{
 			raw:   w.ic.vecs(nameHash(in.Var.Name)),
 			leafW: leaves[li].Ty.Bits,
 			opW:   in.Op.Width,
 			slot:  leafSlot[li],
 		})
 	}
-	vals := make([]bv.BV, len(prog.Vars()))
+	w.probeBinds = binds
+	nv := len(prog.Vars())
+	if cap(w.probeVals) < nv {
+		w.probeVals = make([]bv.BV, nv)
+	}
+	vals := w.probeVals[:nv]
+	clear(vals)
 	evals := entry.digestsUpTo(1, w.ic, evalDur)
 	checked := 0
 	for j := 0; j < entry.evalN; j++ {

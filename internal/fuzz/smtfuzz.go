@@ -5,6 +5,7 @@ import (
 
 	"iselgen/internal/bv"
 	"iselgen/internal/smt"
+	"iselgen/internal/solver"
 	"iselgen/internal/term"
 )
 
@@ -53,7 +54,13 @@ func CheckSMT(seed uint64, iter int, maxConflicts int64) (err error) {
 		t2 = g.gen(w, smtDepth)
 	}
 
-	c := &smt.Checker{MaxConflicts: maxConflicts}
+	// The oracle consults the shared verdict memo like every other
+	// checker user (memo → screen → bit-blast): a memo-induced verdict
+	// change would surface here as an eval disagreement, so fuzz runs
+	// double as a continuous check that memoization is verdict-
+	// preserving. The fingerprint is a constant — fuzz queries are pure
+	// term-pair truths with no spec behind them.
+	c := &smt.Checker{MaxConflicts: maxConflicts, Memo: solver.Shared, SpecFP: "fuzz-v1"}
 	verdict := c.Equiv(b, t1, t2)
 
 	agreeAll := true

@@ -12,7 +12,6 @@ package isa
 
 import (
 	"fmt"
-	"maps"
 	"strconv"
 
 	"iselgen/internal/bv"
@@ -439,28 +438,74 @@ func (c *AppendCache) Append(b *term.Builder, s *Sequence, inst *Instruction, wi
 			inst.Name, key.wired, tpl.wiredW, prev.T.W())
 	}
 
-	subst := maps.Clone(tpl.subst)
+	// The wired/flag bindings go into a small per-call overlay instead of
+	// a clone of the template substitution: Rebuild reads through to the
+	// pristine template memo for off-spine subterms and records spine
+	// rewrites (which depend on this base's terms) only in the overlay.
+	// Same results, and the allocation is a handful of entries instead
+	// of a copy of the whole memo.
+	ov := make(map[*term.Term]*term.Term, 8)
 	if tpl.wiredSrc != nil {
-		subst[tpl.wiredSrc] = prev.T
+		ov[tpl.wiredSrc] = prev.T
 	}
 	for i, src := range tpl.flagSrc {
-		subst[src] = flagTerms[i]
+		ov[src] = flagTerms[i]
 	}
 
 	ns := &Sequence{
-		Insts:     append(append([]*Instruction(nil), s.Insts...), inst),
-		Wirings:   append(append([][]string(nil), s.Wirings...), wireOps),
+		Insts:     make([]*Instruction, len(s.Insts)+1),
+		Wirings:   make([][]string, len(s.Wirings)+1),
 		FixedImms: append([]FixedImm(nil), s.FixedImms...),
+		Effects:   make([]spec.Effect, 0, len(inst.Effects)),
 	}
+	copy(ns.Insts, s.Insts)
+	ns.Insts[len(s.Insts)] = inst
+	copy(ns.Wirings, s.Wirings)
+	ns.Wirings[len(s.Wirings)] = wireOps
 	for _, e := range inst.Effects {
 		ns.Effects = append(ns.Effects, spec.Effect{
-			Kind: e.Kind, Dest: e.Dest, T: b.Rebuild(e.T, subst),
+			Kind: e.Kind, Dest: e.Dest, T: b.RebuildOverlay(e.T, tpl.subst, ov),
 		})
 	}
-	ns.Inputs = append(ns.Inputs, s.Inputs...)
-	ns.Inputs = append(ns.Inputs, tpl.inputs...)
-	ns.pruneInputs()
-	ns.addFlagInputs(b)
+	// Inline pruneInputs/addFlagInputs: the input and variable counts are
+	// small enough that nested scans over the cached Vars() slices beat
+	// building the per-call name maps the Sequence methods use. Results
+	// are identical: keep inputs some effect still references, then
+	// surface flag variables the effects read that are not inputs yet.
+	ns.Inputs = make([]SeqOperand, 0, len(s.Inputs)+len(tpl.inputs)+2)
+	keepLive := func(in SeqOperand) {
+		for _, e := range ns.Effects {
+			for _, v := range e.T.Vars() {
+				if v.Name == in.Var.Name {
+					ns.Inputs = append(ns.Inputs, in)
+					return
+				}
+			}
+		}
+	}
+	for _, in := range s.Inputs {
+		keepLive(in)
+	}
+	for _, in := range tpl.inputs {
+		keepLive(in)
+	}
+	for _, e := range ns.Effects {
+		for _, v := range e.T.Vars() {
+			if v.Kind != term.KindFlag {
+				continue
+			}
+			dup := false
+			for _, in := range ns.Inputs {
+				if in.Var.Name == v.Name {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ns.Inputs = append(ns.Inputs, SeqOperand{Var: v, Flags: true})
+			}
+		}
+	}
 	return ns, nil
 }
 

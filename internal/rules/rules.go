@@ -275,6 +275,39 @@ func ruleSig(r *Rule) string {
 	return sb.String()
 }
 
+// RuleFP computes the content-addressed identity of a single rule: the
+// SHA-256 over its pattern key and a deterministic rendering of its
+// sequence, bound constants (key-sorted — ruleSig's map order is fine
+// for intra-process dedupe but a fingerprint must be stable across
+// processes), and operand sources. The service's provenance endpoint
+// (/v1/rules/{fingerprint}/why) addresses rules by this value.
+func RuleFP(r *Rule) string {
+	parts := []string{"rule-v1", r.Pattern.Key(), r.Seq.String()}
+	if len(r.LeafConsts) > 0 {
+		ks := make([]int, 0, len(r.LeafConsts))
+		for leaf := range r.LeafConsts {
+			ks = append(ks, leaf)
+		}
+		sort.Ints(ks)
+		for _, leaf := range ks {
+			parts = append(parts, fmt.Sprintf("k%d=%s", leaf, r.LeafConsts[leaf]))
+		}
+	}
+	for _, op := range r.Operands {
+		switch op.Kind {
+		case SrcLeaf:
+			s := fmt.Sprintf("l%d", op.Leaf)
+			if op.Embed != nil {
+				s += ":" + op.Embed.String()
+			}
+			parts = append(parts, s)
+		case SrcConst:
+			parts = append(parts, fmt.Sprintf("c%s", op.Const))
+		}
+	}
+	return Fingerprint(parts...)
+}
+
 // Lookup returns the cheapest rule for a pattern key, or nil.
 func (l *Library) Lookup(key string) *Rule {
 	if chain := l.byKey[key]; len(chain) > 0 {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"iselgen/internal/core"
+	"iselgen/internal/solver"
 )
 
 // Metrics aggregates service-level counters plus the summed per-stage
@@ -28,6 +29,9 @@ type Metrics struct {
 	ArtifactServed atomic.Uint64 // /v1/artifact fills served to peers
 	BatchPrograms  atomic.Uint64 // programs received through /v1/select/batch
 	JobsSubmitted  atomic.Uint64 // async jobs admitted through /v1/jobs
+
+	MemoServed   atomic.Uint64 // /v1/solver/query answers from the local verdict memo
+	MemoPeerHits atomic.Uint64 // solver-query misses answered by a hedged peer probe
 
 	mu     sync.Mutex
 	stages core.StageStats
@@ -76,4 +80,15 @@ type MetricsSnapshot struct {
 	JobsCompleted  uint64          `json:"jobs_completed"`
 	JobsRejected   uint64          `json:"jobs_rejected"`
 	Stages         core.StageStats `json:"stages"`
+
+	// Solver verdict-memo surface (the process-wide solver.Shared store):
+	// lookup traffic, resident entries, journal accounting, and the
+	// query-endpoint counters.
+	SolverMemoHits    int64               `json:"solver_memo_hits"`
+	SolverMemoMisses  int64               `json:"solver_memo_misses"`
+	SolverMemoStores  int64               `json:"solver_memo_stores"`
+	SolverMemoEntries int                 `json:"solver_memo_entries"`
+	SolverJournal     solver.JournalStats `json:"solver_journal"`
+	MemoServed        uint64              `json:"memo_probes_served"`
+	MemoPeerHits      uint64              `json:"memo_peer_hits"`
 }

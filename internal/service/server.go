@@ -26,6 +26,7 @@ import (
 	"iselgen/internal/obs"
 	"iselgen/internal/rules"
 	"iselgen/internal/sim"
+	"iselgen/internal/solver"
 	"iselgen/internal/spec"
 	"iselgen/internal/term"
 )
@@ -80,6 +81,7 @@ type Server struct {
 	mux     *http.ServeMux
 	jobs    *jobTable
 	filler  RemoteFiller
+	prober  MemoProber
 
 	obsv    *obs.Obs
 	logger  *slog.Logger
@@ -109,6 +111,12 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Logger != nil {
+		lg := cfg.Logger
+		store.SetLogger(func(format string, args ...any) {
+			lg.Warn(fmt.Sprintf(format, args...))
+		})
+	}
 	// Thread the observability sink into every synthesis job the server
 	// runs (safe: Obs is not part of any cache fingerprint).
 	if cfg.Synth.Obs == nil {
@@ -133,6 +141,10 @@ func New(cfg Config) (*Server, error) {
 	sv.mux.HandleFunc("GET /v1/jobs", sv.handleJobList)
 	sv.mux.HandleFunc("GET /v1/jobs/{id}", sv.handleJobGet)
 	sv.mux.HandleFunc("POST /v1/artifact", sv.handleArtifact)
+	sv.mux.HandleFunc("GET /v1/solver/query", sv.handleSolverQueryGet)
+	sv.mux.HandleFunc("POST /v1/solver/query", sv.handleSolverQueryPost)
+	sv.mux.HandleFunc("GET /v1/rules", sv.handleRuleList)
+	sv.mux.HandleFunc("GET /v1/rules/{fingerprint}/why", sv.handleRuleWhy)
 	sv.mux.HandleFunc("GET /v1/metrics", sv.handleMetrics)
 	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	sv.registerObsRoutes()
@@ -765,6 +777,7 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 
 func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	lineages, shards := sv.shards.Counts()
+	memoHits, memoMisses, memoStores := solver.Shared.Counters()
 	writeJSON(w, http.StatusOK, MetricsSnapshot{
 		UptimeSec:      time.Since(sv.start).Seconds(),
 		Build:          sv.build,
@@ -793,6 +806,14 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsCompleted:  sv.sched.Completed(),
 		JobsRejected:   sv.sched.Rejected(),
 		Stages:         sv.metrics.Stages(),
+
+		SolverMemoHits:    memoHits,
+		SolverMemoMisses:  memoMisses,
+		SolverMemoStores:  memoStores,
+		SolverMemoEntries: solver.Shared.Len(),
+		SolverJournal:     solver.Shared.Journal(),
+		MemoServed:        sv.metrics.MemoServed.Load(),
+		MemoPeerHits:      sv.metrics.MemoPeerHits.Load(),
 	})
 }
 

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"iselgen/internal/rules"
+	"iselgen/internal/smt"
+	"iselgen/internal/solver"
+)
+
+func getSolverQuery(t *testing.T, base, key string, forwarded bool) (int, SolverQueryResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/solver/query?key="+key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forwarded {
+		req.Header.Set(ForwardedHeader, "1")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SolverQueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// stubProber answers every probe with a fixed entry, counting calls.
+type stubProber struct {
+	entry  smt.MemoEntry
+	probes int
+}
+
+func (p *stubProber) ProbeMemo(ctx context.Context, key string) (smt.MemoEntry, bool) {
+	p.probes++
+	return p.entry, true
+}
+
+// TestSolverQueryAndRuleWhy drives the provenance API end to end:
+// /v1/rules/{fp}/why joins a cached rule to the memo queries stored
+// under its synthesis context, and /v1/solver/query replays one of
+// those verdicts by key. Misses are 404s; no path solves. (The mini
+// spec is fully index-proven, so the memo entry is planted under the
+// rule's real context exactly as a synthesis worker would store it.)
+func TestSolverQueryAndRuleWhy(t *testing.T) {
+	solver.Shared.Reset()
+	sv, ts := newTestServer(t, testConfig())
+
+	status, body := postJSON(t, ts.URL+"/v1/synthesize", SynthesizeRequest{Target: "mini", Spec: svcSpec})
+	if status != http.StatusOK {
+		t.Fatalf("synthesize: status %d: %s", status, body)
+	}
+
+	// Discover a rule through the listing endpoint, the way a client
+	// that cannot compute fingerprints would.
+	lr, err := http.Get(ts.URL + "/v1/rules?target=mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Body.Close()
+	var listing RuleListResponse
+	if err := json.NewDecoder(lr.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Rules) == 0 {
+		t.Fatal("rule listing is empty after synthesis")
+	}
+	fp := listing.Rules[0].Fingerprint
+	source := listing.Rules[0].Source
+	ctx := "synthesis:" + listing.Rules[0].Pattern
+	var inStore bool
+	for _, e := range sv.store.Entries() {
+		for _, r := range e.Lib.Rules {
+			if rules.RuleFP(r) == fp {
+				inStore = true
+			}
+		}
+	}
+	if !inStore {
+		t.Fatalf("listed fingerprint %s not present in any cached library", fp)
+	}
+	if fr, err := http.Get(ts.URL + "/v1/rules?target=nonesuch"); err != nil {
+		t.Fatal(err)
+	} else {
+		var empty RuleListResponse
+		if err := json.NewDecoder(fr.Body).Decode(&empty); err != nil {
+			t.Fatal(err)
+		}
+		fr.Body.Close()
+		if len(empty.Rules) != 0 {
+			t.Fatalf("target filter leaked %d rules", len(empty.Rules))
+		}
+	}
+	key := "cafe" + fp
+	solver.Shared.Store(key, smt.MemoEntry{Verdict: smt.Equal, SpecFP: "spec-fp", Budget: 64, Context: ctx})
+
+	resp, err := http.Get(ts.URL + "/v1/rules/" + fp + "/why")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var why RuleWhyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&why); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("why: status %d", resp.StatusCode)
+	}
+	if why.Source != source || len(why.Libraries) == 0 || why.Context != ctx {
+		t.Fatalf("why response incomplete: source=%q libraries=%d context=%q",
+			why.Source, len(why.Libraries), why.Context)
+	}
+	if len(why.MemoQueries) != 1 || why.MemoQueries[0].Key != key {
+		t.Fatalf("why did not join the memo under the rule's context: %+v", why.MemoQueries)
+	}
+
+	// Replay the provenance query by key: a local memo hit.
+	code, q := getSolverQuery(t, ts.URL, key, false)
+	if code != http.StatusOK || !q.Found || q.Source != "local" || q.Entry == nil {
+		t.Fatalf("local query = %d %+v", code, q)
+	}
+	if q.Entry.Context != why.Context {
+		t.Fatalf("entry context %q, want %q", q.Entry.Context, why.Context)
+	}
+
+	// Unknown fingerprint and unknown key are 404s.
+	if r2, err := http.Get(ts.URL + "/v1/rules/ffffffffffffffff/why"); err != nil {
+		t.Fatal(err)
+	} else {
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown rule fingerprint: status %d", r2.StatusCode)
+		}
+	}
+	if code, q := getSolverQuery(t, ts.URL, "no-such-key", false); code != http.StatusNotFound || q.Found {
+		t.Fatalf("unknown key = %d %+v", code, q)
+	}
+}
+
+// TestSolverQueryPeerProbe pins the fleet semantics: a local miss
+// consults the prober (adopting the peer's verdict), but a request
+// already carrying ForwardedHeader is answered strictly locally — two
+// replicas can never chase a key around the ring.
+func TestSolverQueryPeerProbe(t *testing.T) {
+	solver.Shared.Reset()
+	sv, ts := newTestServer(t, testConfig())
+	p := &stubProber{entry: smt.MemoEntry{Verdict: smt.Equal, SpecFP: "peer-fp", Budget: 7}}
+	sv.SetMemoProber(p)
+
+	// Forwarded: local miss answers 404 without touching the prober.
+	code, q := getSolverQuery(t, ts.URL, "k1", true)
+	if code != http.StatusNotFound || q.Found || p.probes != 0 {
+		t.Fatalf("forwarded request = %d %+v (probes=%d)", code, q, p.probes)
+	}
+
+	// Not forwarded: the prober answers and the verdict is adopted.
+	code, q = getSolverQuery(t, ts.URL, "k1", false)
+	if code != http.StatusOK || !q.Found || q.Source != "peer" || p.probes != 1 {
+		t.Fatalf("peer probe = %d %+v (probes=%d)", code, q, p.probes)
+	}
+	if e, ok := solver.Shared.Lookup("k1"); !ok || e.SpecFP != "peer-fp" {
+		t.Fatalf("peer verdict not adopted locally: %+v, %v", e, ok)
+	}
+
+	// Adopted: the next query is local, no second probe.
+	code, q = getSolverQuery(t, ts.URL, "k1", false)
+	if code != http.StatusOK || q.Source != "local" || p.probes != 1 {
+		t.Fatalf("post-adoption query = %d %+v (probes=%d)", code, q, p.probes)
+	}
+}

@@ -9,6 +9,7 @@ package service
 
 import (
 	"context"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -80,6 +81,7 @@ func (f *Flight) Wait(ctx context.Context) (*Entry, error) {
 type Store struct {
 	dir    string // "" = memory only
 	maxMem int    // LRU cap on in-memory entries; 0 = unbounded
+	logf   func(format string, args ...any)
 
 	mu        sync.Mutex
 	mem       map[string]*Entry
@@ -115,7 +117,7 @@ func NewStore(dir string, maxMem int) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{dir: dir, maxMem: maxMem,
+	s := &Store{dir: dir, maxMem: maxMem, logf: log.Printf,
 		mem: map[string]*Entry{}, used: map[string]uint64{}, flights: map[string]*Flight{}}
 	if dir != "" {
 		s.persistCh = make(chan persistReq, 64)
@@ -129,6 +131,30 @@ func NewStore(dir string, maxMem int) (*Store, error) {
 		}()
 	}
 	return s, nil
+}
+
+// SetLogger redirects the store's warnings — quarantined disk artifacts
+// — away from the standard logger (nil silences them).
+func (s *Store) SetLogger(logf func(format string, args ...any)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// Entries snapshots the in-memory layer. Entries are immutable once
+// published, so sharing the pointers is safe; the slice itself is fresh.
+// Provenance queries use this to walk every resident library.
+func (s *Store) Entries() []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Entry, 0, len(s.mem))
+	for _, e := range s.mem {
+		out = append(out, e)
+	}
+	return out
 }
 
 // Peek returns the in-memory entry for a fingerprint without joining or
@@ -304,9 +330,19 @@ func (s *Store) LoadDisk(fp string, mat Materializer) (*Entry, bool) {
 	}
 	lib, err := isel.LoadLibrary(b, tgt, string(text))
 	if err != nil {
-		// A library that no longer verifies is poison: drop the file so
-		// the slot re-synthesizes cleanly.
-		os.Remove(s.path(fp))
+		// A library that no longer verifies is poison for serving but
+		// evidence for debugging: quarantine it aside (never fail the
+		// load) so the slot re-synthesizes cleanly while the artifact
+		// survives for post-mortems.
+		q := s.path(fp) + ".quarantine"
+		if rerr := os.Rename(s.path(fp), q); rerr != nil {
+			os.Remove(s.path(fp)) // quarantine failed; fall back to dropping
+			q = "(unlink)"
+		}
+		s.mu.Lock()
+		logf := s.logf
+		s.mu.Unlock()
+		logf("service: disk artifact %s failed verification (%v); quarantined to %s", fp, err, q)
 		return nil, false
 	}
 	lib.Freeze()

@@ -20,6 +20,8 @@
 package smt
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -91,7 +93,26 @@ const DefaultCexCap = 256
 // counterexample discovered while matching one pattern screens
 // candidates for every other pattern, across goroutines and across
 // synthesis runs in the same process.
-var Cex = NewCexCache(DefaultCexCap)
+var Cex = NewCexCache(ResolveCexCap(0))
+
+// ResolveCexCap applies the capacity precedence flag > ISEL_CEX_CACHE
+// env > DefaultCexCap, mirroring core.ResolveWorkers: a positive flag
+// value wins, then a positive environment value, then the default. The
+// capacity trades screen power against per-screen cost and — like the
+// worker count — can never change which rules synthesis produces
+// (screening is verdict-preserving at any capacity), so it is excluded
+// from core.Config.CacheKey.
+func ResolveCexCap(flagVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	if v := os.Getenv("ISEL_CEX_CACHE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return DefaultCexCap
+}
 
 // NewCexCache returns an empty cache bounded to capacity assignments.
 func NewCexCache(capacity int) *CexCache {
@@ -187,6 +208,48 @@ func (c *CexCache) Reset() {
 	c.stored.Store(0)
 }
 
+// SetCapacity rebounds the cache to n assignments (values < 1 restore
+// the default), trimming the oldest entries when shrinking. The capacity
+// only trades screen power against per-screen cost; at any value the
+// screen stays verdict-preserving, so resizing is always safe.
+func (c *CexCache) SetCapacity(n int) {
+	if c == nil {
+		return
+	}
+	if n < 1 {
+		n = DefaultCexCap
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n == c.cap {
+		return
+	}
+	if len(c.ring) > n {
+		// Drop the oldest entries: ring order is oldest-first starting
+		// at next once the ring has wrapped, insertion order before.
+		ordered := make([]Assignment, 0, len(c.ring))
+		ordered = append(ordered, c.ring[c.next:]...)
+		ordered = append(ordered, c.ring[:c.next]...)
+		dropped := ordered[:len(ordered)-n]
+		for _, a := range dropped {
+			delete(c.seen, fingerprint(a.Vals))
+		}
+		c.ring = ordered[len(ordered)-n:]
+		c.next = 0
+		snap := make([]Assignment, len(c.ring))
+		copy(snap, c.ring)
+		c.snap.Store(&snap)
+	} else if c.next != 0 {
+		// Unwrap so future evictions stay oldest-first under the new cap.
+		ordered := make([]Assignment, 0, len(c.ring))
+		ordered = append(ordered, c.ring[c.next:]...)
+		ordered = append(ordered, c.ring[:c.next]...)
+		c.ring = ordered
+		c.next = 0
+	}
+	c.cap = n
+}
+
 // Refutes screens a set of equivalence goals against the cached
 // counterexamples: it reports true when some cached assignment makes
 // some goal pair evaluate to different values — a concrete witness that
@@ -194,13 +257,21 @@ func (c *CexCache) Reset() {
 // unnecessary. The goal terms must be load-free (Equiv substitutes
 // paired loads with fresh variables before screening).
 func (c *CexCache) Refutes(goals [][2]*term.Term) bool {
+	_, ok := c.Refuting(goals)
+	return ok
+}
+
+// Refuting is Refutes returning the witness: the cached assignment that
+// separated some goal pair, so callers (the SMT memo) can persist the
+// refutation alongside the verdict.
+func (c *CexCache) Refuting(goals [][2]*term.Term) (map[string]bv.BV, bool) {
 	if c == nil {
-		return false
+		return nil, false
 	}
 	cexes := c.Snapshot()
 	c.screens.Add(1)
 	if len(cexes) == 0 {
-		return false
+		return nil, false
 	}
 	for _, g := range goals {
 		if g[0] == g[1] {
@@ -219,8 +290,36 @@ func (c *CexCache) Refutes(goals [][2]*term.Term) bool {
 			}
 			if lp.Run(lvals) != rp.Run(rvals) {
 				c.hits.Add(1)
-				return true
+				return a.Vals, true
 			}
+		}
+	}
+	return nil, false
+}
+
+// assignmentRefutes replays one concrete assignment against the goals,
+// reporting whether it separates some pair — the degraded trust path
+// for memoized NotEqual verdicts whose spec fingerprint no longer
+// matches. Unknown variable names get the same deterministic fill as
+// cache screening, so replay verdicts are reproducible.
+func assignmentRefutes(vals map[string]bv.BV, goals [][2]*term.Term) bool {
+	a := Assignment{Vals: vals}
+	for _, g := range goals {
+		if g[0] == g[1] {
+			continue
+		}
+		lp, rp := term.Compile(g[0]), term.Compile(g[1])
+		lv, rv := lp.Vars(), rp.Vars()
+		lvals := make([]bv.BV, len(lv))
+		rvals := make([]bv.BV, len(rv))
+		for i, v := range lv {
+			lvals[i] = a.value(v.Name, v.Width)
+		}
+		for i, v := range rv {
+			rvals[i] = a.value(v.Name, v.Width)
+		}
+		if lp.Run(lvals) != rp.Run(rvals) {
+			return true
 		}
 	}
 	return false

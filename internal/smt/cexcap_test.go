@@ -1,0 +1,83 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+
+	"iselgen/internal/bv"
+)
+
+// TestResolveCexCap pins the capacity precedence: a positive flag beats
+// ISEL_CEX_CACHE, which beats DefaultCexCap; malformed or non-positive
+// values fall through.
+func TestResolveCexCap(t *testing.T) {
+	t.Setenv("ISEL_CEX_CACHE", "")
+	if got := ResolveCexCap(0); got != DefaultCexCap {
+		t.Errorf("ResolveCexCap(0) = %d, want default %d", got, DefaultCexCap)
+	}
+	t.Setenv("ISEL_CEX_CACHE", "512")
+	if got := ResolveCexCap(0); got != 512 {
+		t.Errorf("with ISEL_CEX_CACHE=512, ResolveCexCap(0) = %d", got)
+	}
+	if got := ResolveCexCap(64); got != 64 {
+		t.Errorf("flag must beat env: ResolveCexCap(64) = %d", got)
+	}
+	t.Setenv("ISEL_CEX_CACHE", "not-a-number")
+	if got := ResolveCexCap(0); got != DefaultCexCap {
+		t.Errorf("malformed env must fall back to default, got %d", got)
+	}
+	t.Setenv("ISEL_CEX_CACHE", "-3")
+	if got := ResolveCexCap(0); got != DefaultCexCap {
+		t.Errorf("non-positive env must fall back to default, got %d", got)
+	}
+}
+
+// TestCexCacheSetCapacity pins resize semantics: shrinking trims the
+// oldest assignments (their fingerprints freed for re-adding), growing
+// admits more, and values < 1 restore the default.
+func TestCexCacheSetCapacity(t *testing.T) {
+	c := NewCexCache(8)
+	val := func(i int) map[string]bv.BV {
+		return map[string]bv.BV{fmt.Sprintf("v%d", i): bv.New(32, uint64(i))}
+	}
+	for i := 0; i < 8; i++ {
+		c.Add(val(i))
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+
+	c.SetCapacity(3)
+	if c.Len() != 3 {
+		t.Fatalf("after shrink len = %d, want 3", c.Len())
+	}
+	snap := c.Snapshot()
+	for i, a := range snap {
+		// Oldest-first trim: the survivors are the newest three (5, 6, 7).
+		want := fmt.Sprintf("v%d", 5+i)
+		if _, ok := a.Vals[want]; !ok {
+			t.Fatalf("survivor %d = %v, want %s", i, a.Vals, want)
+		}
+	}
+
+	// A trimmed assignment's fingerprint is released: re-adding it must
+	// succeed (and evict the now-oldest survivor).
+	c.Add(val(0))
+	found := false
+	for _, a := range c.Snapshot() {
+		if _, ok := a.Vals["v0"]; ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("re-adding a trimmed assignment was treated as a duplicate")
+	}
+
+	c.SetCapacity(0)
+	for i := 10; i < 10+DefaultCexCap; i++ {
+		c.Add(val(i))
+	}
+	if c.Len() != DefaultCexCap {
+		t.Fatalf("after restore-default len = %d, want %d", c.Len(), DefaultCexCap)
+	}
+}

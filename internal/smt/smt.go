@@ -22,6 +22,7 @@ import (
 
 	"iselgen/internal/bitblast"
 	"iselgen/internal/bv"
+	"iselgen/internal/canon"
 	"iselgen/internal/obs"
 	"iselgen/internal/sat"
 	"iselgen/internal/term"
@@ -66,12 +67,19 @@ type Stats struct {
 
 	// Counterexample-screen counters: CexScreens is how many queries were
 	// evaluated against the cache, CexHits how many a cached assignment
-	// refuted, and SMTSkipped how many solver builds those hits avoided
-	// (one per hit — kept separate so the bench schema can evolve them
-	// independently).
+	// refuted, and SMTSkipped how many solver builds memo hits and screen
+	// hits avoided together (one per hit — kept separate so the bench
+	// schema can evolve them independently).
 	CexScreens int64
 	CexHits    int64
 	SMTSkipped int64
+
+	// Memo counters: MemoHits is how many queries a stored verdict
+	// answered (after passing the trust policy); BitBlasts is how many
+	// queries actually reached circuit construction — the number the
+	// warm-resynthesis acceptance gate drives to zero.
+	MemoHits  int64
+	BitBlasts int64
 }
 
 // Checker decides term equivalence. The zero value uses a default budget.
@@ -91,6 +99,23 @@ type Checker struct {
 	// verdict-preserving (see cex.go), so attaching a cache never changes
 	// which rules synthesis produces — only how much solver work it costs.
 	Cex *CexCache
+	// Memo, when set, is consulted before the counterexample screen with
+	// a content-addressed key of the query, and every settled verdict is
+	// stored back. Trust is guarded by SpecFP (see memo.go): Equal and
+	// budget Unknowns replay only under a matching fingerprint; NotEqual
+	// degrades to a concrete witness replay otherwise.
+	Memo Memo
+	// SpecFP fingerprints the specification the checker's queries are
+	// proved against (core derives it from every target instruction's
+	// effect fingerprint). Stored with each memo entry and compared on
+	// lookup; empty disables fingerprint-guarded trust entirely, leaving
+	// only the witness-replay path.
+	SpecFP string
+
+	// Memo key derivation state: a lazily created canonicalization
+	// context plus a per-CTerm digest cache (memo.go).
+	memoCtx *canon.Ctx
+	memoDig map[*canon.CTerm][32]byte
 
 	// sess, when non-nil, is the persistent assumption-based incremental
 	// solver (BeginIncremental); nil means one fresh solver per query.
@@ -219,6 +244,45 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 		}
 	}
 
+	budget := c.MaxConflicts
+	if budget == 0 {
+		budget = defaultMaxConflicts
+	}
+
+	// Memo consult: an identical query settled earlier — this process or
+	// a previous one, any worker — replays its verdict without a screen
+	// or a single clause, subject to the trust policy in memo.go.
+	var mkey string
+	if c.Memo != nil {
+		mkey = c.memoKey(goals)
+		if e, ok := c.Memo.Lookup(mkey); ok {
+			if res, trusted := c.memoTrusted(e, budget, goals); trusted {
+				c.Stats.MemoHits++
+				c.Stats.SMTSkipped++
+				switch res {
+				case Equal:
+					c.Stats.Proved++
+				case NotEqual:
+					c.Stats.Refuted++
+					// Reseed the screen: the stored witness very likely
+					// separates upcoming candidates for free.
+					if c.Cex != nil && len(e.Cex) > 0 {
+						c.Cex.Add(e.Cex)
+					}
+				default:
+					c.Stats.TimedOut++
+				}
+				if c.Obs != nil {
+					if m := c.Obs.Metrics; m != nil {
+						m.Counter("memo_hits", "equivalence queries answered by the memoized verdict store").Add(1)
+						m.Counter("smt_skipped", "bit-blasting rounds skipped thanks to the counterexample screen").Add(1)
+					}
+				}
+				return res
+			}
+		}
+	}
+
 	// Counterexample screen (CEGIS instantiation reuse): a cached
 	// assignment that concretely separates some goal pair is exactly a
 	// satisfying assignment of the inequality below — return NotEqual
@@ -226,7 +290,7 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 	// were substituted above), so concrete evaluation is total.
 	if c.Cex != nil {
 		c.Stats.CexScreens++
-		hit := c.Cex.Refutes(goals)
+		cexVals, hit := c.Cex.Refuting(goals)
 		if c.Obs != nil {
 			if m := c.Obs.Metrics; m != nil {
 				m.Counter("cex_screens", "candidate pairs screened against cached counterexamples").Add(1)
@@ -240,15 +304,15 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 			c.Stats.CexHits++
 			c.Stats.SMTSkipped++
 			c.Stats.Refuted++
+			// Persist the refutation: the screen's witness is a full
+			// NotEqual verdict, and storing it is what lets a warm run
+			// skip the screen (and survive ring eviction) entirely.
+			c.memoStore(mkey, MemoEntry{Verdict: NotEqual, Budget: budget, Cex: cexVals})
 			return NotEqual
 		}
 	}
 
 	// UNSAT of "some goal differs" proves equivalence of all goals.
-	budget := c.MaxConflicts
-	if budget == 0 {
-		budget = defaultMaxConflicts
-	}
 	// Baselines before blasting: AddClause propagates units eagerly, so
 	// work counters move during clause construction, not just in Solve.
 	// A fresh solver starts from zero (lifetime totals); a reused
@@ -263,6 +327,7 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 	if s != prevS {
 		confB, decB, propB, restB = 0, 0, 0, 0
 	}
+	c.Stats.BitBlasts++
 	var diffs []sat.Lit
 	for _, g := range goals {
 		if g[0] == g[1] {
@@ -270,16 +335,17 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 		}
 		lb, err := bb.Blast(g[0])
 		if err != nil {
-			return c.unsupported(err)
+			return c.memoUnsupported(mkey, err)
 		}
 		rb, err := bb.Blast(g[1])
 		if err != nil {
-			return c.unsupported(err)
+			return c.memoUnsupported(mkey, err)
 		}
 		diffs = append(diffs, bb.DistinctLit(lb, rb))
 	}
 	if len(diffs) == 0 {
 		c.Stats.Proved++
+		c.memoStore(mkey, MemoEntry{Verdict: Equal, Budget: budget})
 		return Equal
 	}
 	var assumptions []sat.Lit
@@ -296,7 +362,7 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 	t0 := time.Now()
 	var st sat.Status
 	var model []bool
-	if c.Cex != nil {
+	if c.Cex != nil || c.Memo != nil {
 		st, model = s.SolveModel(assumptions...)
 	} else {
 		st = s.Solve(assumptions...)
@@ -317,15 +383,22 @@ func (c *Checker) Equiv(b *term.Builder, lhs, rhs *term.Term) Result {
 	case sat.Unsat:
 		c.Stats.Proved++
 		res = Equal
+		c.memoStore(mkey, MemoEntry{Verdict: Equal, Budget: budget, Conflicts: conf, SolveTimeNS: dur.Nanoseconds()})
 	case sat.Sat:
 		c.Stats.Refuted++
+		vals := modelAssignment(bb, model, goals)
 		if c.Cex != nil {
-			c.Cex.Add(modelAssignment(bb, model, goals))
+			c.Cex.Add(vals)
 		}
 		res = NotEqual
+		c.memoStore(mkey, MemoEntry{Verdict: NotEqual, Budget: budget, Cex: vals, Conflicts: conf, SolveTimeNS: dur.Nanoseconds()})
 	default:
 		c.Stats.TimedOut++
 		res = Unknown
+		// A budget exhaustion is itself deterministic, so it is worth
+		// memoizing: a warm run under the same (or a smaller) budget
+		// would only burn the same conflicts to learn the same nothing.
+		c.memoStore(mkey, MemoEntry{Verdict: Unknown, Budget: budget, Conflicts: conf, SolveTimeNS: dur.Nanoseconds()})
 	}
 	if c.Obs != nil {
 		c.Obs.Prov.AddSMT(obs.SMTQuery{
@@ -381,6 +454,16 @@ func (c *Checker) unsupported(err error) Result {
 		return Unknown
 	}
 	panic(err)
+}
+
+// memoUnsupported records a structural Unknown (an operator the blaster
+// cannot encode) before returning it: unlike a budget exhaustion it
+// holds under any budget, so it is stored with UnsupportedBudget and a
+// warm run skips the doomed blast attempt entirely.
+func (c *Checker) memoUnsupported(mkey string, err error) Result {
+	res := c.unsupported(err)
+	c.memoStore(mkey, MemoEntry{Verdict: Unknown, Budget: UnsupportedBudget})
+	return res
 }
 
 func collectLoads(goals [][2]*term.Term, side int) []*term.Term {

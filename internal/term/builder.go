@@ -603,6 +603,44 @@ func (b *Builder) Rebuild(t *Term, subst map[*Term]*Term) *Term {
 	return walk(t)
 }
 
+// RebuildOverlay is Rebuild with the substitution split into a read-only
+// base and a mutable overlay: lookups consult the overlay first, then
+// the base; every rewrite is recorded in the overlay only. Calling
+// Rebuild on a clone of base pre-seeded with the overlay's entries gives
+// identical results — this variant just spares the clone when the base
+// is a large shared memo and only a few entries differ per call.
+func (b *Builder) RebuildOverlay(t *Term, base, overlay map[*Term]*Term) *Term {
+	var walk func(*Term) *Term
+	walk = func(u *Term) *Term {
+		s, ok := overlay[u]
+		if !ok {
+			s, ok = base[u]
+		}
+		if ok {
+			if s.W() != u.W() {
+				panic(fmt.Sprintf("term: substitution width mismatch for %s: %d vs %d", u, u.W(), s.W()))
+			}
+			return s
+		}
+		var r *Term
+		switch u.Op {
+		case Const:
+			r = b.ConstBV(u.CVal)
+		case Var:
+			r = b.VarT(u.Name, u.Kind, u.W())
+		default:
+			args := make([]*Term, len(u.Args))
+			for i, a := range u.Args {
+				args[i] = walk(a)
+			}
+			r = b.Apply(u.Op, u.W(), int(u.Aux0), int(u.Aux1), args)
+		}
+		overlay[u] = r
+		return r
+	}
+	return walk(t)
+}
+
 // Apply constructs a term of the given op from already-built arguments,
 // dispatching to the simplifying constructors.
 func (b *Builder) Apply(op Op, width, aux0, aux1 int, args []*Term) *Term {

@@ -54,12 +54,17 @@ type edge struct {
 // decomposition of the label precomputed at insert time — the search
 // re-derives it on every node visit otherwise.
 type edgeEnt struct {
-	sub            *canon.CTerm
-	next           *node
-	coefLo, coefHi uint64
-	imm            *canon.CTerm
-	immHi, immLo   int
-	isImm          bool
+	sub          *canon.CTerm
+	next         *node
+	coef         bv.BV // materialized edge coefficient (root width = query width)
+	imm          *canon.CTerm
+	immHi, immLo int
+	isImm        bool
+	// pcPlusImm decomposition of the label, precomputed like imm above.
+	pcImm      *canon.CTerm
+	pcHi, pcLo int
+	pcCoef     bv.BV
+	isPCImm    bool
 }
 
 type node struct {
@@ -108,9 +113,11 @@ func (ix *Index) Insert(ct *canon.CTerm, payload any) {
 			e = edge{sub: a.T, next: newNode()}
 			n.edges[ek] = e
 			imm, hi, lo, isImm := immWrapper(a.T)
+			pcImm, pcHi, pcLo, pcCoef, isPCImm := pcPlusImm(a.T)
 			n.elist = append(n.elist, edgeEnt{
-				sub: a.T, next: e.next, coefLo: a.Coef.Lo, coefHi: a.Coef.Hi,
+				sub: a.T, next: e.next, coef: a.Coef,
 				imm: imm, immHi: hi, immLo: lo, isImm: isImm,
+				pcImm: pcImm, pcHi: pcHi, pcLo: pcLo, pcCoef: pcCoef, isPCImm: isPCImm,
 			})
 		}
 		n = e.next
@@ -379,7 +386,7 @@ func (s *searcher) walk(n *node, qK bv.BV, qAddends []canon.Addend, used []bool,
 	}
 	for ei := range n.elist {
 		e := &n.elist[ei]
-		coefI := bv.New128(qK.W(), e.coefHi, e.coefLo)
+		coefI := e.coef
 		sub, next := e.sub, e.next
 		imm, hi, lo, isImm := e.imm, e.immHi, e.immLo, e.isImm
 		// Option A: pair with an unused query addend. Each speculative
@@ -406,7 +413,18 @@ func (s *searcher) walk(n *node, qK bv.BV, qAddends []canon.Addend, used []bool,
 				}
 			}
 			m := bind.mark()
-			if unify(bind, qAddends[qi].Coef, qAddends[qi].T, coefI, sub) {
+			// Dispatch on the label decomposition precomputed at insert
+			// time instead of letting unify re-derive it per visit.
+			var uok bool
+			switch {
+			case e.isImm:
+				uok = unifyImm(bind, qAddends[qi].Coef, qAddends[qi].T, imm, hi, lo, coefI)
+			case e.isPCImm:
+				uok = unifyPCImm(bind, qAddends[qi].Coef, qAddends[qi].T, e.pcImm, e.pcHi, e.pcLo, e.pcCoef, coefI)
+			default:
+				uok = unifyShape(bind, qAddends[qi].Coef, qAddends[qi].T, coefI, sub)
+			}
+			if uok {
 				used[qi] = true
 				s.walk(next, qK, qAddends, used, bind, pcDebt)
 				used[qi] = false
@@ -519,23 +537,42 @@ func unify(bind *Binding, coefQ bv.BV, tQ *canon.CTerm, coefI bv.BV, tI *canon.C
 	// ISA immediates unify with query immediates even across differing
 	// coefficients, widths, and extract windows (§V-B3).
 	if imm, ihi, ilo, ok := immWrapper(tI); ok {
-		if qimm, qhi, qlo, qok := immWrapper(tQ); qok && qimm.AtomKind() == term.KindImm {
-			return bind.bindImm(ImmBind{ISA: imm, ISAHi: ihi, ISALo: ilo,
-				Query: qimm, QHi: qhi, QLo: qlo, CoefQ: coefQ, CoefI: coefI})
-		}
-		return false
+		return unifyImm(bind, coefQ, tQ, imm, ihi, ilo, coefI)
 	}
 
 	// PC-relative: ISA-side pc+imm against a lone query immediate.
 	if imm, ihi, ilo, coef, ok := pcPlusImm(tI); ok {
-		if qimm, qhi, qlo, qok := immWrapper(tQ); qok {
-			return bind.bindImm(ImmBind{ISA: imm, ISAHi: ihi, ISALo: ilo,
-				Query: qimm, QHi: qhi, QLo: qlo,
-				CoefQ: coefQ, CoefI: coef.ZExt(coefI.W()).Mul(coefI), PCRel: true})
-		}
-		return false
+		return unifyPCImm(bind, coefQ, tQ, imm, ihi, ilo, coef, coefI)
 	}
 
+	return unifyShape(bind, coefQ, tQ, coefI, tI)
+}
+
+// unifyImm is the ISA-immediate branch of unify, taking the immWrapper
+// decomposition of the ISA term as arguments so the trie walk can pass
+// the copy precomputed on the edge.
+func unifyImm(bind *Binding, coefQ bv.BV, tQ *canon.CTerm, imm *canon.CTerm, ihi, ilo int, coefI bv.BV) bool {
+	if qimm, qhi, qlo, qok := immWrapper(tQ); qok && qimm.AtomKind() == term.KindImm {
+		return bind.bindImm(ImmBind{ISA: imm, ISAHi: ihi, ISALo: ilo,
+			Query: qimm, QHi: qhi, QLo: qlo, CoefQ: coefQ, CoefI: coefI})
+	}
+	return false
+}
+
+// unifyPCImm is the pc+imm branch of unify, likewise taking the
+// precomputed pcPlusImm decomposition.
+func unifyPCImm(bind *Binding, coefQ bv.BV, tQ *canon.CTerm, imm *canon.CTerm, ihi, ilo int, coef, coefI bv.BV) bool {
+	if qimm, qhi, qlo, qok := immWrapper(tQ); qok {
+		return bind.bindImm(ImmBind{ISA: imm, ISAHi: ihi, ISALo: ilo,
+			Query: qimm, QHi: qhi, QLo: qlo,
+			CoefQ: coefQ, CoefI: coef.ZExt(coefI.W()).Mul(coefI), PCRel: true})
+	}
+	return false
+}
+
+// unifyShape handles the structural cases of unify — the ISA term is
+// neither an immediate wrapper nor pc+imm.
+func unifyShape(bind *Binding, coefQ bv.BV, tQ *canon.CTerm, coefI bv.BV, tI *canon.CTerm) bool {
 	switch tI.Kind {
 	case canon.Atom:
 		if coefQ != coefI {
