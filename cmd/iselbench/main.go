@@ -24,8 +24,12 @@
 //	-trace FILE      record the run's pipeline spans as Chrome trace-event
 //	                 JSON (synthesis stages, per-pattern spans, selection)
 //	-obsjson         observability-overhead baseline (BENCH_obs.json):
-//	                 synthesis with observability off vs on, plus the
-//	                 estimated disabled-path overhead, guarded under 2%
+//	                 synthesis with observability off vs on, the
+//	                 estimated disabled-path overhead (distributed-
+//	                 tracing calls included) guarded under 2%, and a
+//	                 two-replica fleet-trace sample: one traced
+//	                 cross-node request assembled into a single trace,
+//	                 plus the latency-histogram exemplar coverage
 //	-encjson         machine-encoding baseline (BENCH_enc.json): per target,
 //	                 the workload suite is selected and assembled to bytes,
 //	                 every instruction is round-trip-verified (decode +
@@ -40,6 +44,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"slices"
 	"sort"
@@ -49,6 +55,7 @@ import (
 	"math"
 
 	"iselgen/internal/bench"
+	"iselgen/internal/cluster"
 	"iselgen/internal/core"
 	"iselgen/internal/enc"
 	"iselgen/internal/fuzz"
@@ -56,6 +63,7 @@ import (
 	"iselgen/internal/incr"
 	"iselgen/internal/isel"
 	"iselgen/internal/obs"
+	"iselgen/internal/service"
 	"iselgen/internal/smt"
 	"iselgen/internal/solver"
 
@@ -646,6 +654,25 @@ func sweepCorpus(s *harness.Setup, dir string) (checked, skipped int) {
 // estimate reaches this, -obsjson exits nonzero, which is the CI guard.
 const obsGuardPct = 2.0
 
+// obsBench is the -obsjson output (BENCH_obs.json): per-target
+// overhead baselines plus one fleet-level distributed-tracing health
+// sample (schema in EXPERIMENTS.md).
+type obsBench struct {
+	Targets []obsReport `json:"targets"`
+	Fleet   obsFleet    `json:"fleet"`
+}
+
+// obsFleet records one traced cross-replica request on a miniature
+// in-process cluster: the assembled fleet trace's span and replica
+// counts, and the latency-histogram exemplar coverage on the replica
+// that served it.
+type obsFleet struct {
+	Replicas         int     `json:"replicas"`
+	TraceFleetSpans  int     `json:"trace_fleet_spans"`
+	TraceFleetNodes  int     `json:"trace_fleet_nodes"`
+	ExemplarCoverage float64 `json:"exemplar_coverage"`
+}
+
 // obsReport is one target of the -obsjson output (BENCH_obs.json): the
 // same synthesis run without and with observability attached, the event
 // volume the instrumented run produced, and the measured cost of one
@@ -666,11 +693,15 @@ type obsReport struct {
 	GuardPct        float64 `json:"guard_pct"`
 }
 
-// nilOpNS measures one fully disabled instrumentation operation: a span
-// start on a nil tracer, an attribute set, and an end — the exact calls
-// the pipeline makes when no Obs is attached.
+// nilOpNS measures one fully disabled instrumentation site, the
+// distributed-tracing calls included: a span start on a nil tracer, an
+// attribute set, an end, a remote span start from a trace context, its
+// end, and a bucket-exemplar observation on a nil histogram — the
+// exact calls the pipeline and the cluster hops make when no Obs is
+// attached.
 func nilOpNS() float64 {
 	var tr *obs.Tracer
+	var h *obs.Histogram
 	var sink *obs.Span
 	const n = 1 << 21
 	t0 := time.Now()
@@ -678,7 +709,10 @@ func nilOpNS() float64 {
 		sp := tr.Start("bench")
 		sp.SetInt("k", int64(i))
 		sp.End()
-		sink = sp
+		rsp := tr.StartRemote("bench", obs.TraceContext{})
+		rsp.End()
+		h.ObserveExemplar(int64(i), "")
+		sink = rsp
 	}
 	_ = sink
 	return float64(time.Since(t0).Nanoseconds()) / float64(n)
@@ -730,9 +764,11 @@ func emitObsJSON(workers int) {
 			os.Exit(1)
 		}
 		smtEvents, _ := o.Prov.Totals()
-		// Each instrumentation site costs ~3 nil calls when disabled
-		// (start, attribute, end); the span-start count is the number of
-		// sites the traced run actually passed through.
+		// Each instrumentation site costs at most one nilOpNS iteration
+		// when disabled (a local span trio plus the remote-start and
+		// exemplar calls a cluster hop adds); the ×3 keeps the estimate
+		// deliberately conservative. The span-start count is the number
+		// of sites the traced run actually passed through.
 		events := float64(o.Trace.Started()) + float64(smtEvents)
 		disabledPct := 100 * events * 3 * nilNS / float64(baseNS)
 		rep := obsReport{
@@ -756,12 +792,122 @@ func emitObsJSON(workers int) {
 		}
 		out = append(out, rep)
 	}
+	fleet, err := measureFleetTrace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iselbench: fleet trace:", err)
+		os.Exit(1)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(obsBench{Targets: out, Fleet: fleet}); err != nil {
 		fmt.Fprintln(os.Stderr, "iselbench:", err)
 		os.Exit(1)
 	}
+}
+
+// obsFleetSpec is a miniature single-width ISA: big enough for a real
+// synthesis, small enough that the fleet sample stays in milliseconds.
+const obsFleetSpec = `
+inst ADDrr(rn: reg64, rm: reg64) { rd = rn + rm; }
+inst SUBrr(rn: reg64, rm: reg64) { rd = rn - rm; }
+inst ANDrr(rn: reg64, rm: reg64) { rd = rn & rm; }
+inst ORRrr(rn: reg64, rm: reg64) { rd = rn | rm; }
+inst EORrr(rn: reg64, rm: reg64) { rd = rn ^ rm; }
+inst MVNr(rm: reg64) { rd = ~rm; }
+inst MOVZ(imm: imm16) { rd = zext(imm, 64); }
+`
+
+// measureFleetTrace boots a two-replica in-process cluster, sends one
+// traced synthesis to the replica that does NOT own the fingerprint
+// (so the fill crosses the wire), and reports the assembled fleet
+// trace plus the caller's exemplar coverage — the BENCH_obs.json
+// evidence that distributed tracing works end to end.
+func measureFleetTrace() (obsFleet, error) {
+	const replicas = 2
+	mk := func(i int) (*service.Server, *obs.Obs, error) {
+		o := obs.New()
+		sv, err := service.New(service.Config{
+			Workers:    2,
+			QueueDepth: 8,
+			Synth:      core.Config{TestInputs: 16, Workers: 2, SMTMaxConflicts: 64},
+			Obs:        o,
+		})
+		return sv, o, err
+	}
+	lc, err := cluster.StartLocal(replicas, mk, cluster.Config{HedgeDelay: time.Millisecond})
+	if err != nil {
+		return obsFleet{}, err
+	}
+	defer lc.Close()
+
+	fp, err := lc.Replica(0).SV.FingerprintRequest("mini", obsFleetSpec, "")
+	if err != nil {
+		return obsFleet{}, err
+	}
+	caller := lc.Replica(0).URL
+	if lc.Replica(0).Node.OwnerOf(fp) == caller {
+		caller = lc.Replica(1).URL
+	}
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: 0x0b5f1ee7, Sampled: true}
+	body, _ := json.Marshal(service.SynthesizeRequest{Target: "mini", Spec: obsFleetSpec})
+	req, _ := http.NewRequest(http.MethodPost, caller+"/v1/synthesize", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, tc.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return obsFleet{}, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obsFleet{}, fmt.Errorf("synthesize: HTTP %d", resp.StatusCode)
+	}
+
+	// Spans commit when they end, which trails the response; poll until
+	// the trace validates with spans from both replicas.
+	fl := obsFleet{Replicas: replicas}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		r2, err := http.Get(caller + "/v1/trace/" + tc.TraceID.String() + "?format=spans")
+		if err != nil {
+			return obsFleet{}, err
+		}
+		var sr service.TraceSpansResponse
+		ok := r2.StatusCode == http.StatusOK && json.NewDecoder(r2.Body).Decode(&sr) == nil
+		io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+		if ok && obs.ValidateTraceSpans(sr.Spans) == nil {
+			nodes := map[string]bool{}
+			for _, s := range sr.Spans {
+				nodes[s.Node] = true
+			}
+			if len(nodes) >= replicas {
+				fl.TraceFleetSpans = len(sr.Spans)
+				fl.TraceFleetNodes = len(nodes)
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if fl.TraceFleetNodes < replicas {
+		return obsFleet{}, fmt.Errorf("trace %s never spanned %d replicas", tc.TraceID, replicas)
+	}
+
+	r3, err := http.Get(caller + "/metrics")
+	if err != nil {
+		return obsFleet{}, err
+	}
+	text, _ := io.ReadAll(r3.Body)
+	r3.Body.Close()
+	fams, err := obs.ParseProm(string(text))
+	if err != nil {
+		return obsFleet{}, fmt.Errorf("parse prom: %w", err)
+	}
+	withEx, populated := obs.ExemplarCoverage(fams["http_request_duration_ns"])
+	if populated > 0 {
+		fl.ExemplarCoverage = float64(withEx) / float64(populated)
+	}
+	return fl, nil
 }
 
 // encReport is one target of the -encjson output (BENCH_enc.json): the

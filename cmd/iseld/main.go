@@ -37,6 +37,14 @@
 //	                      Prometheus text format
 //	GET  /v1/trace        recent pipeline spans as Chrome trace-event
 //	                      JSON (open in chrome://tracing or Perfetto)
+//	GET  /v1/trace/{traceId}
+//	                      one distributed trace assembled fleet-wide:
+//	                      every replica's spans for the trace ID, merged
+//	                      with clock-offset normalization into a single
+//	                      Chrome trace (?format=spans for the raw span
+//	                      set); trace IDs come from the X-Iseld-Trace
+//	                      response header, access-log lines, and the
+//	                      latency-histogram exemplars on /metrics
 //	GET  /debug/pprof/    Go runtime profiles
 //	GET  /healthz         liveness
 //
@@ -46,7 +54,7 @@
 // Usage: iseld [-addr :8791] [-cache-dir DIR] [-cache-entries N]
 //
 //	[-workers N] [-synth-workers N] [-queue N] [-patterns N] [-timeout D]
-//	[-trace-spans N] [-no-obs] [-max-jobs N]
+//	[-trace-spans N] [-trace-sample F] [-no-obs] [-max-jobs N]
 //	[-peers URL,URL,...] [-self URL] [-cluster-mode fill|forward]
 //	[-hedge D] [-breaker-failures N] [-breaker-cooldown D]
 //	[-drain-timeout D]
@@ -93,6 +101,7 @@ func main() {
 	inputs := flag.Int("inputs", 0, "test inputs per sequence (0 = default)")
 	cexCache := flag.Int("cex-cache", 0, "counterexample cache capacity (0 = ISEL_CEX_CACHE or default)")
 	traceSpans := flag.Int("trace-spans", 0, "span ring capacity for /v1/trace (0 = default)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests starting a distributed trace (0 = all, <0 = none; valid incoming X-Iseld-Trace contexts are always honored)")
 	noObs := flag.Bool("no-obs", false, "disable tracing, histograms, and decision provenance")
 	maxJobs := flag.Int("max-jobs", 0, "cap on async jobs queued+running via POST /v1/jobs (0 = default)")
 	peers := flag.String("peers", "", "comma-separated base URLs of every replica, self included (empty = standalone)")
@@ -156,6 +165,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxJobs:        *maxJobs,
 		Obs:            o,
+		TraceSample:    *traceSample,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -194,6 +204,7 @@ func main() {
 		}
 		sv.SetFiller(node)
 		sv.SetMemoProber(node)
+		sv.SetTraceCollector(node)
 		handler = node.Handler()
 		logger.Info("iseld clustered",
 			"self", *self, "peers", len(peerList), "mode", *clusterMode)

@@ -9,16 +9,28 @@
 // round-robin across the replicas. Point it at a running fleet instead
 // with -urls.
 //
-// The -gate-p99 and -gate-hitrate flags turn the report into a CI gate:
-// the process exits nonzero when the measured p99 batch latency exceeds
-// the limit or the combined cache hit rate falls below the floor.
+// The harness also exercises distributed tracing end to end: warm jobs
+// and a -trace-sample fraction of batch requests carry client-minted
+// X-Iseld-Trace contexts, and after the run each sampled trace is
+// assembled through GET /v1/trace/{traceId} and validated (single root,
+// no orphans, spans from every replica the request touched). The report
+// gains a "trace" section; -trace-out saves one assembled multi-node
+// trace as Chrome JSON.
+//
+// The -gate-p99, -gate-hitrate, and -gate-trace flags turn the report
+// into a CI gate: the process exits nonzero when the measured p99 batch
+// latency exceeds the limit, the combined cache hit rate falls below
+// the floor, or (with -gate-trace) any sampled trace fails to assemble
+// completely, no trace spans two replicas, or the p99 latency bucket's
+// exemplar trace ID does not resolve.
 //
 // Usage: iselload [-replicas 3] [-n 1000] [-batch 32] [-concurrency 8]
 //
 //	[-target riscv] [-selector greedy] [-seed 1] [-vectors 2]
 //	[-mode fill] [-patterns 8] [-workers 2] [-inputs 16]
 //	[-urls http://a,http://b] [-json BENCH_serve.json]
-//	[-gate-p99 0] [-gate-hitrate 0]
+//	[-trace-sample 0.25] [-trace-out fleet-trace.json]
+//	[-gate-p99 0] [-gate-hitrate 0] [-gate-trace]
 package main
 
 import (
@@ -60,8 +72,11 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "synthesis deadline for the warm-up job")
 	urls := flag.String("urls", "", "comma-separated replica base URLs (empty = boot in-process)")
 	jsonOut := flag.String("json", "", "write the report to this file (empty = stdout)")
+	traceSample := flag.Float64("trace-sample", 0.25, "fraction of batch requests carrying a client-minted trace context (0 = none; warm jobs are always traced when nonzero)")
+	traceOut := flag.String("trace-out", "", "write the widest assembled fleet trace as Chrome JSON to this file (empty = skip)")
 	gateP99 := flag.Duration("gate-p99", 0, "fail when p99 batch latency exceeds this (0 = off)")
 	gateHit := flag.Float64("gate-hitrate", 0, "fail when the combined cache hit rate is below this fraction (0 = off)")
+	gateTrace := flag.Bool("gate-trace", false, "fail unless every sampled trace assembles completely, at least one spans two replicas, and the p99 bucket exemplar resolves")
 	flag.Parse()
 
 	if *n < 1 || *batch < 1 || *concurrency < 1 {
@@ -99,21 +114,37 @@ func main() {
 
 	// Warm every replica through the async job API: submit, then poll.
 	// Replicas that do not own the fingerprint fill from its owner here,
-	// so the warm phase already exercises (and counts) peer fills.
+	// so the warm phase already exercises (and counts) peer fills — and
+	// each warm job carries a client-minted trace context, making the
+	// warm traces the multi-node ones (a non-owner's job span parents
+	// the owner's artifact-serving spans across the wire).
 	warmT0 := time.Now()
+	var warmTraces []string
 	for _, ep := range endpoints {
-		if err := warm(client, ep, *target, *timeout); err != nil {
+		hdr := ""
+		if *traceSample > 0 {
+			tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: 0x15e10ad, Sampled: true}
+			hdr = tc.Header()
+			warmTraces = append(warmTraces, tc.TraceID.String())
+		}
+		if err := warm(client, ep, *target, *timeout, hdr); err != nil {
 			fatal(fmt.Errorf("warm %s: %w", ep, err))
 		}
 	}
 	warmDur := time.Since(warmT0)
 	fmt.Fprintf(os.Stderr, "iselload: warmed %d replicas in %.1fs\n", len(endpoints), warmDur.Seconds())
 
+	// Resolve the warm traces before batch traffic can age their spans
+	// out of the per-replica span rings.
+	trace := ReportTrace{SampleRate: *traceSample}
+	bestID, bestNodes := resolveTraces(client, endpoints[0], warmTraces, &trace)
+
 	// Replay: split the stream into batches, drive them round-robin
 	// across the replicas from -concurrency workers.
 	type job struct {
 		idx   int
 		progs []string
+		trace string // X-Iseld-Trace header value, "" for unsampled batches
 	}
 	jobs := make(chan job)
 	var (
@@ -141,8 +172,13 @@ func main() {
 					Vectors:    *vectors,
 				}
 				body, _ := json.Marshal(req)
+				hreq, _ := http.NewRequest(http.MethodPost, ep+"/v1/select/batch", bytes.NewReader(body))
+				hreq.Header.Set("Content-Type", "application/json")
+				if jb.trace != "" {
+					hreq.Header.Set(obs.TraceHeader, jb.trace)
+				}
 				t0 := time.Now()
-				resp, err := client.Post(ep+"/v1/select/batch", "application/json", bytes.NewReader(body))
+				resp, err := client.Do(hreq)
 				d := time.Since(t0)
 				reqTotal.Add(1)
 				if err != nil {
@@ -172,13 +208,29 @@ func main() {
 			}
 		}()
 	}
+	// Sample deterministically — every Kth batch carries a minted trace
+	// context, so a run is reproducible traces included.
+	sampleEvery := 0
+	if *traceSample > 0 {
+		sampleEvery = int(1 / *traceSample)
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+	}
+	var batchTraces []string
 	nBatches := 0
 	for off := 0; off < len(programs); off += *batch {
 		end := off + *batch
 		if end > len(programs) {
 			end = len(programs)
 		}
-		jobs <- job{idx: nBatches, progs: programs[off:end]}
+		hdr := ""
+		if sampleEvery > 0 && nBatches%sampleEvery == 0 {
+			tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: 0x10adba7c, Sampled: true}
+			hdr = tc.Header()
+			batchTraces = append(batchTraces, tc.TraceID.String())
+		}
+		jobs <- job{idx: nBatches, progs: programs[off:end], trace: hdr}
 		nBatches++
 	}
 	close(jobs)
@@ -194,6 +246,23 @@ func main() {
 		}
 	}
 
+	// Resolve the sampled batch traces, then close the observability
+	// loop: the latency histogram's slowest populated bucket must carry
+	// an exemplar trace ID the fleet can still assemble.
+	if id, nodes := resolveTraces(client, endpoints[0], batchTraces, &trace); nodes > bestNodes {
+		bestID, bestNodes = id, nodes
+	}
+	if trace.Sampled > 0 {
+		trace.Completeness = float64(trace.Assembled) / float64(trace.Sampled)
+	}
+	trace.ExemplarCoverage, trace.ExemplarResolved = checkExemplar(client, endpoints[0])
+	if *traceOut != "" && bestID != "" {
+		if err := saveTrace(client, endpoints[0], bestID, *traceOut); err != nil {
+			fatal(fmt.Errorf("trace-out: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "iselload: wrote %s (trace %s, %d replicas)\n", *traceOut, bestID, bestNodes)
+	}
+
 	rep := buildReport(reportInput{
 		endpoints: len(endpoints), mode: *mode, target: *target, selector: *selector,
 		seed: *seed, patterns: *patterns, batch: *batch, concurrency: *concurrency,
@@ -201,7 +270,8 @@ func main() {
 		latencies: latencies, sums: sums,
 		reqTotal: reqTotal.Load(), reqFailed: reqFailed.Load(),
 		selected: selected.Load(), fallbacks: fallbacks.Load(), progErrs: progErrs.Load(),
-		gateP99: *gateP99, gateHit: *gateHit,
+		trace:   trace,
+		gateP99: *gateP99, gateHit: *gateHit, gateTrace: *gateTrace,
 	})
 
 	enc, _ := json.MarshalIndent(rep, "", "  ")
@@ -218,6 +288,12 @@ func main() {
 		"iselload: %d programs in %.1fs (%.0f/s), p50 %.1fms p99 %.1fms, hit rate %.0f%%, %d failed requests\n",
 		*n, runDur.Seconds(), rep.Throughput, rep.Latency.P50MS, rep.Latency.P99MS,
 		rep.Cluster.HitRateCombined*100, rep.Requests.Failed)
+	if trace.Sampled > 0 {
+		fmt.Fprintf(os.Stderr,
+			"iselload: traces %d/%d assembled, %d multi-node (widest %d replicas), exemplar coverage %.0f%% resolved=%v\n",
+			trace.Assembled, trace.Sampled, trace.MultiNodeTraces, trace.FleetNodes,
+			trace.ExemplarCoverage*100, trace.ExemplarResolved)
+	}
 	if !rep.Gates.Passed {
 		fmt.Fprintf(os.Stderr, "iselload: GATE FAILED: %s\n", strings.Join(rep.Gates.Failures, "; "))
 		os.Exit(1)
@@ -251,12 +327,19 @@ func bootCluster(n int, mode string, workers, queue, patterns, inputs int) (*clu
 
 // warm synthesizes the target's library on one replica through the
 // async job API: POST /v1/jobs, then poll the returned job until it
-// leaves the queue.
-func warm(client *http.Client, ep, target string, timeout time.Duration) error {
+// leaves the queue. A non-empty traceHdr rides the submit request as
+// its X-Iseld-Trace context (the polls stay untraced — they would
+// bloat the trace with hundreds of identical spans).
+func warm(client *http.Client, ep, target string, timeout time.Duration, traceHdr string) error {
 	body, _ := json.Marshal(service.SynthesizeRequest{
 		Target: target, TimeoutMS: int64(timeout / time.Millisecond),
 	})
-	resp, err := client.Post(ep+"/v1/jobs", "application/json", bytes.NewReader(body))
+	req, _ := http.NewRequest(http.MethodPost, ep+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	if traceHdr != "" {
+		req.Header.Set(obs.TraceHeader, traceHdr)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -292,6 +375,124 @@ func warm(client *http.Client, ep, target string, timeout time.Duration) error {
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
+}
+
+// resolveTraces assembles each client-minted trace through one
+// replica's fleet trace endpoint and folds the outcome into st. Spans
+// commit when they end, which trails the HTTP responses that created
+// them, so each trace is polled briefly until it validates (single
+// trace ID, unique span IDs, exactly one root, no orphans). Returns
+// the trace spanning the most replicas for -trace-out.
+func resolveTraces(client *http.Client, ep string, ids []string, st *ReportTrace) (bestID string, bestNodes int) {
+	for _, id := range ids {
+		st.Sampled++
+		var spans []obs.TraceSpan
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := client.Get(ep + "/v1/trace/" + id + "?format=spans")
+			if err != nil {
+				break
+			}
+			var sr service.TraceSpansResponse
+			ok := resp.StatusCode == http.StatusOK &&
+				json.NewDecoder(resp.Body).Decode(&sr) == nil
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if ok && obs.ValidateTraceSpans(sr.Spans) == nil {
+				spans = sr.Spans
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		if spans == nil {
+			continue
+		}
+		st.Assembled++
+		st.FleetSpans += len(spans)
+		nodes := map[string]bool{}
+		for _, s := range spans {
+			nodes[s.Node] = true
+		}
+		if len(nodes) > st.FleetNodes {
+			st.FleetNodes = len(nodes)
+		}
+		if len(nodes) >= 2 {
+			st.MultiNodeTraces++
+		}
+		if len(nodes) > bestNodes {
+			bestNodes, bestID = len(nodes), id
+		}
+	}
+	return bestID, bestNodes
+}
+
+// checkExemplar closes the observability loop on one replica: the
+// request-latency histogram's populated buckets must carry exemplar
+// annotations, and the slowest bucket's trace ID must still assemble
+// through the fleet trace endpoint.
+func checkExemplar(client *http.Client, ep string) (coverage float64, resolved bool) {
+	resp, err := client.Get(ep + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if fams, err := obs.ParseProm(string(text)); err == nil {
+		withEx, populated := obs.ExemplarCoverage(fams["http_request_duration_ns"])
+		if populated > 0 {
+			coverage = float64(withEx) / float64(populated)
+		}
+	}
+	r2, err := client.Get(ep + "/v1/metrics")
+	if err != nil {
+		return coverage, false
+	}
+	var snap service.MetricsSnapshot
+	decodeErr := json.NewDecoder(r2.Body).Decode(&snap)
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if decodeErr != nil {
+		return coverage, false
+	}
+	var pick *obs.HistExemplar
+	for i := range snap.TraceExemplars {
+		ex := &snap.TraceExemplars[i]
+		if ex.Metric != "http_request_duration_ns" {
+			continue
+		}
+		if pick == nil || ex.BucketLE > pick.BucketLE {
+			pick = ex
+		}
+	}
+	if pick == nil {
+		return coverage, false
+	}
+	r3, err := client.Get(ep + "/v1/trace/" + pick.TraceID + "?format=spans")
+	if err != nil {
+		return coverage, false
+	}
+	io.Copy(io.Discard, r3.Body)
+	r3.Body.Close()
+	return coverage, r3.StatusCode == http.StatusOK
+}
+
+// saveTrace fetches one assembled fleet trace as Chrome JSON, re-parses
+// it with the strict trace-file parser (a malformed artifact fails the
+// run, it does not get uploaded), and writes it to path.
+func saveTrace(client *http.Client, ep, traceID, path string) error {
+	resp, err := client.Get(ep + "/v1/trace/" + traceID)
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d fetching trace %s", resp.StatusCode, traceID)
+	}
+	if _, err := obs.ParseTraceFile(data); err != nil {
+		return fmt.Errorf("assembled trace fails strict parse: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // scrape strictly parses one replica's /metrics and accumulates the
@@ -332,6 +533,7 @@ type Report struct {
 	Requests   ReportReqs    `json:"requests"`
 	Programs   ReportProgs   `json:"programs"`
 	Cluster    ReportCluster `json:"cluster"`
+	Trace      ReportTrace   `json:"trace"`
 	Gates      ReportGates   `json:"gates"`
 }
 
@@ -381,6 +583,21 @@ type ReportCluster struct {
 	HitRateCombined float64 `json:"hit_rate_combined"`
 }
 
+// ReportTrace summarizes the distributed-tracing health check: how
+// many client-minted traces assembled fleet-wide, how far they
+// spanned, and whether the latency exemplars still resolve.
+type ReportTrace struct {
+	SampleRate       float64 `json:"sample_rate"`
+	Sampled          int     `json:"sampled"`
+	Assembled        int     `json:"assembled"`
+	Completeness     float64 `json:"completeness"`
+	FleetSpans       int     `json:"fleet_spans"`
+	FleetNodes       int     `json:"fleet_nodes"`
+	MultiNodeTraces  int     `json:"multi_node_traces"`
+	ExemplarCoverage float64 `json:"exemplar_coverage"`
+	ExemplarResolved bool    `json:"exemplar_resolved"`
+}
+
 type ReportGates struct {
 	P99LimitMS   float64  `json:"p99_limit_ms,omitempty"`
 	HitRateFloor float64  `json:"hit_rate_floor,omitempty"`
@@ -399,8 +616,10 @@ type reportInput struct {
 	sums                          map[string]float64
 	reqTotal, reqFailed           int64
 	selected, fallbacks, progErrs int64
+	trace                         ReportTrace
 	gateP99                       time.Duration
 	gateHit                       float64
+	gateTrace                     bool
 }
 
 func buildReport(in reportInput) Report {
@@ -456,6 +675,7 @@ func buildReport(in reportInput) Report {
 			Total: in.programs, Selected: in.selected, Fallbacks: in.fallbacks, Errors: in.progErrs,
 		},
 		Cluster: cl,
+		Trace:   in.trace,
 		Gates:   ReportGates{Passed: true},
 	}
 	if in.runDur > 0 {
@@ -473,6 +693,25 @@ func buildReport(in reportInput) Report {
 		if rep.Cluster.HitRateCombined < in.gateHit {
 			rep.Gates.Failures = append(rep.Gates.Failures,
 				fmt.Sprintf("hit rate %.2f below floor %.2f", rep.Cluster.HitRateCombined, in.gateHit))
+		}
+	}
+	if in.gateTrace {
+		if in.trace.Sampled == 0 {
+			rep.Gates.Failures = append(rep.Gates.Failures,
+				"-gate-trace set but no traces were sampled (raise -trace-sample)")
+		}
+		if in.trace.Assembled < in.trace.Sampled {
+			rep.Gates.Failures = append(rep.Gates.Failures,
+				fmt.Sprintf("only %d of %d sampled traces assembled completely",
+					in.trace.Assembled, in.trace.Sampled))
+		}
+		if in.trace.Sampled > 0 && in.trace.MultiNodeTraces == 0 {
+			rep.Gates.Failures = append(rep.Gates.Failures,
+				"no assembled trace spans two replicas")
+		}
+		if !in.trace.ExemplarResolved {
+			rep.Gates.Failures = append(rep.Gates.Failures,
+				"latency-histogram exemplar trace ID did not resolve")
 		}
 	}
 	if in.reqFailed > 0 {

@@ -82,6 +82,8 @@ func StartLocal(n int, mk ReplicaFactory, tmpl Config) (*Local, error) {
 			return fail(fmt.Errorf("cluster: replica %d: %w", i, err))
 		}
 		sv.SetFiller(node)
+		sv.SetMemoProber(node)
+		sv.SetTraceCollector(node)
 		rep := &Replica{
 			URL:  urls[i],
 			SV:   sv,

@@ -254,6 +254,11 @@ func (n *Node) fetchFrom(ctx context.Context, ps *peerState, req service.FillReq
 	if req.RequestID != "" {
 		hr.Header.Set("X-Request-Id", req.RequestID)
 	}
+	if req.TraceParent != "" {
+		// Both legs of the hedge carry the fill span's context: whichever
+		// peer answers, its request span lands in the same fleet trace.
+		hr.Header.Set(obs.TraceHeader, req.TraceParent)
+	}
 	resp, err := n.cfg.Client.Do(hr)
 	if err != nil {
 		ps.breaker.Failure()
@@ -339,6 +344,22 @@ func (n *Node) ProbeMemo(ctx context.Context, key string) (smt.MemoEntry, bool) 
 	if len(targets) == 0 {
 		return smt.MemoEntry{}, false
 	}
+	// A sampled API query's probes join its fleet trace: the probe span
+	// parents under the request span and its context rides each leg's
+	// X-Iseld-Trace header.
+	var psp *obs.Span
+	if tr := n.cfg.Obs.TracerOrNil(); tr != nil {
+		if tc, ok := service.TraceContextFrom(ctx); ok {
+			psp = tr.StartRemote("memo probe", tc)
+		} else {
+			psp = tr.Start("memo probe")
+		}
+	}
+	traceHdr := ""
+	if pc := psp.Context(); pc.Valid() {
+		traceHdr = pc.Header()
+	}
+	defer psp.End()
 	ctx, cancel := context.WithTimeout(ctx, memoProbeTimeout)
 	defer cancel()
 	results := make(chan memoResult, len(targets))
@@ -348,7 +369,7 @@ func (n *Node) ProbeMemo(ctx context.Context, key string) (smt.MemoEntry, bool) 
 			return
 		}
 		n.count("cluster_memo_probes", "cache-only solver verdict probes sent to peers")
-		e, ok, err := n.probeMemoFrom(ctx, ps, key)
+		e, ok, err := n.probeMemoFrom(ctx, ps, key, traceHdr)
 		results <- memoResult{e, ok, err, ps.url}
 	}
 	go launch(targets[0])
@@ -390,13 +411,16 @@ func (n *Node) ProbeMemo(ctx context.Context, key string) (smt.MemoEntry, bool) 
 // probeMemoFrom performs one GET /v1/solver/query exchange with a peer,
 // recording the outcome on its breaker. A 404 is a healthy "no verdict
 // here", not a peer failure.
-func (n *Node) probeMemoFrom(ctx context.Context, ps *peerState, key string) (smt.MemoEntry, bool, error) {
+func (n *Node) probeMemoFrom(ctx context.Context, ps *peerState, key, traceHdr string) (smt.MemoEntry, bool, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		ps.url+"/v1/solver/query?key="+url.QueryEscape(key), nil)
 	if err != nil {
 		return smt.MemoEntry{}, false, err
 	}
 	hr.Header.Set(service.ForwardedHeader, n.cfg.Self)
+	if traceHdr != "" {
+		hr.Header.Set(obs.TraceHeader, traceHdr)
+	}
 	resp, err := n.cfg.Client.Do(hr)
 	if err != nil {
 		ps.breaker.Failure()
@@ -429,6 +453,98 @@ func (n *Node) probeMemoFrom(ctx context.Context, ps *peerState, key string) (sm
 	}
 }
 
+// traceCollectTimeout bounds one peer span-ring read: a bounded-ring
+// export plus JSON, so anything slower is a peer problem and trace
+// assembly proceeds with whatever the healthy replicas returned.
+const traceCollectTimeout = 2 * time.Second
+
+// maxTraceBytes bounds a trace-spans response read from a peer.
+const maxTraceBytes = 8 << 20
+
+// CollectTraceSpans implements service.TraceCollector: ask every peer
+// for its locally recorded spans of one trace. Each query carries the
+// forwarded marker, so peers answer strictly from their own span rings
+// (cache-only, loop-free) and a missing or broken peer just contributes
+// nothing — assembly is best-effort by design, exactly like the
+// degradation story everywhere else in this layer.
+func (n *Node) CollectTraceSpans(ctx context.Context, traceID string) []obs.TraceSpan {
+	var out []obs.TraceSpan
+	ctx, cancel := context.WithTimeout(ctx, traceCollectTimeout)
+	defer cancel()
+	type peerSpans struct {
+		spans []obs.TraceSpan
+		err   error
+		peer  string
+	}
+	results := make(chan peerSpans, len(n.peer))
+	queried := 0
+	for _, ps := range n.peer {
+		if !ps.breaker.Allow() {
+			continue
+		}
+		queried++
+		go func(ps *peerState) {
+			spans, err := n.collectFrom(ctx, ps, traceID)
+			results <- peerSpans{spans, err, ps.url}
+		}(ps)
+	}
+	n.count("cluster_trace_collects", "fleet trace-assembly fan-outs")
+	for i := 0; i < queried; i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				n.logf("trace collect failed", "peer", res.peer, "err", res.err.Error())
+				continue
+			}
+			out = append(out, res.spans...)
+		case <-ctx.Done():
+			return out
+		}
+	}
+	return out
+}
+
+// collectFrom performs one GET /v1/trace/{id} exchange with a peer,
+// recording the outcome on its breaker. An empty span set is a healthy
+// "nothing recorded here", not a peer failure.
+func (n *Node) collectFrom(ctx context.Context, ps *peerState, traceID string) ([]obs.TraceSpan, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.url+"/v1/trace/"+traceID, nil)
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set(service.ForwardedHeader, n.cfg.Self)
+	resp, err := n.cfg.Client.Do(hr)
+	if err != nil {
+		ps.breaker.Failure()
+		n.count("cluster_peer_errors", "failed peer exchanges", "peer", ps.url)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxTraceBytes))
+	if err != nil {
+		ps.breaker.Failure()
+		n.count("cluster_peer_errors", "failed peer exchanges", "peer", ps.url)
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		ps.breaker.Success()
+		var tr service.TraceSpansResponse
+		if err := json.Unmarshal(out, &tr); err != nil {
+			return nil, fmt.Errorf("cluster: bad trace spans from %s: %w", ps.url, err)
+		}
+		return tr.Spans, nil
+	case resp.StatusCode >= 500:
+		ps.breaker.Failure()
+		n.count("cluster_peer_errors", "failed peer exchanges", "peer", ps.url)
+		return nil, fmt.Errorf("cluster: %s answered %d", ps.url, resp.StatusCode)
+	default:
+		// 4xx: the peer is healthy but has no tracer (or no such trace).
+		ps.breaker.Success()
+		return nil, nil
+	}
+}
+
 func (n *Node) logf(msg string, args ...any) {
 	if n.cfg.Logger != nil {
 		n.cfg.Logger.Info(msg, args...)
@@ -453,18 +569,22 @@ type PeerStatus struct {
 
 // Handler returns the node's HTTP handler: the local service tree plus
 // GET /v1/cluster, with select requests intercepted for forwarding in
-// ModeForward.
+// ModeForward. The whole tree — forwarding included — sits inside the
+// service's request middleware, so a forwarded request gets the same
+// request span, trace context, access-log line, and latency exemplar on
+// the sending replica as a locally served one (and its hop to the owner
+// parents under that span).
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cluster", n.handleStatus)
-	local := n.sv.Handler()
+	local := n.sv.Routes()
 	if n.cfg.Mode == ModeForward {
 		fwd := n.forwarder(local)
 		mux.Handle("POST /v1/select", fwd)
 		mux.Handle("POST /v1/select/batch", fwd)
 	}
 	mux.Handle("/", local)
-	return mux
+	return n.sv.Middleware(mux)
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -543,8 +663,23 @@ func (n *Node) forwarder(local http.Handler) http.Handler {
 		}
 		hr.Header.Set("Content-Type", "application/json")
 		hr.Header.Set(forwardHeader, n.cfg.Self)
-		if rid := r.Header.Get("X-Request-Id"); rid != "" {
+		if rid := service.RequestIDFrom(r.Context()); rid != "" {
 			hr.Header.Set("X-Request-Id", rid)
+		}
+		// The hop joins the sender-side trace: a "cluster forward" span
+		// parents under the request span, and its context rides the proxied
+		// request so the owner's spans land in the same fleet trace.
+		var fsp *obs.Span
+		if tr := n.cfg.Obs.TracerOrNil(); tr != nil {
+			if tc, ok := service.TraceContextFrom(r.Context()); ok {
+				fsp = tr.StartRemote("cluster forward", tc)
+			} else {
+				fsp = tr.Start("cluster forward")
+			}
+		}
+		fsp.SetStr("peer", owner)
+		if fc := fsp.Context(); fc.Valid() {
+			hr.Header.Set(obs.TraceHeader, fc.Header())
 		}
 		resp, err := n.cfg.Client.Do(hr)
 		if err != nil {
@@ -552,12 +687,14 @@ func (n *Node) forwarder(local http.Handler) http.Handler {
 			n.count("cluster_peer_errors", "failed peer exchanges", "peer", ps.url)
 			n.count("cluster_forward_local", "forwards degraded to local service")
 			n.logf("forward failed, serving locally", "peer", owner, "err", err.Error())
+			fsp.SetStr("outcome", "local").End()
 			serveLocal()
 			return
 		}
 		defer resp.Body.Close()
 		ps.breaker.Success()
 		n.count("cluster_forwarded", "select requests proxied to their ring owner")
+		fsp.SetInt("status", int64(resp.StatusCode)).End()
 		if rid := resp.Header.Get("X-Request-Id"); rid != "" {
 			w.Header().Set("X-Request-Id", rid)
 		}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"iselgen/internal/obs"
+	"iselgen/internal/service"
+)
+
+// fetchTraceSpans reads one replica's view of a trace in raw span form.
+func fetchTraceSpans(t *testing.T, base, traceID string) (service.TraceSpansResponse, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/trace/" + traceID + "?format=spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr service.TraceSpansResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return sr, resp.StatusCode
+}
+
+// nodesOf counts the distinct replicas contributing spans.
+func nodesOf(spans []obs.TraceSpan) map[string]bool {
+	nodes := map[string]bool{}
+	for _, s := range spans {
+		nodes[s.Node] = true
+	}
+	return nodes
+}
+
+// awaitTrace polls one replica's trace endpoint until the trace
+// validates with spans from at least wantNodes replicas (spans commit
+// when they end, which can trail the HTTP response that created them).
+func awaitTrace(t *testing.T, base, traceID string, wantNodes int) service.TraceSpansResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var last service.TraceSpansResponse
+	for time.Now().Before(deadline) {
+		sr, status := fetchTraceSpans(t, base, traceID)
+		if status == http.StatusOK {
+			last = sr
+			if obs.ValidateTraceSpans(sr.Spans) == nil && len(nodesOf(sr.Spans)) >= wantNodes {
+				return sr
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("trace %s never stabilized at %d nodes; last view: %+v (validate: %v)",
+		traceID, wantNodes, last.Spans, obs.ValidateTraceSpans(last.Spans))
+	return last
+}
+
+// TestClusterFleetTrace is the fill-mode acceptance test for
+// distributed tracing: a client-minted trace context sent to a
+// non-owning replica must come back as ONE fleet trace — the caller's
+// request span rooted under the client's span, its synth flight and
+// cluster fill beneath it, and the owner's artifact-serving spans
+// parented under the fill across the node boundary. No orphans, a
+// single root, and assembly reachable from any replica.
+func TestClusterFleetTrace(t *testing.T) {
+	lc := bootTest(t, 3, Config{HedgeDelay: time.Millisecond})
+	fp, err := lc.Replica(0).SV.FingerprintRequest("mini", clSpec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := lc.Replica(0).Node.ring.Owners(fp, 2)
+	if len(owners) < 2 {
+		t.Fatalf("ring returned %d owners", len(owners))
+	}
+	callerIdx := -1
+	for i := 0; i < lc.Len(); i++ {
+		if lc.Replica(i).URL != owners[0] && lc.Replica(i).URL != owners[1] {
+			callerIdx = i
+		}
+	}
+	if callerIdx == -1 {
+		t.Fatalf("no non-owner replica (owners %v)", owners)
+	}
+	caller := lc.Replica(callerIdx).URL
+
+	client := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: 0xc11e47, Sampled: true}
+	body, _ := json.Marshal(service.SynthesizeRequest{Target: "mini", Spec: clSpec})
+	req, _ := http.NewRequest(http.MethodPost, caller+"/v1/synthesize", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, client.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize via caller: %d", resp.StatusCode)
+	}
+	echo, err := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader))
+	if err != nil || echo.TraceID != client.TraceID {
+		t.Fatalf("caller did not adopt the client trace: %v err=%v", echo, err)
+	}
+
+	// The cache miss crossed the fleet (caller is not an owner), so the
+	// assembled trace must span the caller and the artifact-serving owner.
+	sr := awaitTrace(t, caller, client.TraceID.String(), 2)
+	nodes := nodesOf(sr.Spans)
+	if !nodes[caller] || !nodes[owners[0]] {
+		t.Errorf("trace nodes %v, want caller %s and owner %s", nodes, caller, owners[0])
+	}
+	byName := map[string][]obs.TraceSpan{}
+	for _, s := range sr.Spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	roots := byName["http POST /v1/synthesize"]
+	if len(roots) != 1 || roots[0].Node != caller || roots[0].Parent != client.SpanID {
+		t.Fatalf("root request span wrong: %+v (want node %s, parent %x)", roots, caller, client.SpanID)
+	}
+	fills := byName["cluster fill"]
+	if len(fills) != 1 || fills[0].Node != caller {
+		t.Fatalf("cluster fill span wrong: %+v", fills)
+	}
+	arts := byName["http POST /v1/artifact"]
+	if len(arts) == 0 {
+		t.Fatalf("no artifact request span in trace: %v", byName)
+	}
+	for _, a := range arts {
+		if a.Parent != fills[0].SpanID {
+			t.Errorf("artifact span on %s parents under %x, want the fill span %x",
+				a.Node, a.Parent, fills[0].SpanID)
+		}
+		if a.Node == caller {
+			t.Errorf("artifact span recorded on the caller itself")
+		}
+	}
+	if len(byName["synth flight"]) < 2 {
+		t.Errorf("want synth flights on caller and owner, got %+v", byName["synth flight"])
+	}
+
+	// Assembly must work from ANY replica — the owner collects the
+	// caller's spans over the loop-guarded peer path — and the assembled
+	// file must satisfy the strict Chrome-trace parser.
+	for _, base := range []string{caller, owners[0]} {
+		r2, err := http.Get(base + "/v1/trace/" + client.TraceID.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(r2.Body)
+		r2.Body.Close()
+		pt, err := obs.ParseTraceFile(data)
+		if err != nil {
+			t.Fatalf("assembled trace from %s fails strict parse: %v", base, err)
+		}
+		if pt.Roots != 1 || pt.Nodes < 2 || pt.Spans < len(sr.Spans) {
+			t.Errorf("assembled from %s: %+v, want 1 root, >=2 nodes, >=%d spans", base, pt, len(sr.Spans))
+		}
+	}
+}
+
+// TestClusterForwardTrace: in forward mode, the sender's request span
+// (rooted under the client context), its cluster-forward hop, and the
+// owner's serving spans form one linked fleet trace.
+func TestClusterForwardTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("riscv synthesis in -short mode")
+	}
+	lc := bootTest(t, 3, Config{Mode: ModeForward})
+	fp, err := lc.Replica(0).SV.FingerprintRequest("riscv", "", "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := lc.Replica(0).Node.OwnerOf(fp)
+	sender := ""
+	for i := 0; i < lc.Len(); i++ {
+		if lc.Replica(i).URL != owner {
+			sender = lc.Replica(i).URL
+			break
+		}
+	}
+	if status, body := post(t, owner+"/v1/synthesize",
+		service.SynthesizeRequest{Target: "riscv"}); status != http.StatusOK {
+		t.Fatalf("warm owner: %d %s", status, body)
+	}
+
+	client := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: 0xf02d, Sampled: true}
+	body, _ := json.Marshal(service.SelectRequest{Target: "riscv", Program: clProg})
+	req, _ := http.NewRequest(http.MethodPost, sender+"/v1/select", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, client.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded select: %d", resp.StatusCode)
+	}
+
+	sr := awaitTrace(t, sender, client.TraceID.String(), 2)
+	byName := map[string][]obs.TraceSpan{}
+	for _, s := range sr.Spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	sel := byName["http POST /v1/select"]
+	var senderSpan, ownerSpan *obs.TraceSpan
+	for i := range sel {
+		switch sel[i].Node {
+		case sender:
+			senderSpan = &sel[i]
+		case owner:
+			ownerSpan = &sel[i]
+		}
+	}
+	if senderSpan == nil || ownerSpan == nil {
+		t.Fatalf("want select spans on both sender and owner, got %+v", sel)
+	}
+	if senderSpan.Parent != client.SpanID {
+		t.Errorf("sender span parents under %x, want client %x", senderSpan.Parent, client.SpanID)
+	}
+	fwd := byName["cluster forward"]
+	if len(fwd) != 1 || fwd[0].Node != sender || fwd[0].Parent != senderSpan.SpanID {
+		t.Fatalf("cluster forward span wrong: %+v (want on %s under %x)", fwd, sender, senderSpan.SpanID)
+	}
+	if ownerSpan.Parent != fwd[0].SpanID {
+		t.Errorf("owner span parents under %x, want the forward span %x", ownerSpan.Parent, fwd[0].SpanID)
+	}
+}

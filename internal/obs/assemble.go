@@ -1,0 +1,375 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// SpanAttr is one span attribute in the cross-node wire form (the JSON
+// twin of Attr).
+type SpanAttr struct {
+	Key   string `json:"key"`
+	Str   string `json:"str,omitempty"`
+	Int   int64  `json:"int,omitempty"`
+	IsInt bool   `json:"is_int,omitempty"`
+}
+
+// TraceSpan is one completed span in the form nodes exchange when
+// assembling a fleet trace: identified by globally-unique span IDs,
+// stamped with the node that recorded it, and timed in that node's
+// absolute wall clock (normalized at merge time — see AssembleTrace).
+type TraceSpan struct {
+	TraceID     string     `json:"trace_id"`
+	SpanID      uint64     `json:"span_id"`
+	Parent      uint64     `json:"parent_id,omitempty"`
+	Lane        uint64     `json:"lane,omitempty"`
+	Name        string     `json:"name"`
+	Node        string     `json:"node"`
+	StartUnixNS int64      `json:"start_unix_ns"`
+	DurNS       int64      `json:"dur_ns"`
+	Attrs       []SpanAttr `json:"attrs,omitempty"`
+}
+
+// ExportTraceSpans returns every completed span in tid's trace, stamped
+// with node and converted to absolute wall-clock nanoseconds. Nil-safe;
+// returns nil when the trace left no spans in the ring.
+func (t *Tracer) ExportTraceSpans(tid TraceID, node string) []TraceSpan {
+	if t == nil || tid.IsZero() {
+		return nil
+	}
+	var out []TraceSpan
+	for _, r := range t.Snapshot() {
+		if r.Trace != tid {
+			continue
+		}
+		ts := TraceSpan{
+			TraceID:     tid.String(),
+			SpanID:      r.ID,
+			Parent:      r.Parent,
+			Lane:        r.Lane,
+			Name:        r.Name,
+			Node:        node,
+			StartUnixNS: t.wall.Add(r.Start).UnixNano(),
+			DurNS:       r.Dur.Nanoseconds(),
+		}
+		for _, a := range r.Attrs {
+			ts.Attrs = append(ts.Attrs, SpanAttr(a))
+		}
+		out = append(out, ts)
+	}
+	return out
+}
+
+// ValidateTraceSpans checks the structural invariants a merged fleet
+// trace must satisfy: non-empty, one trace ID throughout, unique span
+// IDs, exactly one root (a span whose parent is 0 or absent from the
+// set — absent covers a client-minted root context), and every other
+// span reachable from the root (no orphans, no cycles).
+func ValidateTraceSpans(spans []TraceSpan) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("obs: empty trace")
+	}
+	tid := spans[0].TraceID
+	byID := map[uint64]*TraceSpan{}
+	for i := range spans {
+		s := &spans[i]
+		if s.TraceID != tid {
+			return fmt.Errorf("obs: mixed trace IDs %s and %s", tid, s.TraceID)
+		}
+		if s.SpanID == 0 {
+			return fmt.Errorf("obs: span %q has zero ID", s.Name)
+		}
+		if byID[s.SpanID] != nil {
+			return fmt.Errorf("obs: duplicate span ID %016x (%q and %q)", s.SpanID, byID[s.SpanID].Name, s.Name)
+		}
+		byID[s.SpanID] = s
+	}
+	var root *TraceSpan
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent == 0 || byID[s.Parent] == nil {
+			if root != nil {
+				return fmt.Errorf("obs: multiple roots: %q on %s and %q on %s",
+					root.Name, root.Node, s.Name, s.Node)
+			}
+			root = s
+		}
+	}
+	if root == nil {
+		return fmt.Errorf("obs: no root span (parent cycle)")
+	}
+	children := map[uint64][]uint64{}
+	for i := range spans {
+		if s := &spans[i]; s != root {
+			children[s.Parent] = append(children[s.Parent], s.SpanID)
+		}
+	}
+	reached := map[uint64]bool{root.SpanID: true}
+	queue := []uint64{root.SpanID}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, c := range children[id] {
+			if !reached[c] {
+				reached[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(reached) != len(spans) {
+		for i := range spans {
+			if !reached[spans[i].SpanID] {
+				return fmt.Errorf("obs: orphan span %q on %s (parent %016x unreachable from root)",
+					spans[i].Name, spans[i].Node, spans[i].Parent)
+			}
+		}
+	}
+	return nil
+}
+
+// AssembleReport summarizes what AssembleTrace merged.
+type AssembleReport struct {
+	TraceID string `json:"trace_id"`
+	Spans   int    `json:"spans"`
+	Nodes   int    `json:"nodes"`
+	Roots   int    `json:"roots"`
+	Orphans int    `json:"orphans"`
+}
+
+// AssembleTrace merges spans collected from the whole fleet into one
+// Chrome/Perfetto trace file. Each node reports absolute wall-clock
+// times from its own clock; the merge normalizes cross-node skew by
+// shifting every node's spans so no child starts before the parent it
+// hangs under (BFS outward from the root's node — the only causal
+// ordering the spans themselves certify). Spans are deduplicated by ID;
+// each node becomes one pid with a process_name metadata record.
+func AssembleTrace(spans []TraceSpan) (*TraceFile, *AssembleReport) {
+	rep := &AssembleReport{}
+	byID := map[uint64]int{}
+	var uniq []TraceSpan
+	for _, s := range spans {
+		if _, dup := byID[s.SpanID]; dup || s.SpanID == 0 {
+			continue
+		}
+		byID[s.SpanID] = len(uniq)
+		uniq = append(uniq, s)
+	}
+	rep.Spans = len(uniq)
+	if len(uniq) == 0 {
+		return &TraceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}, rep
+	}
+	rep.TraceID = uniq[0].TraceID
+
+	// Root detection mirrors ValidateTraceSpans but tolerates malformed
+	// input (multiple roots, orphans): assembly is best-effort, with the
+	// defects counted in the report.
+	rootIdx := -1
+	for i := range uniq {
+		if uniq[i].Parent == 0 || func() bool { _, ok := byID[uniq[i].Parent]; return !ok }() {
+			rep.Roots++
+			if rootIdx < 0 || uniq[i].StartUnixNS < uniq[rootIdx].StartUnixNS {
+				rootIdx = i
+			}
+		}
+	}
+
+	// Per-node clock offsets: the root's node anchors at zero; every
+	// other node is shifted so its first cross-node child never starts
+	// before its parent.
+	offset := map[string]int64{uniq[rootIdx].Node: 0}
+	children := map[uint64][]int{}
+	for i := range uniq {
+		children[uniq[i].Parent] = append(children[uniq[i].Parent], i)
+	}
+	queue := []int{rootIdx}
+	visited := map[int]bool{rootIdx: true}
+	for len(queue) > 0 {
+		pi := queue[0]
+		queue = queue[1:]
+		p := &uniq[pi]
+		pStart := p.StartUnixNS + offset[p.Node]
+		for _, ci := range children[p.SpanID] {
+			if visited[ci] {
+				continue
+			}
+			visited[ci] = true
+			c := &uniq[ci]
+			if _, seen := offset[c.Node]; !seen {
+				off := int64(0)
+				if c.StartUnixNS < pStart {
+					off = pStart - c.StartUnixNS
+				}
+				offset[c.Node] = off
+			}
+			queue = append(queue, ci)
+		}
+	}
+	rep.Orphans = len(uniq) - len(visited)
+
+	// Stable pid assignment: the root's node is pid 1, the rest follow
+	// in name order.
+	var nodes []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	add(uniq[rootIdx].Node)
+	rest := make([]string, 0, len(uniq))
+	for i := range uniq {
+		rest = append(rest, uniq[i].Node)
+	}
+	sort.Strings(rest)
+	for _, n := range rest {
+		add(n)
+	}
+	rep.Nodes = len(nodes)
+	pid := map[string]int64{}
+	for i, n := range nodes {
+		pid[n] = int64(i + 1)
+	}
+
+	base := int64(0)
+	first := true
+	for i := range uniq {
+		t := uniq[i].StartUnixNS + offset[uniq[i].Node]
+		if first || t < base {
+			base, first = t, false
+		}
+	}
+
+	f := &TraceFile{DisplayTimeUnit: "ms", OtherData: map[string]any{
+		"trace_id": rep.TraceID, "nodes": len(nodes), "spans": rep.Spans,
+	}}
+	for _, n := range nodes {
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+	evs := make([]TraceEvent, 0, len(uniq))
+	for i := range uniq {
+		s := &uniq[i]
+		ev := TraceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.StartUnixNS+offset[s.Node]-base) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			Pid:  pid[s.Node],
+			Tid:  int64(s.Lane),
+			Args: map[string]any{
+				"span_id":  s.SpanID,
+				"trace_id": s.TraceID,
+				"node":     s.Node,
+			},
+		}
+		if s.Parent != 0 {
+			ev.Args["parent"] = s.Parent
+		}
+		for _, a := range s.Attrs {
+			if a.IsInt {
+				ev.Args[a.Key] = a.Int
+			} else {
+				ev.Args[a.Key] = a.Str
+			}
+		}
+		evs = append(evs, ev)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	f.TraceEvents = append(f.TraceEvents, evs...)
+	return f, rep
+}
+
+// ParsedTrace summarizes a strictly parsed assembled trace file.
+type ParsedTrace struct {
+	Spans int // "X" span events
+	Nodes int // distinct pids among span events
+	Roots int // spans with no in-file parent
+}
+
+// ParseTraceFile is the strict validator for assembled fleet traces
+// (the CI smoke gate and the load harness run fetched traces through
+// it): well-formed Chrome JSON object format, known event phases, every
+// span event carrying a span_id, no duplicate span IDs, span-link
+// integrity (every parent resolves in-file, except the single root's),
+// and non-negative timestamps/durations.
+func ParseTraceFile(data []byte) (*ParsedTrace, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f TraceFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		return nil, fmt.Errorf("obs: displayTimeUnit %q, want \"ms\"", f.DisplayTimeUnit)
+	}
+	argID := func(args map[string]any, key string) (uint64, bool) {
+		v, ok := args[key]
+		if !ok {
+			return 0, false
+		}
+		switch n := v.(type) {
+		case float64:
+			return uint64(n), true
+		case json.Number:
+			u, err := n.Int64()
+			if err != nil {
+				return 0, false
+			}
+			return uint64(u), true
+		}
+		return 0, false
+	}
+	pt := &ParsedTrace{}
+	ids := map[uint64]bool{}
+	parents := map[uint64]uint64{}
+	pids := map[int64]bool{}
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return nil, fmt.Errorf("obs: event %d: phase %q (want X or M)", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("obs: event %d: empty name", i)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return nil, fmt.Errorf("obs: event %d (%s): negative ts/dur", i, ev.Name)
+		}
+		if ev.Pid < 1 {
+			return nil, fmt.Errorf("obs: event %d (%s): pid %d", i, ev.Name, ev.Pid)
+		}
+		id, ok := argID(ev.Args, "span_id")
+		if !ok || id == 0 {
+			return nil, fmt.Errorf("obs: event %d (%s): missing span_id arg", i, ev.Name)
+		}
+		if ids[id] {
+			return nil, fmt.Errorf("obs: duplicate span ID %016x", id)
+		}
+		ids[id] = true
+		if p, ok := argID(ev.Args, "parent"); ok && p != 0 {
+			parents[id] = p
+		}
+		pids[ev.Pid] = true
+		pt.Spans++
+	}
+	if pt.Spans == 0 {
+		return nil, fmt.Errorf("obs: trace file has no span events")
+	}
+	for id := range ids {
+		if p, ok := parents[id]; !ok || !ids[p] {
+			pt.Roots++
+		}
+	}
+	if pt.Roots != 1 {
+		return nil, fmt.Errorf("obs: %d root spans, want exactly 1", pt.Roots)
+	}
+	pt.Nodes = len(pids)
+	return pt, nil
+}

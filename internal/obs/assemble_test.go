@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// twoNodeTrace builds the canonical cross-node shape: a client-minted
+// root context, a caller node with a request span and a fill span, and
+// an owner node whose spans parent under the fill span — with the owner
+// clock skewed into the past to exercise normalization.
+func twoNodeTrace(t *testing.T) (TraceID, []TraceSpan) {
+	t.Helper()
+	tid := NewTraceID()
+	client := TraceContext{TraceID: tid, SpanID: randUint64() | 1, Sampled: true}
+
+	caller := NewTracer(64)
+	root := caller.StartRemote("http POST /v1/select", client)
+	fill := root.Child("cluster fill")
+	time.Sleep(time.Millisecond)
+
+	owner := NewTracer(64)
+	remote := owner.StartRemote("http POST /v1/artifact", fill.Context())
+	synth := remote.Child("synth")
+	synth.End()
+	remote.End()
+	fill.End()
+	root.End()
+
+	spans := caller.ExportTraceSpans(tid, "http://caller")
+	ownerSpans := owner.ExportTraceSpans(tid, "http://owner")
+	// Skew the owner's clock 2s into the past: its spans would start
+	// before their caller-side parent without normalization.
+	for i := range ownerSpans {
+		ownerSpans[i].StartUnixNS -= 2 * int64(time.Second)
+	}
+	return tid, append(spans, ownerSpans...)
+}
+
+func TestValidateTraceSpans(t *testing.T) {
+	_, spans := twoNodeTrace(t)
+	if err := ValidateTraceSpans(spans); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if err := ValidateTraceSpans(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+
+	// Orphan: a span whose parent chain never reaches the root.
+	orphaned := append([]TraceSpan(nil), spans...)
+	orphaned = append(orphaned, TraceSpan{
+		TraceID: spans[0].TraceID, SpanID: 0xdead, Parent: 0xbeef, Name: "lost", Node: "x"},
+		TraceSpan{TraceID: spans[0].TraceID, SpanID: 0xbeef, Parent: 0xdead, Name: "cycle", Node: "x"})
+	if err := ValidateTraceSpans(orphaned); err == nil {
+		t.Error("orphan cycle accepted")
+	}
+
+	// Duplicate span IDs.
+	dup := append(append([]TraceSpan(nil), spans...), spans[0])
+	if err := ValidateTraceSpans(dup); err == nil {
+		t.Error("duplicate span ID accepted")
+	}
+
+	// Mixed traces.
+	mixed := append([]TraceSpan(nil), spans...)
+	mixed[len(mixed)-1].TraceID = NewTraceID().String()
+	if err := ValidateTraceSpans(mixed); err == nil {
+		t.Error("mixed trace IDs accepted")
+	}
+}
+
+func TestAssembleTraceNormalizesClocks(t *testing.T) {
+	tid, spans := twoNodeTrace(t)
+	f, rep := AssembleTrace(spans)
+	if rep.Spans != len(spans) || rep.Nodes != 2 || rep.Roots != 1 || rep.Orphans != 0 {
+		t.Fatalf("report %+v, want %d spans over 2 nodes, 1 root, 0 orphans", rep, len(spans))
+	}
+	if rep.TraceID != tid.String() {
+		t.Errorf("report trace ID %s, want %s", rep.TraceID, tid)
+	}
+
+	// Rebuild the parent relation from the emitted args and check no
+	// child starts before its parent (the point of normalization).
+	type evInfo struct{ ts float64 }
+	byID := map[uint64]evInfo{}
+	parent := map[uint64]uint64{}
+	names := map[string]bool{}
+	procs := map[int64]string{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			procs[ev.Pid], _ = ev.Args["name"].(string)
+			continue
+		}
+		id := uint64(toF(t, ev.Args["span_id"]))
+		byID[id] = evInfo{ts: ev.Ts}
+		if p, ok := ev.Args["parent"]; ok {
+			parent[id] = uint64(toF(t, p))
+		}
+		names[ev.Name] = true
+		if got, _ := ev.Args["trace_id"].(string); got != tid.String() {
+			t.Errorf("event %s trace_id %v", ev.Name, ev.Args["trace_id"])
+		}
+	}
+	for id, p := range parent {
+		pe, ok := byID[p]
+		if !ok {
+			continue // client-minted root parent lives outside the file
+		}
+		if byID[id].ts < pe.ts {
+			t.Errorf("child %016x (ts=%v) starts before parent %016x (ts=%v)", id, byID[id].ts, p, pe.ts)
+		}
+	}
+	for _, want := range []string{"http POST /v1/select", "cluster fill", "http POST /v1/artifact", "synth"} {
+		if !names[want] {
+			t.Errorf("assembled trace missing %q; have %v", want, names)
+		}
+	}
+	if procs[1] != "http://caller" {
+		t.Errorf("pid 1 is %q, want the root's node", procs[1])
+	}
+
+	// The assembled file must satisfy its own strict parser.
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ParseTraceFile(data)
+	if err != nil {
+		t.Fatalf("assembled trace fails strict parse: %v", err)
+	}
+	if pt.Spans != len(spans) || pt.Nodes != 2 || pt.Roots != 1 {
+		t.Errorf("parsed %+v, want %d spans, 2 nodes, 1 root", pt, len(spans))
+	}
+}
+
+func toF(t *testing.T, v any) float64 {
+	t.Helper()
+	f, ok := v.(float64)
+	if !ok {
+		if u, ok := v.(uint64); ok {
+			return float64(u)
+		}
+		t.Fatalf("arg %v (%T) is not numeric", v, v)
+	}
+	return f
+}
+
+func TestParseTraceFileRejects(t *testing.T) {
+	_, spans := twoNodeTrace(t)
+	f, _ := AssembleTrace(spans)
+	good, _ := json.Marshal(f)
+
+	cases := []struct {
+		name   string
+		mutate func() []byte
+	}{
+		{"not json", func() []byte { return []byte("{") }},
+		{"unknown field", func() []byte {
+			return []byte(strings.Replace(string(good), `"traceEvents"`, `"evil":1,"traceEvents"`, 1))
+		}},
+		{"bad phase", func() []byte { return []byte(strings.ReplaceAll(string(good), `"ph":"X"`, `"ph":"B"`)) }},
+		{"no spans", func() []byte { return []byte(`{"traceEvents":[],"displayTimeUnit":"ms"}`) }},
+		{"bad unit", func() []byte { return []byte(strings.Replace(string(good), `"ms"`, `"ns"`, 1)) }},
+		{"missing span_id", func() []byte { return []byte(strings.ReplaceAll(string(good), `"span_id"`, `"span_idx"`)) }},
+	}
+	for _, c := range cases {
+		if _, err := ParseTraceFile(c.mutate()); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Two roots: break one parent link.
+	var tf TraceFile
+	if err := json.Unmarshal(good, &tf); err != nil {
+		t.Fatal(err)
+	}
+	broke := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Args["parent"] != nil && !broke && ev.Name == "synth" {
+			ev.Args["parent"] = float64(0x1234)
+			broke = true
+		}
+	}
+	if !broke {
+		t.Fatal("no parent to break")
+	}
+	data, _ := json.Marshal(tf)
+	if _, err := ParseTraceFile(data); err == nil {
+		t.Error("broken span link accepted")
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_ns", "latency", "path", "/x")
+	h.Observe(100) // unsampled: no exemplar
+	tidA, tidB := NewTraceID().String(), NewTraceID().String()
+	h.ObserveExemplar(100, tidA)
+	h.ObserveExemplar(1<<20, tidB)
+	h.ObserveExemplar(5000, "") // sampled-off path: counts, no exemplar
+
+	if ex := h.Exemplar(bucketOf(100)); ex == nil || ex.TraceID != tidA {
+		t.Fatalf("bucket exemplar = %+v, want trace %s", ex, tidA)
+	}
+	if ex := h.Exemplar(bucketOf(5000)); ex != nil {
+		t.Errorf("empty-trace observation stored exemplar %+v", ex)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count %d, want 4", h.Count())
+	}
+
+	exs := r.TraceExemplars()
+	if len(exs) != 2 {
+		t.Fatalf("TraceExemplars: %d rows, want 2: %+v", len(exs), exs)
+	}
+	if exs[0].Metric != "req_ns" || exs[0].Labels["path"] != "/x" || exs[0].TraceID != tidA {
+		t.Errorf("row 0 = %+v", exs[0])
+	}
+	if exs[1].TraceID != tidB || exs[1].BucketLE < exs[0].BucketLE {
+		t.Errorf("row 1 = %+v", exs[1])
+	}
+
+	// Exposition carries the annotation and still parses strictly.
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `# {trace_id="`+tidA+`"} 100`) {
+		t.Errorf("exposition missing exemplar annotation:\n%s", text)
+	}
+	fams, err := ParseProm(text)
+	if err != nil {
+		t.Fatalf("exposition with exemplars fails strict parse: %v\n%s", err, text)
+	}
+	var found int
+	for _, s := range fams["req_ns"].Samples {
+		if s.Exemplar != nil {
+			found++
+			if s.Exemplar.Labels["trace_id"] == "" {
+				t.Errorf("exemplar without trace_id: %+v", s.Exemplar)
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("parsed %d exemplars, want 2", found)
+	}
+	withEx, populated := ExemplarCoverage(fams["req_ns"])
+	if populated < 3 || withEx != 2 {
+		t.Errorf("ExemplarCoverage = %d/%d, want 2 of >=3", withEx, populated)
+	}
+
+	// Nil-safety.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "x")
+	if nilH.Exemplar(0) != nil {
+		t.Error("nil histogram returned exemplar")
+	}
+	var nilR *Registry
+	if nilR.TraceExemplars() != nil {
+		t.Error("nil registry returned exemplars")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry holds named metrics. All accessors are idempotent: asking
@@ -140,14 +141,24 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...strin
 // which covers the full int64 range.
 const histBuckets = 64
 
+// Exemplar pairs one observation with the trace that produced it — the
+// OpenMetrics exemplar: a bucket's most recent sampled trace ID, the
+// jump from "the p99 bucket is hot" to "show me a p99 request".
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	Value   int64  `json:"value"`
+	UnixNS  int64  `json:"ts_unix_ns"`
+}
+
 // Histogram is a log-2-bucketed histogram of non-negative int64
 // observations (typically nanoseconds). Observation is lock-free; the
 // exposition side reads the atomics with at-least-once consistency,
 // which is the usual Prometheus contract. Nil-safe.
 type Histogram struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64
+	buckets   [histBuckets]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
 }
 
 // bucketOf returns the bucket index for v: the bit length of v, so
@@ -178,6 +189,36 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// stamps the landing bucket's exemplar with it (last writer wins — the
+// bucket retains its most recent sampled trace). The timestamp read
+// happens only on the sampled path, so unsampled traffic pays exactly
+// Observe's cost.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := bucketOf(v)
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[b].Store(&Exemplar{TraceID: traceID, Value: v, UnixNS: time.Now().UnixNano()})
+	}
+}
+
+// Exemplar returns bucket i's exemplar (nil when the bucket never saw a
+// sampled observation). Nil-safe.
+func (h *Histogram) Exemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= histBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the number of observations.
@@ -249,6 +290,59 @@ func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
 		return nil
 	}
 	return v.(*Histogram)
+}
+
+// HistExemplar is one histogram bucket's exemplar joined with its
+// metric identity — the /v1/metrics JSON form of the OpenMetrics
+// `# {trace_id=...}` annotations.
+type HistExemplar struct {
+	Metric   string            `json:"metric"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	BucketLE int64             `json:"bucket_le"`
+	TraceID  string            `json:"trace_id"`
+	Value    int64             `json:"value"`
+	UnixNS   int64             `json:"ts_unix_ns"`
+}
+
+// TraceExemplars collects every histogram bucket exemplar in the
+// registry, ordered by metric name, label set, then bucket bound —
+// each row resolves through GET /v1/trace/{trace_id}. Nil-safe.
+func (r *Registry) TraceExemplars() []HistExemplar {
+	var out []HistExemplar
+	for _, f := range r.families() {
+		if f.kind != "histogram" {
+			continue
+		}
+		for _, k := range f.order {
+			h, ok := f.vars[k].(*Histogram)
+			if !ok {
+				continue
+			}
+			var labels map[string]string
+			if k != "" {
+				pairs := strings.Split(k, "\x00")
+				labels = map[string]string{}
+				for i := 0; i+1 < len(pairs); i += 2 {
+					labels[pairs[i]] = pairs[i+1]
+				}
+			}
+			for i := 0; i < histBuckets; i++ {
+				ex := h.Exemplar(i)
+				if ex == nil {
+					continue
+				}
+				out = append(out, HistExemplar{
+					Metric:   f.name,
+					Labels:   labels,
+					BucketLE: BucketUpper(i),
+					TraceID:  ex.TraceID,
+					Value:    ex.Value,
+					UnixNS:   ex.UnixNS,
+				})
+			}
+		}
+	}
+	return out
 }
 
 // families returns the metric families sorted by name, for

@@ -55,8 +55,15 @@ func writeHist(w io.Writer, name string, labels []string, h *Histogram) {
 	for i := 0; i <= last; i++ {
 		cum += buckets[i]
 		le := strconv.FormatInt(BucketUpper(i), 10)
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+		fmt.Fprintf(w, "%s_bucket%s %d", name,
 			renderLabels(append(append([]string(nil), labels...), "le", le)), cum)
+		// OpenMetrics-style exemplar: the bucket's most recent sampled
+		// trace, appended as `# {trace_id="..."} value ts`.
+		if ex := h.Exemplar(i); ex != nil {
+			fmt.Fprintf(w, " # {trace_id=\"%s\"} %d %.3f",
+				escapeLabel(ex.TraceID), ex.Value, float64(ex.UnixNS)/1e9)
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	fmt.Fprintf(w, "%s_bucket%s %d\n", name,
 		renderLabels(append(append([]string(nil), labels...), "le", "+Inf")), count)
@@ -135,11 +142,20 @@ var (
 	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
 )
 
-// PromSample is one parsed sample line.
-type PromSample struct {
-	Name   string
+// PromExemplar is a parsed OpenMetrics-style exemplar annotation on a
+// bucket sample: `# {labels} value [ts]`.
+type PromExemplar struct {
 	Labels map[string]string
 	Value  float64
+	Ts     float64 // seconds; 0 when absent
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *PromExemplar
 }
 
 // PromFamily is one parsed metric family.
@@ -265,6 +281,14 @@ func parsePromSample(line string) (PromSample, error) {
 	if !promNameRe.MatchString(s.Name) {
 		return s, fmt.Errorf("bad metric name %q", s.Name)
 	}
+	if idx := strings.Index(rest, " # "); idx >= 0 {
+		ex, err := parsePromExemplar(strings.TrimSpace(rest[idx+3:]))
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
+		rest = strings.TrimSpace(rest[:idx])
+	}
 	valStr := strings.Fields(rest)
 	if len(valStr) < 1 || len(valStr) > 2 {
 		return s, fmt.Errorf("bad sample value %q", rest)
@@ -275,6 +299,99 @@ func parsePromSample(line string) (PromSample, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parsePromExemplar parses the OpenMetrics-style exemplar body
+// `{labels} value [ts]` appended to a bucket sample after ` # `.
+func parsePromExemplar(body string) (*PromExemplar, error) {
+	if len(body) == 0 || body[0] != '{' {
+		return nil, fmt.Errorf("exemplar must start with a label set, got %q", body)
+	}
+	end := strings.IndexByte(body, '}')
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set in %q", body)
+	}
+	ex := &PromExemplar{Labels: map[string]string{}}
+	for _, pair := range splitLabels(body[1:end]) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed exemplar label %q", pair)
+		}
+		k, v := pair[:eq], pair[eq+1:]
+		if !promLabelRe.MatchString(k) {
+			return nil, fmt.Errorf("bad exemplar label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return nil, fmt.Errorf("unquoted exemplar label value %q", v)
+		}
+		ex.Labels[k] = strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n").Replace(v[1 : len(v)-1])
+	}
+	fields := strings.Fields(strings.TrimSpace(body[end+1:]))
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("bad exemplar value in %q", body)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return nil, err
+	}
+	ex.Value = v
+	if len(fields) == 2 {
+		ts, err := parsePromValue(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		ex.Ts = ts
+	}
+	return ex, nil
+}
+
+// ExemplarCoverage reports, for a parsed histogram family, how many
+// populated finite buckets exist and how many of those carry an
+// exemplar — the exemplar_coverage ratio the benches gate on. Bucket
+// population is recovered by de-accumulating the cumulative counts per
+// label series.
+func ExemplarCoverage(fam *PromFamily) (withExemplar, populated int) {
+	if fam == nil {
+		return 0, 0
+	}
+	type bucketRow struct {
+		le    float64
+		count float64
+		ex    bool
+	}
+	bySeries := map[string][]bucketRow{}
+	for _, s := range fam.Samples {
+		if !strings.HasSuffix(s.Name, "_bucket") {
+			continue
+		}
+		le, err := parsePromValue(s.Labels["le"])
+		if err != nil || math.IsInf(le, 1) {
+			continue
+		}
+		var ks []string
+		for k, v := range s.Labels {
+			if k != "le" {
+				ks = append(ks, k+"="+v)
+			}
+		}
+		sort.Strings(ks)
+		key := strings.Join(ks, ",")
+		bySeries[key] = append(bySeries[key], bucketRow{le: le, count: s.Value, ex: s.Exemplar != nil})
+	}
+	for _, rows := range bySeries {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].le < rows[j].le })
+		prev := 0.0
+		for _, r := range rows {
+			if r.count > prev {
+				populated++
+				if r.ex {
+					withExemplar++
+				}
+			}
+			prev = r.count
+		}
+	}
+	return withExemplar, populated
 }
 
 func parsePromValue(s string) (float64, error) {

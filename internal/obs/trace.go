@@ -22,6 +22,7 @@ type SpanRecord struct {
 	ID     uint64
 	Parent uint64 // 0 = root
 	Lane   uint64 // thread-ID analog for trace viewers: the root span's ID
+	Trace  TraceID
 	Start  time.Duration
 	Dur    time.Duration
 	Attrs  []Attr
@@ -33,6 +34,7 @@ type SpanRecord struct {
 type Tracer struct {
 	base    time.Time // monotonic reference; span offsets are Since(base)
 	wall    time.Time // wall-clock at base, for absolute-time export
+	idBase  uint64    // random per-tracer base mixed into span IDs
 	nextID  atomic.Uint64
 	dropped atomic.Uint64
 	started atomic.Uint64
@@ -53,7 +55,7 @@ func NewTracer(cap int) *Tracer {
 		cap = DefaultRingCap
 	}
 	now := time.Now()
-	return &Tracer{base: now, wall: now, ring: make([]SpanRecord, 0, cap)}
+	return &Tracer{base: now, wall: now, idBase: randUint64(), ring: make([]SpanRecord, 0, cap)}
 }
 
 // Span is one in-progress span. A nil *Span no-ops every method, so
@@ -64,34 +66,72 @@ type Span struct {
 	id     uint64
 	parent uint64
 	lane   uint64
+	trace  TraceID
 	start  time.Duration
 	attrs  []Attr
 }
 
-// Start begins a root span. Nil-safe: a nil tracer returns a nil span
-// without reading the clock.
+// Start begins a root span outside any trace. Nil-safe: a nil tracer
+// returns a nil span without reading the clock.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.startAt(name, 0, 0, time.Since(t.base))
+	return t.startAt(name, 0, 0, TraceID{}, time.Since(t.base))
 }
 
-func (t *Tracer) startAt(name string, parent, lane uint64, off time.Duration) *Span {
-	id := t.nextID.Add(1)
+// StartTrace begins the root span of a new trace (the request-span root
+// a sampled request without an incoming context gets).
+func (t *Tracer) StartTrace(name string, tid TraceID) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startAt(name, 0, 0, tid, time.Since(t.base))
+}
+
+// StartRemote begins a span whose parent lives on another node (or in
+// another goroutine's context): the span joins tc's trace as a child of
+// tc's span. Nil-safe.
+func (t *Tracer) StartRemote(name string, tc TraceContext) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startAt(name, tc.SpanID, 0, tc.TraceID, time.Since(t.base))
+}
+
+// startAt mints a span. Span IDs are the tracer's random base mixed
+// with a sequence counter through splitmix64, so IDs are unique within
+// a process AND collision-free across nodes when spans from the whole
+// fleet merge into one trace (0 is reserved for "no parent").
+func (t *Tracer) startAt(name string, parent, lane uint64, trace TraceID, off time.Duration) *Span {
+	id := splitmix64(t.idBase ^ (t.nextID.Add(1) * 0x9e3779b97f4a7c15))
+	if id == 0 {
+		id = 1
+	}
 	t.started.Add(1)
 	if lane == 0 {
 		lane = id
 	}
-	return &Span{tr: t, name: name, id: id, parent: parent, lane: lane, start: off}
+	return &Span{tr: t, name: name, id: id, parent: parent, lane: lane, trace: trace, start: off}
 }
 
-// Child begins a sub-span of s (nil-safe).
+// Child begins a sub-span of s, inheriting its trace (nil-safe).
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.startAt(name, s.id, s.lane, time.Since(s.tr.base))
+	return s.tr.startAt(name, s.id, s.lane, s.trace, time.Since(s.tr.base))
+}
+
+// Context returns the trace context for propagating s across a node or
+// goroutine boundary: children created from it (StartRemote) parent
+// under s. The zero TraceContext (Valid()==false) is returned for nil
+// spans and spans outside any trace.
+func (s *Span) Context() TraceContext {
+	if s == nil || s.trace.IsZero() {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.trace, SpanID: s.id, Sampled: true}
 }
 
 // SetStr attaches a string attribute (nil-safe).
@@ -126,7 +166,7 @@ func (s *Span) EndWith(d time.Duration) {
 		return
 	}
 	s.tr.commit(SpanRecord{
-		Name: s.name, ID: s.id, Parent: s.parent, Lane: s.lane,
+		Name: s.name, ID: s.id, Parent: s.parent, Lane: s.lane, Trace: s.trace,
 		Start: s.start, Dur: d, Attrs: s.attrs,
 	})
 }

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 128-bit trace identifier, shared by every span one user
+// request produces anywhere in the fleet. The zero value means "no
+// trace" — plain spans (deep synthesis internals) carry it and are
+// excluded from per-trace export.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the no-trace sentinel.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// ParseTraceID parses exactly 32 lowercase hex digits into a non-zero
+// TraceID. Anything else — wrong length, uppercase, non-hex, all-zero —
+// is an error, so a hostile path segment can never round-trip.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("obs: trace ID must be 32 hex digits, got %d", len(s))
+	}
+	if !isLowerHex(s) {
+		return id, fmt.Errorf("obs: trace ID %q is not lowercase hex", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, err
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("obs: trace ID is all-zero")
+	}
+	return id, nil
+}
+
+// traceSeq seeds the fallback ID path when crypto/rand is unavailable.
+var traceSeq atomic.Uint64
+
+// NewTraceID mints a random trace ID (non-zero by construction).
+func NewTraceID() TraceID {
+	var id TraceID
+	if _, err := cryptorand.Read(id[:]); err == nil && !id.IsZero() {
+		return id
+	}
+	binary.BigEndian.PutUint64(id[:8], uint64(time.Now().UnixNano()))
+	binary.BigEndian.PutUint64(id[8:], splitmix64(traceSeq.Add(1)))
+	if id.IsZero() {
+		id[15] = 1
+	}
+	return id
+}
+
+// randUint64 draws a random 64-bit value (used for per-tracer span-ID
+// bases and client-side root span IDs).
+func randUint64() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		return binary.BigEndian.Uint64(b[:])
+	}
+	return splitmix64(uint64(time.Now().UnixNano()) + traceSeq.Add(1))
+}
+
+// TraceHeader is the cross-node trace-context header, W3C
+// traceparent-shaped: 00-<32 hex trace ID>-<16 hex span ID>-<2 hex flags>.
+const TraceHeader = "X-Iseld-Trace"
+
+// traceHeaderLen is the exact length of a well-formed header value.
+const traceHeaderLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// TraceContext is the portable identity of a position in a trace: which
+// trace, which span is the parent of whatever happens next, and whether
+// the trace is sampled. It crosses node boundaries via TraceHeader.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  uint64
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a real trace position.
+func (tc TraceContext) Valid() bool { return !tc.TraceID.IsZero() && tc.SpanID != 0 }
+
+// Header renders the context in the X-Iseld-Trace wire form.
+func (tc TraceContext) Header() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%016x-%s", tc.TraceID.String(), tc.SpanID, flags)
+}
+
+// ParseTraceHeader strictly parses an X-Iseld-Trace value. The format
+// is fixed-width; any deviation — wrong length (oversized values are
+// rejected before any allocation), unknown version, uppercase or
+// non-hex digits, zero trace or span ID, unknown flags — is an error.
+// Callers treat an error as "no context" and mint a fresh one, so
+// malformed or hostile headers can never propagate.
+func ParseTraceHeader(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) != traceHeaderLen {
+		return tc, fmt.Errorf("obs: trace header length %d, want %d", len(s), traceHeaderLen)
+	}
+	if s[0:2] != "00" {
+		return tc, fmt.Errorf("obs: unknown trace header version %q", s[0:2])
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("obs: malformed trace header %q", s)
+	}
+	tid, err := ParseTraceID(s[3:35])
+	if err != nil {
+		return tc, err
+	}
+	sid := s[36:52]
+	if !isLowerHex(sid) {
+		return tc, fmt.Errorf("obs: span ID %q is not lowercase hex", sid)
+	}
+	var span uint64
+	for i := 0; i < len(sid); i++ {
+		span = span<<4 | uint64(hexVal(sid[i]))
+	}
+	if span == 0 {
+		return tc, fmt.Errorf("obs: span ID is zero")
+	}
+	switch s[53:55] {
+	case "01":
+		tc.Sampled = true
+	case "00":
+	default:
+		return tc, fmt.Errorf("obs: unknown trace flags %q", s[53:55])
+	}
+	tc.TraceID = tid
+	tc.SpanID = span
+	return tc, nil
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func hexVal(c byte) int {
+	if c <= '9' {
+		return int(c - '0')
+	}
+	return int(c-'a') + 10
+}
+
+// splitmix64 is the SplitMix64 output function — one multiply-xor
+// avalanche pass, enough to spread a sequential counter over the full
+// 64-bit space so span IDs minted on different nodes cannot collide by
+// counting in lockstep.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

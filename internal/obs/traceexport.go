@@ -25,6 +25,9 @@ type TraceEvent struct {
 type TraceFile struct {
 	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	// OtherData carries merge metadata on assembled fleet traces (trace
+	// ID, node and span counts); trace viewers ignore it.
+	OtherData map[string]any `json:"otherData,omitempty"`
 }
 
 // TraceEvents converts the recorded spans to Chrome trace events,
@@ -50,6 +53,9 @@ func (t *Tracer) TraceEvents() []TraceEvent {
 				ev.Args["parent"] = r.Parent
 			}
 			ev.Args["span_id"] = r.ID
+			if !r.Trace.IsZero() {
+				ev.Args["trace_id"] = r.Trace.String()
+			}
 			for _, a := range r.Attrs {
 				if a.IsInt {
 					ev.Args[a.Key] = a.Int

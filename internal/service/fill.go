@@ -9,6 +9,7 @@ import (
 
 	"iselgen/internal/core"
 	"iselgen/internal/isel"
+	"iselgen/internal/obs"
 	"iselgen/internal/term"
 )
 
@@ -44,6 +45,12 @@ type FillRequest struct {
 	// peer call's X-Request-Id header so one user request is traceable
 	// across replicas. Not part of the JSON body.
 	RequestID string `json:"-"`
+	// TraceParent, when non-empty, is the serialized X-Iseld-Trace
+	// context the peer call should carry (the fill span's own context) —
+	// the peer's request span then parents under this fill in the
+	// assembled fleet trace. Not part of the JSON body: trace context
+	// travels in the header, like the request ID.
+	TraceParent string `json:"-"`
 }
 
 // RemoteFill is a peer's answer to a FillRequest: the serialized
@@ -96,8 +103,11 @@ func (sv *Server) FingerprintRequest(target, spec, selector string) (string, err
 // fetch the serialized artifact, then re-verify every rule against a
 // freshly materialized target (a peer is trusted no further than the
 // disk layer is). ok=false on any failure — the caller then falls back
-// to the local incremental/synthesis path.
-func (sv *Server) fillFromPeer(def targetDef, fp, selector, rid string, timeout time.Duration) (*Entry, bool) {
+// to the local incremental/synthesis path. tc, when valid, is the synth
+// flight's trace context: the fill span parents under it and its own
+// context rides the peer call's X-Iseld-Trace header, so the owner's
+// spans land in the same fleet trace.
+func (sv *Server) fillFromPeer(def targetDef, fp, selector, rid string, timeout time.Duration, tc obs.TraceContext) (*Entry, bool) {
 	if sv.filler == nil {
 		return nil, false
 	}
@@ -111,6 +121,15 @@ func (sv *Server) fillFromPeer(def targetDef, fp, selector, rid string, timeout 
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
 	defer cancel()
+	var sp *obs.Span
+	if tr := sv.obsv.TracerOrNil(); tr != nil {
+		if tc.Valid() {
+			sp = tr.StartRemote("cluster fill", tc)
+		} else {
+			sp = tr.Start("cluster fill")
+		}
+	}
+	sp.SetStr("fingerprint", fp).SetStr("request_id", rid)
 	req := FillRequest{
 		Fingerprint: fp,
 		Target:      def.name,
@@ -121,8 +140,9 @@ func (sv *Server) fillFromPeer(def targetDef, fp, selector, rid string, timeout 
 	if def.inline {
 		req.Spec = def.spec
 	}
-	sp := sv.obsv.TracerOrNil().Start("cluster fill").
-		SetStr("fingerprint", fp).SetStr("request_id", rid)
+	if fc := sp.Context(); fc.Valid() {
+		req.TraceParent = fc.Header()
+	}
 	rf, err := sv.filler.FetchArtifact(ctx, req)
 	if err != nil {
 		sp.SetStr("outcome", "local").End()

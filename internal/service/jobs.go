@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"iselgen/internal/obs"
 )
 
 // Job statuses: queued → running → done | failed. A job is "queued"
@@ -223,16 +225,28 @@ func (sv *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	sv.metrics.JobsSubmitted.Add(1)
 	rid := RequestIDFrom(r.Context())
+	// The job outlives the 202 response, so the sampled trace context is
+	// captured by value: the detached synthesis then appears in the fleet
+	// trace under a "job synthesize" span even though the submitting
+	// request span ended long before the work did.
+	tc, _ := TraceContextFrom(r.Context())
 	go func() {
 		sv.jobs.setRunning(rec)
+		var jsp *obs.Span
+		if tc.Valid() {
+			jsp = sv.obsv.TracerOrNil().StartRemote("job synthesize", tc).
+				SetStr("job_id", rec.id).SetStr("target", def.name)
+		}
 		cfg, fp := sv.effectiveConfig(def, "")
 		timeout := sv.cfg.DefaultTimeout
 		if req.TimeoutMS > 0 {
 			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 		}
 		ctx := WithRequestID(context.Background(), rid)
+		ctx = WithTraceContext(ctx, jsp.Context())
 		e, cache, _, err := sv.entryFor(ctx, def, cfg, fp, timeout, true)
 		if err != nil {
+			jsp.SetStr("cache", "error").End()
 			sv.jobs.finish(rec, nil, err)
 			return
 		}
@@ -250,6 +264,7 @@ func (sv *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		if req.Emit {
 			resp.Library = e.Lib.Emit()
 		}
+		jsp.SetStr("cache", cache).End()
 		sv.jobs.finish(rec, resp, nil)
 	}()
 	w.Header().Set("Location", "/v1/jobs/"+rec.id)

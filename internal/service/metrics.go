@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"iselgen/internal/core"
+	"iselgen/internal/obs"
 	"iselgen/internal/solver"
 )
 
@@ -91,4 +92,10 @@ type MetricsSnapshot struct {
 	SolverJournal     solver.JournalStats `json:"solver_journal"`
 	MemoServed        uint64              `json:"memo_probes_served"`
 	MemoPeerHits      uint64              `json:"memo_peer_hits"`
+
+	// TraceExemplars mirrors the Prometheus exposition's exemplar
+	// annotations into JSON: for each populated latency bucket, the most
+	// recent sampled trace ID that landed there — each resolvable through
+	// GET /v1/trace/{traceId}.
+	TraceExemplars []obs.HistExemplar `json:"trace_exemplars,omitempty"`
 }

@@ -3,11 +3,14 @@ package service
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
 	"time"
+
+	"iselgen/internal/obs"
 )
 
 // ridKey is the context key carrying the request ID into detached
@@ -27,6 +30,26 @@ func WithRequestID(ctx context.Context, rid string) context.Context {
 func RequestIDFrom(ctx context.Context) string {
 	rid, _ := ctx.Value(ridKey{}).(string)
 	return rid
+}
+
+// tcKey is the context key carrying the sampled trace context into
+// detached jobs, peer fills, forwards, and memo probes.
+type tcKey struct{}
+
+// WithTraceContext returns ctx carrying a trace context. Invalid
+// contexts are not stored — absence means "not sampled".
+func WithTraceContext(ctx context.Context, tc obs.TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, tcKey{}, tc)
+}
+
+// TraceContextFrom extracts the sampled trace context a handler's
+// context carries; ok=false outside a sampled request.
+func TraceContextFrom(ctx context.Context) (obs.TraceContext, bool) {
+	tc, ok := ctx.Value(tcKey{}).(obs.TraceContext)
+	return tc, ok
 }
 
 // maxRequestIDLen bounds accepted client-supplied request IDs.
@@ -95,13 +118,31 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// sampleRequest decides whether a request without an incoming trace
+// context starts a new sampled trace (per Config.TraceSample).
+func (sv *Server) sampleRequest() bool {
+	switch {
+	case sv.sample >= 1:
+		return true
+	case sv.sample <= 0:
+		return false
+	}
+	return rand.Float64() < sv.sample
+}
+
 // withObs is the request middleware: it adopts the caller's
 // X-Request-Id (so one user request keeps its identity across forwarded
 // and peer-filled hops) or assigns one, echoes it back, threads it into
 // the request context for detached jobs, opens a per-request span,
 // feeds the request-latency histogram and request counter, and emits
-// one structured access-log line. Every piece degrades to a no-op when
-// its sink is absent.
+// one structured access-log line. For distributed tracing it extracts a
+// strictly validated X-Iseld-Trace context (hostile or malformed values
+// are discarded and a fresh context minted — the cleanRequestID
+// contract), parents the request span under the caller's span, echoes
+// the trace header back, threads the context to every outbound hop, and
+// stamps the latency bucket's exemplar with the trace ID. Every piece
+// degrades to a no-op when its sink is absent; unsampled requests
+// behave exactly as if tracing did not exist.
 func (sv *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rid := cleanRequestID(r.Header.Get("X-Request-Id"))
@@ -109,28 +150,66 @@ func (sv *Server) withObs(next http.Handler) http.Handler {
 			rid = fmt.Sprintf("req-%06d", sv.reqID.Add(1))
 		}
 		w.Header().Set("X-Request-Id", rid)
-		r = r.WithContext(WithRequestID(r.Context(), rid))
-		sp := sv.obsv.TracerOrNil().Start("http "+r.Method+" "+r.URL.Path).
-			SetStr("request_id", rid)
+		ctx := WithRequestID(r.Context(), rid)
+
+		tr := sv.obsv.TracerOrNil()
+		var sp *obs.Span
+		var tc obs.TraceContext
+		sampled := false
+		if tr != nil {
+			name := "http " + r.Method + " " + r.URL.Path
+			if in, err := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); err == nil {
+				if in.Sampled {
+					sp = tr.StartRemote(name, in)
+					sampled = true
+				} else {
+					// The caller made a sampling decision; respect it.
+					sp = tr.Start(name)
+				}
+			} else if sv.sampleRequest() {
+				sp = tr.StartTrace(name, obs.NewTraceID())
+				sampled = true
+			} else {
+				sp = tr.Start(name)
+			}
+			sp.SetStr("request_id", rid)
+		}
+		if sampled {
+			tc = sp.Context()
+			w.Header().Set(obs.TraceHeader, tc.Header())
+			ctx = WithTraceContext(ctx, tc)
+		}
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
 		d := time.Since(t0)
 		sp.SetInt("status", int64(sw.status)).EndWith(d)
 		if m := sv.obsv.MetricsOrNil(); m != nil {
-			m.Histogram("http_request_duration_ns",
-				"HTTP request latency", "path", r.URL.Path).Observe(d.Nanoseconds())
+			h := m.Histogram("http_request_duration_ns",
+				"HTTP request latency", "path", r.URL.Path)
+			if sampled {
+				h.ObserveExemplar(d.Nanoseconds(), tc.TraceID.String())
+			} else {
+				h.Observe(d.Nanoseconds())
+			}
 			m.Counter("http_requests_total",
 				"HTTP requests served", "path", r.URL.Path, "status", itoaStatus(sw.status)).Add(1)
 		}
 		if sv.logger != nil {
-			sv.logger.Info("request",
+			args := []any{
 				"id", rid,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", sw.status,
-				"dur_ms", float64(d.Nanoseconds())/1e6,
-				"remote", r.RemoteAddr)
+				"dur_ms", float64(d.Nanoseconds()) / 1e6,
+				"remote", r.RemoteAddr,
+			}
+			if sampled {
+				args = append(args, "trace", tc.TraceID.String())
+			}
+			sv.logger.Info("request", args...)
 		}
 	})
 }
@@ -146,6 +225,7 @@ func itoaStatus(s int) string {
 func (sv *Server) registerObsRoutes() {
 	sv.mux.HandleFunc("GET /metrics", sv.handleProm)
 	sv.mux.HandleFunc("GET /v1/trace", sv.handleTrace)
+	sv.mux.HandleFunc("GET /v1/trace/{traceId}", sv.handleTraceByID)
 	sv.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	sv.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	sv.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

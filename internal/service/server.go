@@ -65,6 +65,13 @@ type Config struct {
 	// decision provenance. It is threaded into every synthesis job and
 	// selection backend. Purely observational — never fingerprinted.
 	Obs *obs.Obs
+	// TraceSample is the fraction of trace-context-less requests that
+	// start a new sampled distributed trace (0 = default 1.0: sample
+	// everything; negative = never start traces here, though a valid
+	// incoming X-Iseld-Trace context is always honored). Sampled
+	// requests get a 128-bit trace ID that crosses every fleet hop and
+	// resolves through GET /v1/trace/{traceId}.
+	TraceSample float64
 	// Logger, when set, receives one structured access-log line per
 	// request (with request IDs) plus server lifecycle events.
 	Logger *slog.Logger
@@ -73,15 +80,17 @@ type Config struct {
 // Server is the selection service: HTTP handlers over the artifact
 // store and the job scheduler.
 type Server struct {
-	cfg     Config
-	store   *Store
-	shards  *ShardStore
-	sched   *Scheduler
-	metrics Metrics
-	mux     *http.ServeMux
-	jobs    *jobTable
-	filler  RemoteFiller
-	prober  MemoProber
+	cfg       Config
+	store     *Store
+	shards    *ShardStore
+	sched     *Scheduler
+	metrics   Metrics
+	mux       *http.ServeMux
+	jobs      *jobTable
+	filler    RemoteFiller
+	prober    MemoProber
+	collector TraceCollector
+	sample    float64
 
 	obsv    *obs.Obs
 	logger  *slog.Logger
@@ -122,6 +131,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Synth.Obs == nil {
 		cfg.Synth.Obs = cfg.Obs
 	}
+	sample := cfg.TraceSample
+	switch {
+	case sample < 0:
+		sample = 0
+	case sample == 0:
+		sample = 1
+	case sample > 1:
+		sample = 1
+	}
 	sv := &Server{
 		cfg:    cfg,
 		store:  store,
@@ -129,6 +147,7 @@ func New(cfg Config) (*Server, error) {
 		sched:  NewScheduler(cfg.Workers, cfg.QueueDepth),
 		mux:    http.NewServeMux(),
 		jobs:   newJobTable(cfg.MaxJobs),
+		sample: sample,
 		obsv:   cfg.Obs,
 		logger: cfg.Logger,
 		start:  time.Now(),
@@ -155,6 +174,18 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the HTTP handler tree, wrapped in the request
 // middleware (request IDs, per-request spans, access log).
 func (sv *Server) Handler() http.Handler { return sv.withObs(sv.mux) }
+
+// Routes returns the unwrapped route tree. The cluster layer mounts it
+// inside its own mux (so forwarding can intercept /v1/select) and wraps
+// the whole thing in Middleware exactly once — giving forwarded
+// requests the same request span, trace context, access-log line, and
+// latency exemplar as locally served ones.
+func (sv *Server) Routes() http.Handler { return sv.mux }
+
+// Middleware wraps h in the request middleware (request IDs, trace
+// propagation, per-request spans, metrics, access log). Pair with
+// Routes when composing a larger handler tree around the service.
+func (sv *Server) Middleware(h http.Handler) http.Handler { return sv.withObs(h) }
 
 // Close drains the scheduler: queued and in-flight synthesis jobs finish
 // (completing their flights) before Close returns, then the store's
@@ -293,9 +324,21 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 	if owner {
 		lk := sv.lineageKey(def, cfg)
 		rid := RequestIDFrom(ctx)
+		// The flight outlives the HTTP request (joiners may be served
+		// after the opener disconnects), so the sampled trace context is
+		// captured by value here and re-opened as a "synth flight" span
+		// inside the detached job — the deep synthesis work then shows up
+		// in the fleet trace parented under the request span that owned
+		// the flight.
+		tc, _ := TraceContextFrom(ctx)
 		job := func() {
 			if sv.testJobGate != nil {
 				sv.testJobGate()
+			}
+			var fsp *obs.Span
+			if tc.Valid() {
+				fsp = sv.obsv.TracerOrNil().StartRemote("synth flight", tc).
+					SetStr("fingerprint", fp)
 			}
 			if ent, ok := sv.store.LoadDisk(fp, func() (*term.Builder, *isa.Target, error) {
 				b := term.NewBuilder()
@@ -305,6 +348,7 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 				sv.metrics.DiskHits.Add(1)
 				sv.store.Complete(fp, ent, nil)
 				sv.shards.Update(lk, ent.Target, ent.Lib)
+				fsp.SetStr("origin", "disk").End()
 				return
 			}
 			// Disk miss: ask the fingerprint's ring owner before doing any
@@ -313,12 +357,13 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 			// one synthesis (the owner's local singleflight collapses the
 			// concurrent fills).
 			if allowPeer && sv.filler != nil {
-				if ent, ok := sv.fillFromPeer(def, fp, cfg.Selector, rid, timeout); ok {
+				if ent, ok := sv.fillFromPeer(def, fp, cfg.Selector, rid, timeout, fsp.Context()); ok {
 					sv.metrics.PeerFills.Add(1)
 					sv.store.Complete(fp, ent, nil)
 					if !ent.Partial {
 						sv.shards.Update(lk, ent.Target, ent.Lib)
 					}
+					fsp.SetStr("origin", "peer").End()
 					return
 				}
 			}
@@ -327,13 +372,19 @@ func (sv *Server) entryFor(ctx context.Context, def targetDef, cfg core.Config, 
 			// shards instead of from scratch.
 			ent, ok := sv.runIncremental(def, cfg, fp, lk, timeout)
 			var err error
+			origin := "incremental"
 			if !ok {
 				ent, err = sv.runSynthesis(def, cfg, fp, timeout)
+				origin = "synthesized"
 			}
 			sv.store.Complete(fp, ent, err)
 			if err == nil && ent != nil && !ent.Partial {
 				sv.shards.Update(lk, ent.Target, ent.Lib)
 			}
+			if err != nil {
+				origin = "error"
+			}
+			fsp.SetStr("origin", origin).End()
 		}
 		if err := sv.sched.Submit(job); err != nil {
 			// The flight must still resolve or joiners would hang.
@@ -778,6 +829,10 @@ func (sv *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	lineages, shards := sv.shards.Counts()
 	memoHits, memoMisses, memoStores := solver.Shared.Counters()
+	var exemplars []obs.HistExemplar
+	if m := sv.obsv.MetricsOrNil(); m != nil {
+		exemplars = m.TraceExemplars()
+	}
 	writeJSON(w, http.StatusOK, MetricsSnapshot{
 		UptimeSec:      time.Since(sv.start).Seconds(),
 		Build:          sv.build,
@@ -814,6 +869,7 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SolverJournal:     solver.Shared.Journal(),
 		MemoServed:        sv.metrics.MemoServed.Load(),
 		MemoPeerHits:      sv.metrics.MemoPeerHits.Load(),
+		TraceExemplars:    exemplars,
 	})
 }
 
