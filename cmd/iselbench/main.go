@@ -893,7 +893,7 @@ func measureFleetTrace() (obsFleet, error) {
 		return obsFleet{}, fmt.Errorf("trace %s never spanned %d replicas", tc.TraceID, replicas)
 	}
 
-	r3, err := http.Get(caller + "/metrics")
+	r3, err := http.Get(caller + "/metrics?exemplars=1")
 	if err != nil {
 		return obsFleet{}, err
 	}

@@ -34,7 +34,9 @@
 //	GET  /v1/metrics      cache/queue counters, per-stage timings, build
 //	                      info, and uptime (JSON)
 //	GET  /metrics         the same counters plus latency histograms in
-//	                      Prometheus text format
+//	                      Prometheus text format (strict 0.0.4;
+//	                      ?exemplars=1 adds OpenMetrics-style trace
+//	                      exemplar annotations)
 //	GET  /v1/trace        recent pipeline spans as Chrome trace-event
 //	                      JSON (open in chrome://tracing or Perfetto)
 //	GET  /v1/trace/{traceId}
@@ -44,7 +46,8 @@
 //	                      Chrome trace (?format=spans for the raw span
 //	                      set); trace IDs come from the X-Iseld-Trace
 //	                      response header, access-log lines, and the
-//	                      latency-histogram exemplars on /metrics
+//	                      latency-histogram exemplars on
+//	                      /metrics?exemplars=1
 //	GET  /debug/pprof/    Go runtime profiles
 //	GET  /healthz         liveness
 //

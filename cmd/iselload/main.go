@@ -431,7 +431,7 @@ func resolveTraces(client *http.Client, ep string, ids []string, st *ReportTrace
 // annotations, and the slowest bucket's trace ID must still assemble
 // through the fleet trace endpoint.
 func checkExemplar(client *http.Client, ep string) (coverage float64, resolved bool) {
-	resp, err := client.Get(ep + "/metrics")
+	resp, err := client.Get(ep + "/metrics?exemplars=1")
 	if err != nil {
 		return 0, false
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // SpanAttr is one span attribute in the cross-node wire form (the JSON
@@ -174,6 +175,17 @@ func AssembleTrace(spans []TraceSpan) (*TraceFile, *AssembleReport) {
 			}
 		}
 	}
+	if rootIdx < 0 {
+		// Every span's parent resolves in-set: a parent cycle, which a
+		// buggy or hostile peer can hand us. Anchor on the earliest-
+		// starting span instead; Roots stays 0 in the report to flag the
+		// defect.
+		for i := range uniq {
+			if rootIdx < 0 || uniq[i].StartUnixNS < uniq[rootIdx].StartUnixNS {
+				rootIdx = i
+			}
+		}
+	}
 
 	// Per-node clock offsets: the root's node anchors at zero; every
 	// other node is shifted so its first cross-node child never starts
@@ -300,6 +312,10 @@ type ParsedTrace struct {
 func ParseTraceFile(data []byte) (*ParsedTrace, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
+	// UseNumber keeps span/parent IDs in Args as decimal strings:
+	// decoding them to float64 would round IDs above 2^53, letting
+	// distinct IDs collide into spurious duplicate-span failures.
+	dec.UseNumber()
 	var f TraceFile
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("obs: trace file: %w", err)
@@ -316,11 +332,11 @@ func ParseTraceFile(data []byte) (*ParsedTrace, error) {
 		case float64:
 			return uint64(n), true
 		case json.Number:
-			u, err := n.Int64()
+			u, err := strconv.ParseUint(n.String(), 10, 64)
 			if err != nil {
 				return 0, false
 			}
-			return uint64(u), true
+			return u, true
 		}
 		return 0, false
 	}

@@ -135,6 +135,56 @@ func TestAssembleTraceNormalizesClocks(t *testing.T) {
 	}
 }
 
+// TestAssembleTraceParentCycle: a peer can hand back spans whose parents
+// form a cycle, leaving no root at all. Assembly must stay best-effort —
+// anchor on the earliest span, report Roots=0 — not panic.
+func TestAssembleTraceParentCycle(t *testing.T) {
+	tid := NewTraceID().String()
+	spans := []TraceSpan{
+		{TraceID: tid, SpanID: 1, Parent: 2, Name: "a", Node: "n1", StartUnixNS: 200},
+		{TraceID: tid, SpanID: 2, Parent: 1, Name: "b", Node: "n1", StartUnixNS: 100},
+	}
+	if err := ValidateTraceSpans(spans); err == nil {
+		t.Error("validator accepted a parent cycle")
+	}
+	f, rep := AssembleTrace(spans)
+	if rep.Spans != 2 || rep.Roots != 0 || rep.Orphans != 0 {
+		t.Errorf("report %+v, want 2 spans, 0 roots, 0 orphans", rep)
+	}
+	var names []string
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" {
+			names = append(names, ev.Name)
+		}
+	}
+	if len(names) != 2 {
+		t.Errorf("assembled %v, want both cycle spans emitted", names)
+	}
+}
+
+// TestParseTraceFileHugeSpanIDs: span IDs are uint64; 2^53 and 2^53+1
+// collide when decoded as float64, so the strict parser must keep full
+// integer precision or it reports a spurious duplicate span ID.
+func TestParseTraceFileHugeSpanIDs(t *testing.T) {
+	const a, b = uint64(1) << 53, uint64(1)<<53 + 1
+	f := &TraceFile{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{
+		{Name: "root", Ph: "X", Pid: 1, Args: map[string]any{"span_id": a}},
+		{Name: "child", Ph: "X", Pid: 1, Args: map[string]any{"span_id": b, "parent": a}},
+		{Name: "leaf", Ph: "X", Pid: 1, Args: map[string]any{"span_id": ^uint64(0), "parent": b}},
+	}}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ParseTraceFile(data)
+	if err != nil {
+		t.Fatalf("huge span IDs rejected: %v", err)
+	}
+	if pt.Spans != 3 || pt.Roots != 1 {
+		t.Errorf("parsed %+v, want 3 spans with 1 root", pt)
+	}
+}
+
 func toF(t *testing.T, v any) float64 {
 	t.Helper()
 	f, ok := v.(float64)
@@ -221,9 +271,21 @@ func TestHistogramExemplars(t *testing.T) {
 		t.Errorf("row 1 = %+v", exs[1])
 	}
 
-	// Exposition carries the annotation and still parses strictly.
+	// The default exposition must stay strictly 0.0.4: a classic
+	// Prometheus text parser rejects exemplar annotations, so WriteProm
+	// must never emit them.
+	var plain strings.Builder
+	if err := r.WriteProm(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), " # {") {
+		t.Errorf("WriteProm leaked exemplar annotations into 0.0.4 output:\n%s", plain.String())
+	}
+
+	// The opt-in exposition carries the annotation and still parses
+	// strictly.
 	var sb strings.Builder
-	if err := r.WriteProm(&sb); err != nil {
+	if err := r.WritePromExemplars(&sb); err != nil {
 		t.Fatal(err)
 	}
 	text := sb.String()

@@ -16,7 +16,24 @@ import (
 // le-buckets at their power-of-two upper bounds (non-empty prefix only)
 // plus +Inf, _sum, and _count, and additionally pre-computed
 // p50/p90/p99 estimates as a companion gauge family <name>_quantile.
+// The output is strictly 0.0.4: no exemplar annotations, so any classic
+// text-format scraper can consume it. Exemplars are opt-in via
+// WritePromExemplars.
 func (r *Registry) WriteProm(w io.Writer) error {
+	return r.writeProm(w, false)
+}
+
+// WritePromExemplars is WriteProm plus OpenMetrics-style exemplar
+// annotations (` # {trace_id="..."} value ts`) on populated histogram
+// bucket lines. Exemplars are NOT part of the 0.0.4 text format — a
+// classic Prometheus text parser rejects lines carrying them — so this
+// form must only be served to clients that asked for it (the /metrics
+// handler gates it behind ?exemplars=1).
+func (r *Registry) WritePromExemplars(w io.Writer) error {
+	return r.writeProm(w, true)
+}
+
+func (r *Registry) writeProm(w io.Writer, exemplars bool) error {
 	bw := bufio.NewWriter(w)
 	for _, f := range r.families() {
 		help := f.help
@@ -36,14 +53,14 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			case *Gauge:
 				fmt.Fprintf(bw, "%s%s %d\n", f.name, renderLabels(labels), m.Value())
 			case *Histogram:
-				writeHist(bw, f.name, labels, m)
+				writeHist(bw, f.name, labels, m, exemplars)
 			}
 		}
 	}
 	return bw.Flush()
 }
 
-func writeHist(w io.Writer, name string, labels []string, h *Histogram) {
+func writeHist(w io.Writer, name string, labels []string, h *Histogram, exemplars bool) {
 	buckets, count, sum := h.Snapshot()
 	last := -1
 	for i, n := range buckets {
@@ -59,7 +76,7 @@ func writeHist(w io.Writer, name string, labels []string, h *Histogram) {
 			renderLabels(append(append([]string(nil), labels...), "le", le)), cum)
 		// OpenMetrics-style exemplar: the bucket's most recent sampled
 		// trace, appended as `# {trace_id="..."} value ts`.
-		if ex := h.Exemplar(i); ex != nil {
+		if ex := h.Exemplar(i); exemplars && ex != nil {
 			fmt.Fprintf(w, " # {trace_id=\"%s\"} %d %.3f",
 				escapeLabel(ex.TraceID), ex.Value, float64(ex.UnixNS)/1e9)
 		}
@@ -182,6 +199,11 @@ func ParseProm(text string) (map[string]*PromFamily, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
+			// OpenMetrics terminator (emitted by the exemplar-bearing
+			// form): ends the exposition.
+			if strings.TrimSpace(line) == "# EOF" {
+				break
+			}
 			fields := strings.SplitN(line, " ", 4)
 			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
 				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)

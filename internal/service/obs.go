@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
@@ -236,10 +237,31 @@ func (sv *Server) registerObsRoutes() {
 // handleProm serves the metrics registry in Prometheus text format
 // 0.0.4, histogram quantile gauges included. With no registry attached
 // the body is empty but still well-formed.
+//
+// Exemplar annotations are not valid 0.0.4 — a classic Prometheus
+// scraper rejects the whole scrape on the first annotated bucket line —
+// so they are served only on explicit opt-in via ?exemplars=1, which
+// switches the response to OpenMetrics-style exposition (OpenMetrics
+// content type, `# EOF` terminator). The gate is a query parameter
+// rather than Accept negotiation on purpose: the emitter is only
+// OpenMetrics-*style* (bare counter names, no _total suffixes), so
+// advertising it to a negotiating Prometheus server would trade one
+// scrape failure for another.
 func (sv *Server) handleProm(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	exemplars := r.URL.Query().Get("exemplars") == "1"
+	if exemplars {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
 	m := sv.obsv.MetricsOrNil()
 	if m == nil {
+		return
+	}
+	if exemplars {
+		m.WritePromExemplars(w)
+		m.WritePromQuantiles(w)
+		io.WriteString(w, "# EOF\n")
 		return
 	}
 	m.WriteProm(w)

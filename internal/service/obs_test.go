@@ -69,6 +69,34 @@ func TestPromEndpoint(t *testing.T) {
 	if v := fams["iseld_synth_runs"].Samples[0].Value; v != 1 {
 		t.Errorf("iseld_synth_runs = %v, want 1", v)
 	}
+
+	// The default exposition must stay strictly 0.0.4-consumable: a
+	// classic Prometheus scraper rejects the whole scrape on an exemplar
+	// annotation, so none may appear without the opt-in.
+	if bytes.Contains(body, []byte(" # {")) {
+		t.Errorf("/metrics leaked exemplar annotations without ?exemplars=1:\n%s", body)
+	}
+
+	// The opt-in form switches to OpenMetrics-style exposition with
+	// exemplar annotations and a # EOF terminator, and still parses.
+	resp2, err := http.Get(ts.URL + "/metrics?exemplars=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("?exemplars=1 Content-Type = %q", ct)
+	}
+	body2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(bytes.TrimSpace(body2), []byte("# EOF")) {
+		t.Errorf("?exemplars=1 output missing # EOF terminator")
+	}
+	if _, err := obs.ParseProm(string(body2)); err != nil {
+		t.Fatalf("?exemplars=1 output failed strict parse: %v\n%s", err, body2)
+	}
 }
 
 // TestTraceEndpoint: GET /v1/trace returns Chrome trace-event JSON
